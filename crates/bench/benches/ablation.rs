@@ -1,0 +1,200 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * **Morton codec**: magic-number shift/mask vs. hardware BMI2
+//!   `pdep`/`pext` vs. byte lookup tables,
+//! * **SFC comparison key**: the raw-Morton `rotate_left(8)` trick vs.
+//!   the generic decode-and-compare path,
+//! * **register-width mixing** (paper Section 2.3): the production
+//!   two-coordinates-per-128-bit `AVX_Morton` vs. an all-three-in-256-bit
+//!   variant — the paper reports the mixed version slower.
+//!
+//! Run with `cargo bench -p quadforest-bench --bench ablation`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use quadforest_bench::*;
+use quadforest_core::morton;
+use quadforest_core::quadrant::{
+    ablation, AvxQuad, HilbertQuad, MortonQuad, Quadrant, StandardQuad,
+};
+use std::hint::black_box;
+
+fn codec_inputs() -> Vec<(u32, u32, u32)> {
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    (0..1_000_000)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (
+                (state >> 10) as u32 & 0x3_FFFF,
+                (state >> 28) as u32 & 0x3_FFFF,
+                (state >> 46) as u32 & 0x3_FFFF,
+            )
+        })
+        .collect()
+}
+
+fn codec_variants(c: &mut Criterion) {
+    let inputs = codec_inputs();
+    let mut g = c.benchmark_group("ablation_codec3_encode");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(inputs.len() as u64));
+    g.bench_function("magic", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(x, y, z) in &inputs {
+                acc = acc.wrapping_add(morton::encode3(x, y, z));
+            }
+            black_box(acc)
+        })
+    });
+    #[cfg(all(target_arch = "x86_64", target_feature = "bmi2"))]
+    g.bench_function("bmi2_pdep", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(x, y, z) in &inputs {
+                acc = acc.wrapping_add(morton::bmi2::encode3(x, y, z));
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("lut", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(x, y, z) in &inputs {
+                acc = acc.wrapping_add(morton::lut::encode3(x, y, z));
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+
+    let codes: Vec<u64> = codec_inputs()
+        .iter()
+        .map(|&(x, y, z)| morton::encode3(x, y, z))
+        .collect();
+    let mut g = c.benchmark_group("ablation_codec3_decode");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(codes.len() as u64));
+    g.bench_function("magic", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &m in &codes {
+                let (x, y, z) = morton::decode3(m);
+                acc = acc.wrapping_add(x ^ y ^ z);
+            }
+            black_box(acc)
+        })
+    });
+    #[cfg(all(target_arch = "x86_64", target_feature = "bmi2"))]
+    g.bench_function("bmi2_pext", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &m in &codes {
+                let (x, y, z) = morton::bmi2::decode3(m);
+                acc = acc.wrapping_add(x ^ y ^ z);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn sfc_compare_key(c: &mut Criterion) {
+    let quads = paper_workload::<MortonQuad<3>>();
+    let mut g = c.benchmark_group("ablation_sfc_compare");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(quads.len() as u64 - 1));
+    g.bench_function("rotate_key", |b| {
+        b.iter(|| {
+            let mut lt = 0u64;
+            for w in quads.windows(2) {
+                // the specialized override: one rotation + compare
+                if w[0].compare_sfc(&w[1]).is_lt() {
+                    lt += 1;
+                }
+            }
+            black_box(lt)
+        })
+    });
+    g.bench_function("decode_compare", |b| {
+        b.iter(|| {
+            let mut lt = 0u64;
+            for w in quads.windows(2) {
+                // the generic path every representation gets by default
+                let ord = w[0]
+                    .morton_abs()
+                    .cmp(&w[1].morton_abs())
+                    .then_with(|| w[0].level().cmp(&w[1].level()));
+                if ord.is_lt() {
+                    lt += 1;
+                }
+            }
+            black_box(lt)
+        })
+    });
+    g.finish();
+}
+
+fn register_mixing(c: &mut Criterion) {
+    let inputs = paper_morton_inputs(3);
+    let mut g = c.benchmark_group("ablation_register_mixing");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(inputs.len() as u64));
+    g.bench_function("avx_morton_128_production", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(i, l) in &inputs {
+                let q = AvxQuad::<3>::from_morton(i, l);
+                acc = acc.wrapping_add(black_box(&q).level() as u64);
+            }
+            acc
+        })
+    });
+    g.bench_function("avx_morton_mixed_256", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(i, l) in &inputs {
+                let q = ablation::from_morton3_mixed256(i, l);
+                acc = acc.wrapping_add(black_box(&q).level() as u64);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+/// Space-filling-curve trade-off: the Morton curve's curve-order
+/// operations are `O(1)` bit manipulations while the Hilbert curve's
+/// require an `O(level)` state walk — the complexity difference behind
+/// the paper's choice to defer alternative curves to future research.
+/// (2D workload; the Hilbert representation is 2D.)
+fn curve_tradeoff(c: &mut Criterion) {
+    let inputs = workload::morton_inputs(2, WORKLOAD_MAX_LEVEL);
+    let mut g = c.benchmark_group("ablation_curve_from_index");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(inputs.len() as u64));
+    g.bench_function("morton_standard", |b| {
+        b.iter(|| kernel_morton::<StandardQuad<2>>(&inputs))
+    });
+    g.bench_function("hilbert", |b| {
+        b.iter(|| kernel_morton::<HilbertQuad>(&inputs))
+    });
+    g.finish();
+
+    let mq = workload::complete_tree::<MortonQuad<2>>(WORKLOAD_MAX_LEVEL);
+    let hq = workload::complete_tree::<HilbertQuad>(WORKLOAD_MAX_LEVEL);
+    let mut g = c.benchmark_group("ablation_curve_child");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(mq.len() as u64));
+    g.bench_function("morton_raw", |b| b.iter(|| kernel_child(&mq)));
+    g.bench_function("hilbert", |b| b.iter(|| kernel_child(&hq)));
+    g.finish();
+}
+
+criterion_group!(
+    ablation_suite,
+    codec_variants,
+    sfc_compare_key,
+    register_mixing,
+    curve_tradeoff
+);
+criterion_main!(ablation_suite);

@@ -1,0 +1,76 @@
+//! High-level algorithm benchmarks — beyond the paper's Figures 2–7
+//! (which measure isolated low-level kernels), these time the *composed*
+//! AMR operations the paper's follow-up work targets: refine, 2:1
+//! balance, partition and ghost construction, each under every quadrant
+//! representation, on 4 simulated ranks.
+//!
+//! Run with `cargo bench -p quadforest-bench --bench highlevel`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quadforest_connectivity::Connectivity;
+use quadforest_core::quadrant::{AvxQuad, HilbertQuad, MortonQuad, Quadrant, StandardQuad};
+use quadforest_forest::{BalanceKind, Forest};
+use std::sync::Arc;
+
+const RANKS: usize = 4;
+const INIT_LEVEL: u8 = 4;
+const MAX_LEVEL: u8 = 7;
+
+/// Diagonal-band refinement flag (geometry-keyed: identical mesh for
+/// every representation and curve).
+fn band<Q: Quadrant>(q: &Q) -> bool {
+    let root = Q::len_at(0) as i64;
+    let c = q.coords();
+    let h = q.side() as i64;
+    let x = c[0] as i64 * 2 + h;
+    let y = c[1] as i64 * 2 + h;
+    (x + y - 2 * root).abs() < 3 * h
+}
+
+fn pipeline<Q: Quadrant>(stage: u32) -> u64 {
+    let out = quadforest_comm::run(RANKS, move |comm| {
+        let conn = Arc::new(Connectivity::unit(2));
+        let mut f = Forest::<Q>::new_uniform(conn, &comm, INIT_LEVEL);
+        if stage == 0 {
+            return f.global_count();
+        }
+        f.refine(&comm, true, |_, q| q.level() < MAX_LEVEL && band(q));
+        if stage == 1 {
+            return f.global_count();
+        }
+        f.balance(&comm, BalanceKind::Face);
+        if stage == 2 {
+            return f.global_count();
+        }
+        f.partition(&comm);
+        if stage == 3 {
+            return f.global_count();
+        }
+        let ghost = f.ghost(&comm, BalanceKind::Face);
+        f.global_count() + ghost.len() as u64
+    });
+    out[0]
+}
+
+fn bench_stage(c: &mut Criterion, name: &str, stage: u32) {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10);
+    g.bench_function("standard", |b| {
+        b.iter(|| pipeline::<StandardQuad<2>>(stage))
+    });
+    g.bench_function("morton", |b| b.iter(|| pipeline::<MortonQuad<2>>(stage)));
+    g.bench_function("avx", |b| b.iter(|| pipeline::<AvxQuad<2>>(stage)));
+    g.bench_function("hilbert", |b| b.iter(|| pipeline::<HilbertQuad>(stage)));
+    g.finish();
+}
+
+fn highlevel(c: &mut Criterion) {
+    bench_stage(c, "highlevel_create", 0);
+    bench_stage(c, "highlevel_refine", 1);
+    bench_stage(c, "highlevel_balance", 2);
+    bench_stage(c, "highlevel_partition", 3);
+    bench_stage(c, "highlevel_ghost", 4);
+}
+
+criterion_group!(highlevel_suite, highlevel);
+criterion_main!(highlevel_suite);

@@ -1,0 +1,520 @@
+//! `repro` — regenerate the paper's evaluation tables on this machine.
+//!
+//! ```text
+//! repro --all                 # figures 2-7 + memory + autovec
+//! repro --fig 4               # one figure
+//! repro --mem --level 8       # Section 3.2 memory experiment
+//! repro --autovec             # contribution 5
+//! repro --iters 5 --ranks 1,4,64,512
+//! ```
+//!
+//! Output is a set of markdown tables (paper-style), suitable for
+//! pasting into EXPERIMENTS.md.
+
+use quadforest_bench::*;
+use quadforest_core::batch;
+use quadforest_core::quadrant::{
+    AvxQuad, HilbertQuad, Morton128Quad, MortonQuad, Quadrant, StandardQuad,
+};
+use quadforest_core::scalar_ref::{self, QuadSoA};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Counting allocator (the VTune substitute for Section 3.2)
+// ---------------------------------------------------------------------------
+
+struct Counting;
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let cur = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(cur, Ordering::Relaxed);
+        }
+        p
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+}
+
+#[global_allocator]
+static ALLOC: Counting = Counting;
+
+fn reset_peak() {
+    PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+fn peak_delta(base: usize) -> usize {
+    PEAK.load(Ordering::Relaxed).saturating_sub(base)
+}
+
+// ---------------------------------------------------------------------------
+// Options
+// ---------------------------------------------------------------------------
+
+struct Opts {
+    figures: Vec<u32>,
+    mem: bool,
+    mem_level: u8,
+    autovec: bool,
+    dim2: bool,
+    iters: usize,
+    ranks: Vec<usize>,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        figures: Vec::new(),
+        mem: false,
+        mem_level: 8,
+        autovec: false,
+        dim2: false,
+        iters: 3,
+        ranks: RANKS.to_vec(),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let mut any = false;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" => {
+                opts.figures = vec![2, 3, 4, 5, 6, 7];
+                opts.mem = true;
+                opts.autovec = true;
+                any = true;
+            }
+            "--fig" => {
+                i += 1;
+                opts.figures.push(args[i].parse().expect("--fig N"));
+                any = true;
+            }
+            "--mem" => {
+                opts.mem = true;
+                any = true;
+            }
+            "--autovec" => {
+                opts.autovec = true;
+                any = true;
+            }
+            "--dim2" => {
+                opts.dim2 = true;
+                any = true;
+            }
+            "--level" => {
+                i += 1;
+                opts.mem_level = args[i].parse().expect("--level L");
+            }
+            "--iters" => {
+                i += 1;
+                opts.iters = args[i].parse().expect("--iters N");
+            }
+            "--ranks" => {
+                i += 1;
+                opts.ranks = args[i]
+                    .split(',')
+                    .map(|s| s.parse().expect("--ranks a,b,c"))
+                    .collect();
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if !any {
+        opts.figures = vec![2, 3, 4, 5, 6, 7];
+        opts.mem = true;
+        opts.autovec = true;
+        opts.dim2 = true;
+    }
+    opts
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+// ---------------------------------------------------------------------------
+// Figures 2-7
+// ---------------------------------------------------------------------------
+
+/// Run one kernel for one representation over the rank sweep; returns
+/// (per-P critical path, best single-rank time).
+fn sweep<T: Clone, F: FnMut(&[T]) -> u64 + Copy>(
+    data: &[T],
+    ranks: &[usize],
+    iters: usize,
+    kernel: F,
+) -> (Vec<Duration>, Duration) {
+    // warmup
+    let mut k = kernel;
+    let _ = k(data);
+    let series = ranks
+        .iter()
+        .map(|&p| {
+            let mut best = Duration::MAX;
+            for _ in 0..iters {
+                let pt = strong_scale(data, p, kernel);
+                best = best.min(pt.critical_path);
+            }
+            best
+        })
+        .collect::<Vec<_>>();
+    // the single-rank reference for the speedup summary is the P = 1
+    // sweep point when present (keeps table and summary consistent on a
+    // noisy shared core), else a dedicated full-array measurement
+    let single = match ranks.iter().position(|&p| p == 1) {
+        Some(i) => series[i],
+        None => time_best(data, iters, kernel),
+    };
+    (series, single)
+}
+
+struct FigureResult {
+    name: &'static str,
+    algorithms: &'static str,
+    /// rows: (repr name, per-P series, single-rank best)
+    rows: Vec<(&'static str, Vec<Duration>, Duration)>,
+}
+
+impl FigureResult {
+    fn print(&self, ranks: &[usize]) {
+        println!("\n## {} ({})", self.name, self.algorithms);
+        print!("| P |");
+        for (name, _, _) in &self.rows {
+            print!(" {name} (ms) |");
+        }
+        println!();
+        print!("|---|");
+        for _ in &self.rows {
+            print!("---|");
+        }
+        println!();
+        for (i, p) in ranks.iter().enumerate() {
+            print!("| {p} |");
+            for (_, series, _) in &self.rows {
+                print!(" {:.3} |", ms(series[i]));
+            }
+            println!();
+        }
+        let base = self.rows[0].2;
+        print!("speedup vs {}:", self.rows[0].0);
+        for (name, _, single) in self.rows.iter().skip(1) {
+            print!(" {name} {:+.0}%", speedup_percent(base, *single));
+        }
+        println!();
+    }
+}
+
+macro_rules! figure_quads {
+    ($name:literal, $alg:literal, $kernel:ident, $filter:expr, $opts:expr) => {{
+        let mut rows = Vec::new();
+        {
+            let data = $filter(paper_workload::<StandardQuad<3>>());
+            let (s, b) = sweep(&data, &$opts.ranks, $opts.iters, |d| $kernel(d));
+            rows.push(("standard", s, b));
+        }
+        {
+            let data = $filter(paper_workload::<MortonQuad<3>>());
+            let (s, b) = sweep(&data, &$opts.ranks, $opts.iters, |d| $kernel(d));
+            rows.push(("morton", s, b));
+        }
+        {
+            let data = $filter(paper_workload::<AvxQuad<3>>());
+            let (s, b) = sweep(&data, &$opts.ranks, $opts.iters, |d| $kernel(d));
+            rows.push(("avx", s, b));
+        }
+        {
+            let data = $filter(paper_workload::<Morton128Quad<3>>());
+            let (s, b) = sweep(&data, &$opts.ranks, $opts.iters, |d| $kernel(d));
+            rows.push(("morton128", s, b));
+        }
+        FigureResult {
+            name: $name,
+            algorithms: $alg,
+            rows,
+        }
+        .print(&$opts.ranks);
+    }};
+}
+
+fn run_figure(fig: u32, opts: &Opts) {
+    match fig {
+        2 => {
+            let inputs = paper_morton_inputs(3);
+            let mut rows = Vec::new();
+            let (s, b) = sweep(&inputs, &opts.ranks, opts.iters, |d| {
+                kernel_morton::<StandardQuad<3>>(d)
+            });
+            rows.push(("standard", s, b));
+            let (s, b) = sweep(&inputs, &opts.ranks, opts.iters, |d| {
+                kernel_morton::<MortonQuad<3>>(d)
+            });
+            rows.push(("morton", s, b));
+            let (s, b) = sweep(&inputs, &opts.ranks, opts.iters, |d| {
+                kernel_morton::<AvxQuad<3>>(d)
+            });
+            rows.push(("avx", s, b));
+            let (s, b) = sweep(&inputs, &opts.ranks, opts.iters, |d| {
+                kernel_morton::<Morton128Quad<3>>(d)
+            });
+            rows.push(("morton128", s, b));
+            FigureResult {
+                name: "Figure 2: Morton",
+                algorithms: "Algorithms 1, 4, 11: construct quadrant from curve index",
+                rows,
+            }
+            .print(&opts.ranks);
+        }
+        3 => figure_quads!(
+            "Figure 3: Child",
+            "Algorithms 2, 6, 9",
+            kernel_child,
+            |v| v,
+            opts
+        ),
+        4 => figure_quads!(
+            "Figure 4: FNeigh",
+            "Algorithm 8",
+            kernel_fneigh,
+            |v| v,
+            opts
+        ),
+        5 => figure_quads!(
+            "Figure 5: Parent",
+            "Algorithms 7, 10",
+            kernel_parent,
+            nonroot,
+            opts
+        ),
+        6 => figure_quads!(
+            "Figure 6: Sibling",
+            "Algorithm 3",
+            kernel_sibling,
+            nonroot,
+            opts
+        ),
+        7 => figure_quads!(
+            "Figure 7: Tree_Boundaries",
+            "Algorithm 12",
+            kernel_boundaries,
+            |v| v,
+            opts
+        ),
+        other => eprintln!("no such figure: {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Section 3.2: memory
+// ---------------------------------------------------------------------------
+
+fn measure_mem<Q: Quadrant>(level: u8) -> (usize, usize) {
+    reset_peak();
+    let base = PEAK.load(Ordering::Relaxed);
+    let v: Vec<Q> = workload::uniform_level::<Q>(level);
+    let peak = peak_delta(base);
+    let n = v.len();
+    drop(v);
+    (peak, n)
+}
+
+fn run_memory(level: u8) {
+    println!("\n## Section 3.2: memory consumption (uniform octree, level {level})");
+    println!("built by repeated calls to the Morton algorithm, as in the paper\n");
+    println!("| representation | bytes/quad | total | ratio |");
+    println!("|---|---|---|---|");
+    let (std_peak, n) = measure_mem::<StandardQuad<3>>(level);
+    let (avx_peak, _) = measure_mem::<AvxQuad<3>>(level);
+    let (mor_peak, _) = measure_mem::<MortonQuad<3>>(level);
+    let gib = |b: usize| b as f64 / (1024.0 * 1024.0 * 1024.0);
+    for (name, peak, size) in [
+        ("standard", std_peak, std::mem::size_of::<StandardQuad<3>>()),
+        ("avx", avx_peak, std::mem::size_of::<AvxQuad<3>>()),
+        ("morton", mor_peak, std::mem::size_of::<MortonQuad<3>>()),
+    ] {
+        println!(
+            "| {name} | {size} | {:.3} GiB | {:.2} |",
+            gib(peak),
+            peak as f64 / mor_peak as f64
+        );
+    }
+    println!("\nquadrants: {n}; paper reports 25.8 : 17.2 : 8.6 GB = 3 : 2 : 1 at level 10");
+    assert_eq!(std::mem::size_of::<StandardQuad<3>>(), 24);
+    assert_eq!(std::mem::size_of::<AvxQuad<3>>(), 16);
+    assert_eq!(std::mem::size_of::<MortonQuad<3>>(), 8);
+}
+
+// ---------------------------------------------------------------------------
+// Contribution 5: manual vs automatic vectorization
+// ---------------------------------------------------------------------------
+
+fn run_autovec(opts: &Opts) {
+    const L: u8 = StandardQuad::<3>::MAX_LEVEL;
+    let quads = nonroot(paper_workload::<StandardQuad<3>>());
+    let soa = QuadSoA::from_quads(&quads);
+    let mut out = QuadSoA::with_len(soa.len());
+    let n = soa.len();
+    println!("\n## Contribution 5: manual AVX2 vs compiler auto-vectorization");
+    println!("SoA batch kernels over {n} octants (identical memory layout)\n");
+    println!("| kernel | auto-vectorized (ms) | manual AVX2 256-bit (ms) | manual gain |");
+    println!("|---|---|---|---|");
+
+    let time = |f: &mut dyn FnMut()| {
+        let mut best = Duration::MAX;
+        for _ in 0..opts.iters.max(3) {
+            let t = std::time::Instant::now();
+            f();
+            best = best.min(t.elapsed());
+        }
+        best
+    };
+
+    let rows: Vec<(&str, Duration, Duration)> = vec![
+        (
+            "child",
+            time(&mut || scalar_ref::child_all(&soa, 5, L, &mut out)),
+            time(&mut || batch::child_all(&soa, 5, L, &mut out)),
+        ),
+        (
+            "parent",
+            time(&mut || scalar_ref::parent_all(&soa, L, &mut out)),
+            time(&mut || batch::parent_all(&soa, L, &mut out)),
+        ),
+        (
+            "sibling",
+            time(&mut || scalar_ref::sibling_all(&soa, 3, L, &mut out)),
+            time(&mut || batch::sibling_all(&soa, 3, L, &mut out)),
+        ),
+        (
+            "face_neighbor",
+            time(&mut || scalar_ref::face_neighbor_all(&soa, 2, L, &mut out)),
+            time(&mut || batch::face_neighbor_all(&soa, 2, L, &mut out)),
+        ),
+    ];
+    for (name, auto, manual) in &rows {
+        println!(
+            "| {name} | {:.3} | {:.3} | {:+.0}% |",
+            ms(*auto),
+            ms(*manual),
+            speedup_percent(*auto, *manual)
+        );
+    }
+    {
+        let (mut fx, mut fy, mut fz) = (vec![0; n], vec![0; n], vec![0; n]);
+        let auto =
+            time(&mut || scalar_ref::tree_boundaries_all(&soa, 3, L, [&mut fx, &mut fy, &mut fz]));
+        let manual =
+            time(&mut || batch::tree_boundaries_all(&soa, 3, L, [&mut fx, &mut fy, &mut fz]));
+        println!(
+            "| tree_boundaries | {:.3} | {:.3} | {:+.0}% |",
+            ms(auto),
+            ms(manual),
+            speedup_percent(auto, manual)
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2D extension table (includes the Hilbert-curve representation)
+// ---------------------------------------------------------------------------
+
+fn run_dim2(opts: &Opts) {
+    println!("\n## Extension: 2D kernels including the Hilbert-curve representation");
+    println!("(no paper counterpart; the paper evaluates 3D only — this measures the");
+    println!("curve trade-off: Hilbert's curve-order operations are O(level))\n");
+    const L2: u8 = 9; // deeper than the 3D workload: 349,525 quadrants
+    let n = workload::complete_tree_count(2, L2);
+    println!("workload: {n} 2D quadrants (levels 0..={L2}), single rank\n");
+    println!(
+        "| kernel | standard | morton | avx | hilbert | (ms, best of {}) |",
+        opts.iters
+    );
+    println!("|---|---|---|---|---|---|");
+
+    macro_rules! row {
+        ($name:literal, $kernel:ident, $filter:expr) => {{
+            let s = time_best(
+                &$filter(workload::complete_tree::<StandardQuad<2>>(L2)),
+                opts.iters,
+                |d| $kernel(d),
+            );
+            let m = time_best(
+                &$filter(workload::complete_tree::<MortonQuad<2>>(L2)),
+                opts.iters,
+                |d| $kernel(d),
+            );
+            let a = time_best(
+                &$filter(workload::complete_tree::<AvxQuad<2>>(L2)),
+                opts.iters,
+                |d| $kernel(d),
+            );
+            let h = time_best(
+                &$filter(workload::complete_tree::<HilbertQuad>(L2)),
+                opts.iters,
+                |d| $kernel(d),
+            );
+            println!(
+                "| {} | {:.3} | {:.3} | {:.3} | {:.3} | |",
+                $name,
+                ms(s),
+                ms(m),
+                ms(a),
+                ms(h)
+            );
+        }};
+    }
+
+    {
+        let inputs = workload::morton_inputs(2, L2);
+        let s = time_best(&inputs, opts.iters, kernel_morton::<StandardQuad<2>>);
+        let m = time_best(&inputs, opts.iters, kernel_morton::<MortonQuad<2>>);
+        let a = time_best(&inputs, opts.iters, kernel_morton::<AvxQuad<2>>);
+        let h = time_best(&inputs, opts.iters, kernel_morton::<HilbertQuad>);
+        println!(
+            "| from_index | {:.3} | {:.3} | {:.3} | {:.3} | |",
+            ms(s),
+            ms(m),
+            ms(a),
+            ms(h)
+        );
+    }
+    row!("child", kernel_child, |v| v);
+    row!("parent", kernel_parent, nonroot);
+    row!("sibling", kernel_sibling, nonroot);
+    row!("face_neighbor", kernel_fneigh, |v| v);
+    row!("tree_boundaries", kernel_boundaries, |v| v);
+}
+
+fn main() {
+    let opts = parse_args();
+    println!("# quadforest repro — paper evaluation on this machine");
+    println!(
+        "workload: {} 3D octants (levels 0..={}), ranks simulated {:?}, best of {} iters",
+        workload::complete_tree_count(3, WORKLOAD_MAX_LEVEL),
+        WORKLOAD_MAX_LEVEL,
+        opts.ranks,
+        opts.iters
+    );
+    for fig in &opts.figures {
+        run_figure(*fig, &opts);
+    }
+    if opts.mem {
+        run_memory(opts.mem_level);
+    }
+    if opts.autovec {
+        run_autovec(&opts);
+    }
+    if opts.dim2 {
+        run_dim2(&opts);
+    }
+}

@@ -1,0 +1,508 @@
+//! # quadforest-comm
+//!
+//! An in-process message-passing simulator standing in for MPI.
+//!
+//! The paper benchmarks p4est on up to 512 MPI ranks; this environment is
+//! a single machine, so rank parallelism is *simulated*: [`run`] spawns
+//! one OS thread per rank, each executing the same rank program against a
+//! [`Comm`] handle that provides tagged point-to-point messages and the
+//! collectives the forest algorithms need (`barrier`, `allgather`,
+//! `allreduce`, `exscan`, `alltoallv`, `bcast`). Messages are typed
+//! (`Box<dyn Any>` under the hood) and delivery is per-sender FIFO, like
+//! MPI's non-overtaking guarantee.
+//!
+//! The simulator is deterministic at the algorithm level: all forest
+//! algorithms built on it produce rank-count-independent results, which
+//! the integration tests assert by comparing partitions and ghost layers
+//! across different `P`.
+
+#![warn(missing_docs)]
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+
+/// A tagged, typed message in flight.
+struct Msg {
+    src: usize,
+    tag: u64,
+    payload: Box<dyn Any + Send>,
+}
+
+/// Per-rank communicator handle. Not `Sync`: each rank owns its handle.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Msg>>,
+    inbox: Receiver<Msg>,
+    /// Out-of-order messages parked until a matching `recv`.
+    parked: RefCell<VecDeque<Msg>>,
+    /// Sequence number for collective operations; identical call order on
+    /// every rank yields matching tags without global coordination.
+    coll_seq: Cell<u64>,
+}
+
+/// User tags live below this bound; collective-internal tags above it.
+const COLL_TAG_BASE: u64 = 1 << 48;
+
+impl Comm {
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks `P`.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send `data` to `dest` with `tag`. Never blocks (buffered channel).
+    pub fn send<T: Send + 'static>(&self, dest: usize, tag: u64, data: T) {
+        assert!(tag < COLL_TAG_BASE, "user tags must be < 2^48");
+        self.send_raw(dest, tag, data);
+    }
+
+    fn send_raw<T: Send + 'static>(&self, dest: usize, tag: u64, data: T) {
+        self.senders[dest]
+            .send(Msg {
+                src: self.rank,
+                tag,
+                payload: Box::new(data),
+            })
+            .expect("peer rank hung up before shutdown");
+    }
+
+    /// Blocking receive of the next message from `src` with `tag`.
+    /// Messages from the same sender are non-overtaking per tag.
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
+        assert!(tag < COLL_TAG_BASE, "user tags must be < 2^48");
+        self.recv_raw(src, tag)
+    }
+
+    fn recv_raw<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
+        // first serve a parked message if one matches
+        {
+            let mut parked = self.parked.borrow_mut();
+            if let Some(pos) = parked.iter().position(|m| m.src == src && m.tag == tag) {
+                let msg = parked.remove(pos).unwrap();
+                return *msg
+                    .payload
+                    .downcast::<T>()
+                    .unwrap_or_else(|_| panic!("type mismatch on tag {tag} from {src}"));
+            }
+        }
+        loop {
+            let msg = self.inbox.recv().expect("all peers hung up");
+            if msg.src == src && msg.tag == tag {
+                return *msg
+                    .payload
+                    .downcast::<T>()
+                    .unwrap_or_else(|_| panic!("type mismatch on tag {tag} from {src}"));
+            }
+            self.parked.borrow_mut().push_back(msg);
+        }
+    }
+
+    fn next_coll_tag(&self) -> u64 {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq + 1);
+        COLL_TAG_BASE + seq
+    }
+
+    /// Synchronize all ranks (dissemination barrier).
+    pub fn barrier(&self) {
+        let tag = self.next_coll_tag();
+        let mut round = 1usize;
+        let mut round_no = 0u64;
+        while round < self.size {
+            let dest = (self.rank + round) % self.size;
+            let src = (self.rank + self.size - round) % self.size;
+            self.send_raw(dest, tag + (round_no << 32), ());
+            self.recv_raw::<()>(src, tag + (round_no << 32));
+            round <<= 1;
+            round_no += 1;
+        }
+    }
+
+    /// Gather one value from every rank, returned in rank order on all
+    /// ranks.
+    pub fn allgather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
+        let tag = self.next_coll_tag();
+        for dest in 0..self.size {
+            if dest != self.rank {
+                self.send_raw(dest, tag, value.clone());
+            }
+        }
+        (0..self.size)
+            .map(|src| {
+                if src == self.rank {
+                    value.clone()
+                } else {
+                    self.recv_raw::<T>(src, tag)
+                }
+            })
+            .collect()
+    }
+
+    /// Reduce with an associative `op` over all ranks; every rank gets
+    /// the result. Reduction order is rank order, hence deterministic.
+    pub fn allreduce<T, F>(&self, value: T, op: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let all = self.allgather(value);
+        let mut it = all.into_iter();
+        let first = it.next().expect("size >= 1");
+        it.fold(first, |acc, v| op(&acc, &v))
+    }
+
+    /// Sum of a `u64` across all ranks.
+    pub fn allreduce_sum(&self, value: u64) -> u64 {
+        self.allreduce(value, |a, b| a + b)
+    }
+
+    /// Exclusive prefix reduction in rank order; rank 0 receives
+    /// `T::default()`.
+    pub fn exscan<T, F>(&self, value: T, op: F) -> T
+    where
+        T: Clone + Default + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let all = self.allgather(value);
+        all[..self.rank]
+            .iter()
+            .fold(T::default(), |acc, v| op(&acc, v))
+    }
+
+    /// Exclusive prefix sum of a `u64`.
+    pub fn exscan_sum(&self, value: u64) -> u64 {
+        self.exscan(value, |a, b| a + b)
+    }
+
+    /// Broadcast from `root` to every rank. Non-root ranks pass `None`.
+    pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
+        let tag = self.next_coll_tag();
+        if self.rank == root {
+            let v = value.expect("root must supply the value");
+            for dest in 0..self.size {
+                if dest != root {
+                    self.send_raw(dest, tag, v.clone());
+                }
+            }
+            v
+        } else {
+            self.recv_raw::<T>(root, tag)
+        }
+    }
+
+    /// Gather one value from every rank onto `root` (rank order);
+    /// other ranks receive `None`.
+    pub fn gather<T: Send + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
+        let tag = self.next_coll_tag();
+        if self.rank == root {
+            let mut out: Vec<Option<T>> = (0..self.size).map(|_| None).collect();
+            out[root] = Some(value);
+            for src in 0..self.size {
+                if src != root {
+                    out[src] = Some(self.recv_raw::<T>(src, tag));
+                }
+            }
+            Some(out.into_iter().map(|v| v.unwrap()).collect())
+        } else {
+            self.send_raw(root, tag, value);
+            None
+        }
+    }
+
+    /// Scatter one value per rank from `root`; non-root ranks pass
+    /// `None` and receive their slice.
+    pub fn scatter<T: Send + 'static>(&self, root: usize, values: Option<Vec<T>>) -> T {
+        let tag = self.next_coll_tag();
+        if self.rank == root {
+            let values = values.expect("root must supply one value per rank");
+            assert_eq!(values.len(), self.size);
+            let mut mine = None;
+            for (dest, v) in values.into_iter().enumerate() {
+                if dest == root {
+                    mine = Some(v);
+                } else {
+                    self.send_raw(dest, tag, v);
+                }
+            }
+            mine.expect("root slot present")
+        } else {
+            self.recv_raw::<T>(root, tag)
+        }
+    }
+
+    /// Personalized all-to-all: `outgoing[d]` is delivered to rank `d`;
+    /// returns the incoming vectors indexed by source rank.
+    pub fn alltoallv<T: Send + 'static>(&self, mut outgoing: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(outgoing.len(), self.size);
+        let tag = self.next_coll_tag();
+        let mut mine = Some(std::mem::take(&mut outgoing[self.rank]));
+        for (dest, data) in outgoing.into_iter().enumerate() {
+            if dest != self.rank {
+                self.send_raw(dest, tag, data);
+            }
+        }
+        (0..self.size)
+            .map(|src| {
+                if src == self.rank {
+                    mine.take().expect("self slot consumed once")
+                } else {
+                    self.recv_raw::<Vec<T>>(src, tag)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Execute `f` once per rank on `size` threads and collect the per-rank
+/// results in rank order. Panics in any rank propagate to the caller.
+pub fn run<F, R>(size: usize, f: F) -> Vec<R>
+where
+    F: Fn(Comm) -> R + Send + Sync,
+    R: Send,
+{
+    assert!(size > 0);
+    let mut senders = Vec::with_capacity(size);
+    let mut inboxes = Vec::with_capacity(size);
+    for _ in 0..size {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        inboxes.push(rx);
+    }
+    let mut results: Vec<Option<R>> = (0..size).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(size);
+        for (rank, inbox) in inboxes.into_iter().enumerate() {
+            let comm = Comm {
+                rank,
+                size,
+                senders: senders.clone(),
+                inbox,
+                parked: RefCell::new(VecDeque::new()),
+                coll_seq: Cell::new(0),
+            };
+            let f = &f;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .stack_size(2 << 20)
+                    .spawn_scoped(scope, move || f(comm))
+                    .expect("spawn rank thread"),
+            );
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            results[rank] = Some(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+        }
+    });
+    results.into_iter().map(|r| r.unwrap()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_trivia() {
+        let r = run(1, |c| {
+            assert_eq!(c.rank(), 0);
+            assert_eq!(c.size(), 1);
+            c.barrier();
+            assert_eq!(c.allgather(7u32), vec![7]);
+            assert_eq!(c.allreduce_sum(5), 5);
+            assert_eq!(c.exscan_sum(5), 0);
+            42u32
+        });
+        assert_eq!(r, vec![42]);
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        let n = 8;
+        let sums = run(n, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send(next, 1, c.rank() as u64);
+            let got: u64 = c.recv(prev, 1);
+            got + c.rank() as u64
+        });
+        for (rank, s) in sums.iter().enumerate() {
+            let prev = (rank + n - 1) % n;
+            assert_eq!(*s, (prev + rank) as u64);
+        }
+    }
+
+    #[test]
+    fn out_of_order_tags_are_parked() {
+        let r = run(2, |c| {
+            if c.rank() == 0 {
+                // send two tags; the receiver asks for the later one first
+                c.send(1, 10, 1u32);
+                c.send(1, 20, 2u32);
+                0
+            } else {
+                let b: u32 = c.recv(0, 20);
+                let a: u32 = c.recv(0, 10);
+                (b * 10 + a) as i32
+            }
+        });
+        assert_eq!(r[1], 21);
+    }
+
+    #[test]
+    fn same_tag_is_fifo_per_sender() {
+        let r = run(2, |c| {
+            if c.rank() == 0 {
+                for i in 0..100u32 {
+                    c.send(1, 5, i);
+                }
+                Vec::new()
+            } else {
+                (0..100).map(|_| c.recv::<u32>(0, 5)).collect::<Vec<_>>()
+            }
+        });
+        assert_eq!(r[1], (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn allgather_orders_by_rank() {
+        for n in [1, 2, 3, 7, 16] {
+            let r = run(n, |c| c.allgather(c.rank() as u32 * 10));
+            for row in r {
+                assert_eq!(row, (0..n as u32).map(|i| i * 10).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_and_scans() {
+        for n in [1usize, 2, 5, 32] {
+            let r = run(n, |c| {
+                let sum = c.allreduce_sum(c.rank() as u64 + 1);
+                let scan = c.exscan_sum(c.rank() as u64 + 1);
+                let max = c.allreduce(c.rank() as u64, |a, b| *a.max(b));
+                (sum, scan, max)
+            });
+            let total = (n as u64) * (n as u64 + 1) / 2;
+            for (rank, (sum, scan, max)) in r.into_iter().enumerate() {
+                assert_eq!(sum, total);
+                assert_eq!(scan, (rank as u64) * (rank as u64 + 1) / 2);
+                assert_eq!(max, n as u64 - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_from_each_root() {
+        let n = 5;
+        for root in 0..n {
+            let r = run(n, move |c| {
+                let v = if c.rank() == root {
+                    Some(format!("hello from {root}"))
+                } else {
+                    None
+                };
+                c.bcast(root, v)
+            });
+            assert!(r.iter().all(|s| s == &format!("hello from {root}")));
+        }
+    }
+
+    #[test]
+    fn gather_and_scatter() {
+        let n = 5;
+        for root in [0usize, 2, 4] {
+            let r = run(n, move |c| {
+                let gathered = c.gather(root, c.rank() as u32 * 3);
+                if c.rank() == root {
+                    let g = gathered.unwrap();
+                    assert_eq!(g, (0..n as u32).map(|i| i * 3).collect::<Vec<_>>());
+                } else {
+                    assert!(gathered.is_none());
+                }
+                let vals = if c.rank() == root {
+                    Some((0..n).map(|i| format!("v{i}")).collect())
+                } else {
+                    None
+                };
+                c.scatter(root, vals)
+            });
+            for (rank, got) in r.into_iter().enumerate() {
+                assert_eq!(got, format!("v{rank}"));
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_permutes() {
+        let n = 6;
+        let r = run(n, |c| {
+            // rank r sends vec![r*10 + d] to each destination d
+            let outgoing: Vec<Vec<u32>> = (0..c.size())
+                .map(|d| vec![(c.rank() * 10 + d) as u32])
+                .collect();
+            c.alltoallv(outgoing)
+        });
+        for (rank, incoming) in r.into_iter().enumerate() {
+            for (src, data) in incoming.into_iter().enumerate() {
+                assert_eq!(data, vec![(src * 10 + rank) as u32]);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_uneven_sizes() {
+        let n = 4;
+        let r = run(n, |c| {
+            let outgoing: Vec<Vec<u64>> = (0..c.size())
+                .map(|d| (0..(c.rank() + d) as u64).collect())
+                .collect();
+            c.alltoallv(outgoing)
+        });
+        for (rank, incoming) in r.into_iter().enumerate() {
+            for (src, data) in incoming.into_iter().enumerate() {
+                assert_eq!(data.len(), src + rank);
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_many_ranks_and_sizes() {
+        // Stress the dissemination pattern with non-power-of-two sizes.
+        for n in [2usize, 3, 5, 17, 64] {
+            run(n, |c| {
+                for _ in 0..3 {
+                    c.barrier();
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn collectives_back_to_back_do_not_crosstalk() {
+        let r = run(4, |c| {
+            let a = c.allgather(c.rank() as u32);
+            let b = c.allgather(100 + c.rank() as u32);
+            c.barrier();
+            let s = c.allreduce_sum(1);
+            (a, b, s)
+        });
+        for (a, b, s) in r {
+            assert_eq!(a, vec![0, 1, 2, 3]);
+            assert_eq!(b, vec![100, 101, 102, 103]);
+            assert_eq!(s, 4);
+        }
+    }
+
+    #[test]
+    fn large_rank_count() {
+        // The strong-scaling harness simulates up to 512 ranks.
+        let r = run(512, |c| c.allreduce_sum(1));
+        assert!(r.iter().all(|&s| s == 512));
+    }
+}

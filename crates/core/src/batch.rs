@@ -1,0 +1,382 @@
+//! Manually vectorized 256-bit SoA batch kernels (AVX2), the widening
+//! direction the paper's Conclusion sketches ("the straightforward use of
+//! a wider register capacity, for example 256-bit registers from AVX2").
+//!
+//! Each kernel processes eight quadrants per iteration from the shared
+//! [`QuadSoA`] layout using explicit AVX2 intrinsics, including the
+//! per-lane variable shifts (`vpsllvd`) that encode each quadrant's own
+//! level-dependent length. On targets without AVX2 the functions fall
+//! back to the scalar reference kernels, so results are identical
+//! everywhere.
+
+pub use crate::scalar_ref::QuadSoA;
+
+/// `child` over the SoA array, eight quadrants per step.
+pub fn child_all(soa: &QuadSoA, c: u32, max_level: u8, out: &mut QuadSoA) {
+    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+    {
+        avx2::child_all(soa, c, max_level, out);
+    }
+    #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+    {
+        crate::scalar_ref::child_all(soa, c, max_level, out);
+    }
+}
+
+/// `parent` over the SoA array, eight quadrants per step.
+pub fn parent_all(soa: &QuadSoA, max_level: u8, out: &mut QuadSoA) {
+    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+    {
+        avx2::parent_all(soa, max_level, out);
+    }
+    #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+    {
+        crate::scalar_ref::parent_all(soa, max_level, out);
+    }
+}
+
+/// `sibling` over the SoA array, eight quadrants per step.
+pub fn sibling_all(soa: &QuadSoA, s: u32, max_level: u8, out: &mut QuadSoA) {
+    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+    {
+        avx2::sibling_all(soa, s, max_level, out);
+    }
+    #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+    {
+        crate::scalar_ref::sibling_all(soa, s, max_level, out);
+    }
+}
+
+/// `face_neighbor` over the SoA array for fixed face `f`, eight per step.
+pub fn face_neighbor_all(soa: &QuadSoA, f: u32, max_level: u8, out: &mut QuadSoA) {
+    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+    {
+        avx2::face_neighbor_all(soa, f, max_level, out);
+    }
+    #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+    {
+        crate::scalar_ref::face_neighbor_all(soa, f, max_level, out);
+    }
+}
+
+/// `tree_boundaries` over the SoA array, eight quadrants per step.
+pub fn tree_boundaries_all(soa: &QuadSoA, dim: u32, max_level: u8, out: [&mut [i32]; 3]) {
+    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+    {
+        avx2::tree_boundaries_all(soa, dim, max_level, out);
+    }
+    #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+    {
+        crate::scalar_ref::tree_boundaries_all(soa, dim, max_level, out);
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+mod avx2 {
+    use super::QuadSoA;
+    use core::arch::x86_64::*;
+
+    /// Load 8 lanes from `src[i..]`; caller guarantees `i + 8 <= len`.
+    #[inline]
+    unsafe fn load(src: &[i32], i: usize) -> __m256i {
+        debug_assert!(i + 8 <= src.len());
+        // SAFETY: bounds asserted above; loadu has no alignment demands.
+        unsafe { _mm256_loadu_si256(src.as_ptr().add(i) as *const __m256i) }
+    }
+
+    /// Store 8 lanes to `dst[i..]`; caller guarantees `i + 8 <= len`.
+    #[inline]
+    unsafe fn store(dst: &mut [i32], i: usize, v: __m256i) {
+        debug_assert!(i + 8 <= dst.len());
+        // SAFETY: bounds asserted above.
+        unsafe { _mm256_storeu_si256(dst.as_mut_ptr().add(i) as *mut __m256i, v) }
+    }
+
+    pub fn child_all(soa: &QuadSoA, c: u32, max_level: u8, out: &mut QuadSoA) {
+        let n = soa.len();
+        assert!(out.len() >= n);
+        let main = n - n % 8;
+        let ml = max_level as i32;
+        // SAFETY: avx2 statically enabled; all loads/stores bounds-checked.
+        unsafe {
+            let one = _mm256_set1_epi32(1);
+            let mlv = _mm256_set1_epi32(ml - 1);
+            for i in (0..main).step_by(8) {
+                let l = load(&soa.level, i);
+                // shift = 1 << (L - (l + 1)) per lane
+                let counts = _mm256_sub_epi32(mlv, l);
+                let shift = _mm256_sllv_epi32(one, counts);
+                let pick = |bit: u32, lane: &[i32]| -> __m256i {
+                    let v = load(lane, i);
+                    if c & bit != 0 {
+                        _mm256_or_si256(v, shift)
+                    } else {
+                        v
+                    }
+                };
+                store(&mut out.x, i, pick(1, &soa.x));
+                store(&mut out.y, i, pick(2, &soa.y));
+                store(&mut out.z, i, pick(4, &soa.z));
+                store(&mut out.level, i, _mm256_add_epi32(l, one));
+            }
+        }
+        tail_child(soa, c, ml, out, main);
+    }
+
+    fn tail_child(soa: &QuadSoA, c: u32, ml: i32, out: &mut QuadSoA, from: usize) {
+        for i in from..soa.len() {
+            let shift = 1i32 << (ml - (soa.level[i] + 1));
+            out.x[i] = soa.x[i] | if c & 1 != 0 { shift } else { 0 };
+            out.y[i] = soa.y[i] | if c & 2 != 0 { shift } else { 0 };
+            out.z[i] = soa.z[i] | if c & 4 != 0 { shift } else { 0 };
+            out.level[i] = soa.level[i] + 1;
+        }
+    }
+
+    pub fn parent_all(soa: &QuadSoA, max_level: u8, out: &mut QuadSoA) {
+        let n = soa.len();
+        assert!(out.len() >= n);
+        let main = n - n % 8;
+        let ml = max_level as i32;
+        // SAFETY: avx2 statically enabled; all loads/stores bounds-checked.
+        unsafe {
+            let one = _mm256_set1_epi32(1);
+            let mlv = _mm256_set1_epi32(ml);
+            let all = _mm256_set1_epi32(-1);
+            for i in (0..main).step_by(8) {
+                let l = load(&soa.level, i);
+                let h = _mm256_sllv_epi32(one, _mm256_sub_epi32(mlv, l));
+                let clear = _mm256_xor_si256(h, all); // !h
+                store(&mut out.x, i, _mm256_and_si256(load(&soa.x, i), clear));
+                store(&mut out.y, i, _mm256_and_si256(load(&soa.y, i), clear));
+                store(&mut out.z, i, _mm256_and_si256(load(&soa.z, i), clear));
+                store(&mut out.level, i, _mm256_sub_epi32(l, one));
+            }
+        }
+        for i in main..n {
+            let clear = !(1i32 << (ml - soa.level[i]));
+            out.x[i] = soa.x[i] & clear;
+            out.y[i] = soa.y[i] & clear;
+            out.z[i] = soa.z[i] & clear;
+            out.level[i] = soa.level[i] - 1;
+        }
+    }
+
+    pub fn sibling_all(soa: &QuadSoA, s: u32, max_level: u8, out: &mut QuadSoA) {
+        let n = soa.len();
+        assert!(out.len() >= n);
+        let main = n - n % 8;
+        let ml = max_level as i32;
+        // SAFETY: avx2 statically enabled; all loads/stores bounds-checked.
+        unsafe {
+            let one = _mm256_set1_epi32(1);
+            let mlv = _mm256_set1_epi32(ml);
+            for i in (0..main).step_by(8) {
+                let l = load(&soa.level, i);
+                let h = _mm256_sllv_epi32(one, _mm256_sub_epi32(mlv, l));
+                let pick = |bit: u32, lane: &[i32]| -> __m256i {
+                    let v = _mm256_andnot_si256(h, load(lane, i));
+                    if s & bit != 0 {
+                        _mm256_or_si256(v, h)
+                    } else {
+                        v
+                    }
+                };
+                store(&mut out.x, i, pick(1, &soa.x));
+                store(&mut out.y, i, pick(2, &soa.y));
+                store(&mut out.z, i, pick(4, &soa.z));
+                store(&mut out.level, i, l);
+            }
+        }
+        for i in main..n {
+            let h = 1i32 << (ml - soa.level[i]);
+            out.x[i] = (soa.x[i] & !h) | if s & 1 != 0 { h } else { 0 };
+            out.y[i] = (soa.y[i] & !h) | if s & 2 != 0 { h } else { 0 };
+            out.z[i] = (soa.z[i] & !h) | if s & 4 != 0 { h } else { 0 };
+            out.level[i] = soa.level[i];
+        }
+    }
+
+    pub fn face_neighbor_all(soa: &QuadSoA, f: u32, max_level: u8, out: &mut QuadSoA) {
+        let n = soa.len();
+        assert!(out.len() >= n);
+        let main = n - n % 8;
+        let ml = max_level as i32;
+        let sign = if f & 1 == 1 { 1 } else { -1 };
+        let axis = f / 2;
+        out.x.copy_from_slice(&soa.x);
+        out.y.copy_from_slice(&soa.y);
+        out.z.copy_from_slice(&soa.z);
+        out.level.copy_from_slice(&soa.level);
+        // SAFETY: avx2 statically enabled; all loads/stores bounds-checked.
+        unsafe {
+            let one = _mm256_set1_epi32(1);
+            let mlv = _mm256_set1_epi32(ml);
+            for i in (0..main).step_by(8) {
+                let l = load(&soa.level, i);
+                let h = _mm256_sllv_epi32(one, _mm256_sub_epi32(mlv, l));
+                let step = if sign == 1 {
+                    h
+                } else {
+                    _mm256_sub_epi32(_mm256_setzero_si256(), h)
+                };
+                let lane: &mut [i32] = match axis {
+                    0 => &mut out.x,
+                    1 => &mut out.y,
+                    _ => &mut out.z,
+                };
+                let v = _mm256_add_epi32(load(lane, i), step);
+                store(lane, i, v);
+            }
+        }
+        for i in main..n {
+            let h = 1i32 << (ml - soa.level[i]);
+            match axis {
+                0 => out.x[i] += sign * h,
+                1 => out.y[i] += sign * h,
+                _ => out.z[i] += sign * h,
+            }
+        }
+    }
+
+    pub fn tree_boundaries_all(soa: &QuadSoA, dim: u32, max_level: u8, out: [&mut [i32]; 3]) {
+        let n = soa.len();
+        let ml = max_level as i32;
+        let [fx, fy, fz] = out;
+        assert!(fx.len() >= n && fy.len() >= n && fz.len() >= n);
+        let main = n - n % 8;
+        // SAFETY: avx2 statically enabled; all loads/stores bounds-checked.
+        unsafe {
+            let one = _mm256_set1_epi32(1);
+            let mlv = _mm256_set1_epi32(ml);
+            let root = _mm256_set1_epi32(1 << ml);
+            let zero = _mm256_setzero_si256();
+            let minus2 = _mm256_set1_epi32(-2);
+            for i in (0..main).step_by(8) {
+                let l = load(&soa.level, i);
+                let h = _mm256_sllv_epi32(one, _mm256_sub_epi32(mlv, l));
+                let up = _mm256_sub_epi32(root, h);
+                let is_root = _mm256_cmpeq_epi32(l, zero);
+                let classify = |v: __m256i, lo: i32, hi: i32| -> __m256i {
+                    let t0 = _mm256_and_si256(_mm256_cmpeq_epi32(v, zero), _mm256_set1_epi32(lo));
+                    let tu = _mm256_and_si256(_mm256_cmpeq_epi32(v, up), _mm256_set1_epi32(hi));
+                    let f = _mm256_sub_epi32(_mm256_or_si256(t0, tu), one);
+                    // roots report ALL (-2) on every axis
+                    _mm256_blendv_epi8(f, minus2, is_root)
+                };
+                store(fx, i, classify(load(&soa.x, i), 1, 2));
+                store(fy, i, classify(load(&soa.y, i), 3, 4));
+                if dim == 3 {
+                    store(fz, i, classify(load(&soa.z, i), 5, 6));
+                } else {
+                    store(fz, i, _mm256_set1_epi32(-1));
+                }
+            }
+        }
+        for i in main..n {
+            let l = soa.level[i];
+            if l == 0 {
+                fx[i] = -2;
+                fy[i] = -2;
+                fz[i] = if dim == 3 { -2 } else { -1 };
+                continue;
+            }
+            let up = (1i32 << ml) - (1i32 << (ml - l));
+            let t = |v: i32, lo: i32, hi: i32| {
+                (if v == 0 { lo } else { 0 } | if v == up { hi } else { 0 }) - 1
+            };
+            fx[i] = t(soa.x[i], 1, 2);
+            fy[i] = t(soa.y[i], 3, 4);
+            fz[i] = if dim == 3 { t(soa.z[i], 5, 6) } else { -1 };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadrant::{Quadrant, StandardQuad};
+    use crate::scalar_ref;
+    use crate::workload;
+
+    const L: u8 = StandardQuad::<3>::MAX_LEVEL;
+
+    fn soa() -> QuadSoA {
+        // 2396745 is large for a unit test; level 4 gives 4681 elements
+        // with a non-multiple-of-8 tail, which exercises the remainder
+        // loops.
+        QuadSoA::from_quads(&workload::complete_tree::<StandardQuad<3>>(4))
+    }
+
+    #[test]
+    fn batch_child_matches_reference() {
+        let s = soa();
+        let mut a = QuadSoA::with_len(s.len());
+        let mut b = QuadSoA::with_len(s.len());
+        for c in 0..8 {
+            child_all(&s, c, L, &mut a);
+            scalar_ref::child_all(&s, c, L, &mut b);
+            assert_eq!(a, b, "child {c}");
+        }
+    }
+
+    #[test]
+    fn batch_parent_matches_reference() {
+        let s = soa();
+        let mut a = QuadSoA::with_len(s.len());
+        let mut b = QuadSoA::with_len(s.len());
+        parent_all(&s, L, &mut a);
+        scalar_ref::parent_all(&s, L, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batch_sibling_matches_reference() {
+        let s = soa();
+        let mut a = QuadSoA::with_len(s.len());
+        let mut b = QuadSoA::with_len(s.len());
+        for sib in 0..8 {
+            sibling_all(&s, sib, L, &mut a);
+            scalar_ref::sibling_all(&s, sib, L, &mut b);
+            assert_eq!(a, b, "sibling {sib}");
+        }
+    }
+
+    #[test]
+    fn batch_face_neighbor_matches_reference() {
+        let s = soa();
+        let mut a = QuadSoA::with_len(s.len());
+        let mut b = QuadSoA::with_len(s.len());
+        for f in 0..6 {
+            face_neighbor_all(&s, f, L, &mut a);
+            scalar_ref::face_neighbor_all(&s, f, L, &mut b);
+            assert_eq!(a, b, "face {f}");
+        }
+    }
+
+    #[test]
+    fn batch_tree_boundaries_matches_reference() {
+        let s = soa();
+        let n = s.len();
+        let (mut ax, mut ay, mut az) = (vec![0; n], vec![0; n], vec![0; n]);
+        let (mut bx, mut by, mut bz) = (vec![0; n], vec![0; n], vec![0; n]);
+        tree_boundaries_all(&s, 3, L, [&mut ax, &mut ay, &mut az]);
+        scalar_ref::tree_boundaries_all(&s, 3, L, [&mut bx, &mut by, &mut bz]);
+        assert_eq!(ax, bx);
+        assert_eq!(ay, by);
+        assert_eq!(az, bz);
+    }
+
+    #[test]
+    fn batch_tree_boundaries_2d() {
+        let quads = workload::complete_tree::<StandardQuad<2>>(4);
+        let s = QuadSoA::from_quads(&quads);
+        let n = s.len();
+        let l2 = StandardQuad::<2>::MAX_LEVEL;
+        let (mut ax, mut ay, mut az) = (vec![0; n], vec![0; n], vec![0; n]);
+        tree_boundaries_all(&s, 2, l2, [&mut ax, &mut ay, &mut az]);
+        for (i, q) in quads.iter().enumerate() {
+            assert_eq!([ax[i], ay[i], az[i]], q.tree_boundaries(), "index {i}");
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Extended-resolution octants beyond the shared root resolution —
+//! the capability claim of the paper's Conclusion: the 128-bit layouts
+//! allow "the maximum refinement level ... to be higher (31 for the
+//! SSE/AVX2 implementation)" than the raw-Morton limit of 18 in 3D.
+//!
+//! The interoperable [`crate::quadrant::Quadrant`] trait pins all
+//! representations to the shared maximum (so they interconvert exactly,
+//! and the 64-bit curve index in its API stays sufficient). This module
+//! provides the unconstrained variant: a coordinate-based octant at the
+//! full signed-32-bit resolution `L = 31`, whose curve index requires
+//! `3 × 31 = 93` bits and is therefore exposed as `u128`.
+
+/// Maximum refinement level of the deep layout (31 coordinate bits).
+pub const DEEP_MAX_LEVEL: u8 = 31;
+
+/// A 3D octant at root resolution `2^31` — the level-31 capability of
+/// the 128-bit quadrant layouts. 16 bytes, like [`crate::quadrant::AvxQuad`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[repr(C)]
+pub struct DeepOctant {
+    /// Coordinates, multiples of `2^(31 - level)`, in `[0, 2^31)`.
+    pub coords: [u32; 3],
+    /// Refinement level, `0..=31`.
+    pub level: u8,
+    pad: [u8; 3],
+}
+
+impl DeepOctant {
+    /// The unit tree.
+    pub const fn root() -> Self {
+        Self {
+            coords: [0; 3],
+            level: 0,
+            pad: [0; 3],
+        }
+    }
+
+    /// Integer side length `2^(31 - level)`.
+    #[inline]
+    pub fn side(&self) -> u32 {
+        1u32 << (DEEP_MAX_LEVEL - self.level)
+    }
+
+    /// Construct from coordinates and level (alignment `debug_assert`ed).
+    pub fn new(coords: [u32; 3], level: u8) -> Self {
+        debug_assert!(level <= DEEP_MAX_LEVEL);
+        let h = 1u32 << (DEEP_MAX_LEVEL - level);
+        debug_assert!(coords.iter().all(|c| c % h == 0 && (*c as u64) < 1 << 31));
+        Self {
+            coords,
+            level,
+            pad: [0; 3],
+        }
+    }
+
+    /// The `c`-th child. Requires `level < 31`.
+    #[inline]
+    pub fn child(&self, c: u32) -> Self {
+        debug_assert!(self.level < DEEP_MAX_LEVEL && c < 8);
+        let shift = 1u32 << (DEEP_MAX_LEVEL - self.level - 1);
+        Self {
+            coords: [
+                self.coords[0] | if c & 1 != 0 { shift } else { 0 },
+                self.coords[1] | if c & 2 != 0 { shift } else { 0 },
+                self.coords[2] | if c & 4 != 0 { shift } else { 0 },
+            ],
+            level: self.level + 1,
+            pad: [0; 3],
+        }
+    }
+
+    /// The parent. Requires `level > 0`.
+    #[inline]
+    pub fn parent(&self) -> Self {
+        debug_assert!(self.level > 0);
+        let clear = !(1u32 << (DEEP_MAX_LEVEL - self.level));
+        Self {
+            coords: [
+                self.coords[0] & clear,
+                self.coords[1] & clear,
+                self.coords[2] & clear,
+            ],
+            level: self.level - 1,
+            pad: [0; 3],
+        }
+    }
+
+    /// Child index relative to the parent. Requires `level > 0`.
+    #[inline]
+    pub fn child_id(&self) -> u32 {
+        debug_assert!(self.level > 0);
+        let s = DEEP_MAX_LEVEL - self.level;
+        (((self.coords[0] >> s) & 1)
+            | (((self.coords[1] >> s) & 1) << 1)
+            | (((self.coords[2] >> s) & 1) << 2)) as u32
+    }
+
+    /// The 93-bit Morton index relative to level 31, as `u128`.
+    /// A plain per-bit deposit: this path exists for capability, not
+    /// speed (the hot codecs live in [`crate::morton`]).
+    pub fn morton_abs(&self) -> u128 {
+        let spread = |v: u32| {
+            let mut out = 0u128;
+            for bit in 0..31 {
+                out |= (((v >> bit) & 1) as u128) << (3 * bit);
+            }
+            out
+        };
+        spread(self.coords[0]) | (spread(self.coords[1]) << 1) | (spread(self.coords[2]) << 2)
+    }
+
+    /// Rebuild from the 93-bit absolute Morton index and a level.
+    pub fn from_morton_abs(index: u128, level: u8) -> Self {
+        debug_assert!(level <= DEEP_MAX_LEVEL);
+        let mut coords = [0u32; 3];
+        for (axis, c) in coords.iter_mut().enumerate() {
+            let mut v = 0u32;
+            for bit in 0..31 {
+                v |= (((index >> (3 * bit + axis)) & 1) as u32) << bit;
+            }
+            *c = v;
+        }
+        Self::new(coords, level)
+    }
+
+    /// Same-level neighbor across face `f` (`None` outside the root).
+    pub fn face_neighbor(&self, f: u32) -> Option<Self> {
+        debug_assert!(f < 6);
+        let axis = (f / 2) as usize;
+        let h = self.side();
+        let mut c = self.coords;
+        if f & 1 == 1 {
+            let up = c[axis].checked_add(h)?;
+            if (up as u64) + h as u64 > 1 << 31 {
+                return None;
+            }
+            c[axis] = up;
+        } else {
+            c[axis] = c[axis].checked_sub(h)?;
+        }
+        Some(Self::new(c, self.level))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_matches_avx_layout() {
+        assert_eq!(core::mem::size_of::<DeepOctant>(), 16);
+    }
+
+    #[test]
+    fn descend_to_level_31() {
+        // the raw-Morton 64-bit layout stops at 18; this one reaches 31
+        let mut q = DeepOctant::root();
+        let mut path = Vec::new();
+        for i in 0..DEEP_MAX_LEVEL {
+            let c = (i as u32 * 3 + 1) % 8;
+            path.push(c);
+            q = q.child(c);
+        }
+        assert_eq!(q.level, 31);
+        assert_eq!(q.side(), 1);
+        for c in path.iter().rev() {
+            assert_eq!(q.child_id(), *c);
+            q = q.parent();
+        }
+        assert_eq!(q, DeepOctant::root());
+    }
+
+    #[test]
+    fn morton_roundtrip_at_level_31() {
+        let mut q = DeepOctant::root();
+        for i in 0..31 {
+            q = q.child([1, 7, 5, 2][i % 4]);
+        }
+        let idx = q.morton_abs();
+        assert!(idx >> 64 != 0 || idx > 0, "93-bit index in play");
+        let back = DeepOctant::from_morton_abs(idx, 31);
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn index_width_exceeds_64_bits() {
+        // the far corner at level 31 has index 2^93 - 1
+        let far = DeepOctant::new([(1 << 31) - 1; 3], 31);
+        assert_eq!(far.morton_abs(), (1u128 << 93) - 1);
+        assert!(far.morton_abs() > u64::MAX as u128);
+    }
+
+    #[test]
+    fn neighbors_at_full_depth() {
+        let mut q = DeepOctant::root();
+        for _ in 0..31 {
+            q = q.child(0);
+        }
+        assert!(q.face_neighbor(0).is_none(), "outside the root");
+        let n = q.face_neighbor(1).unwrap();
+        assert_eq!(n.coords, [1, 0, 0]);
+        assert_eq!(n.face_neighbor(0).unwrap(), q);
+    }
+}

@@ -1,0 +1,153 @@
+//! Scalar helpers shared between the coordinate-based representations
+//! (the standard layout and the portable fallback of the SIMD layout).
+
+use super::boundary;
+
+/// Maximum representable level for a given dimension under the shared
+/// root resolution (Section 2.2: the raw-Morton limits, 56 usable index
+/// bits below the level byte).
+#[inline]
+pub(crate) const fn shared_max_level(dim: u32) -> u8 {
+    match dim {
+        2 => 28,
+        3 => 18,
+        _ => panic!("quadforest supports d = 2 and d = 3"),
+    }
+}
+
+/// Scalar tree-boundary classification (the reference semantics of the
+/// paper's Algorithm 12).
+#[inline]
+pub(crate) fn tree_boundaries_scalar(
+    dim: u32,
+    coords: [i32; 3],
+    level: u8,
+    max_level: u8,
+) -> [i32; 3] {
+    if level == 0 {
+        let mut f = [boundary::NONE; 3];
+        for (i, v) in f.iter_mut().enumerate().take(dim as usize) {
+            let _ = i;
+            *v = boundary::ALL;
+        }
+        return f;
+    }
+    let root = 1i32 << max_level;
+    let h = 1i32 << (max_level - level);
+    let up = root - h;
+    let mut f = [boundary::NONE; 3];
+    for axis in 0..dim as usize {
+        if coords[axis] == 0 {
+            f[axis] = 2 * axis as i32;
+        } else if coords[axis] == up {
+            f[axis] = 2 * axis as i32 + 1;
+        }
+    }
+    f
+}
+
+/// Scalar child construction (Algorithm 2), shared reference logic.
+#[inline]
+pub(crate) fn child_coords(coords: [i32; 3], level: u8, max_level: u8, c: u32) -> [i32; 3] {
+    let shift = 1i32 << (max_level - (level + 1));
+    [
+        if c & 1 != 0 {
+            coords[0] | shift
+        } else {
+            coords[0]
+        },
+        if c & 2 != 0 {
+            coords[1] | shift
+        } else {
+            coords[1]
+        },
+        if c & 4 != 0 {
+            coords[2] | shift
+        } else {
+            coords[2]
+        },
+    ]
+}
+
+/// Scalar sibling construction (Algorithm 3), shared reference logic.
+#[inline]
+pub(crate) fn sibling_coords(coords: [i32; 3], level: u8, max_level: u8, s: u32) -> [i32; 3] {
+    let shift = 1i32 << (max_level - level);
+    let pick = |bit: u32, v: i32| {
+        if s & bit != 0 {
+            v | shift
+        } else {
+            v & !shift
+        }
+    };
+    [pick(1, coords[0]), pick(2, coords[1]), pick(4, coords[2])]
+}
+
+/// Scalar parent construction: clear the coordinate bit introduced at the
+/// quadrant's own level.
+#[inline]
+pub(crate) fn parent_coords(coords: [i32; 3], level: u8, max_level: u8) -> [i32; 3] {
+    let clear = !(1i32 << (max_level - level));
+    [coords[0] & clear, coords[1] & clear, coords[2] & clear]
+}
+
+/// Scalar face-neighbor construction: move by one quadrant length along
+/// the face axis.
+#[inline]
+pub(crate) fn face_neighbor_coords(coords: [i32; 3], level: u8, max_level: u8, f: u32) -> [i32; 3] {
+    let h = 1i32 << (max_level - level);
+    let step = if f & 1 == 1 { h } else { -h };
+    let mut c = coords;
+    c[(f / 2) as usize] += step;
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_levels() {
+        assert_eq!(shared_max_level(2), 28);
+        assert_eq!(shared_max_level(3), 18);
+    }
+
+    #[test]
+    fn boundaries_root_and_center() {
+        assert_eq!(tree_boundaries_scalar(3, [0, 0, 0], 0, 18), [-2, -2, -2]);
+        assert_eq!(tree_boundaries_scalar(2, [0, 0, 0], 0, 28), [-2, -2, -1]);
+        let h = 1 << (18 - 1);
+        assert_eq!(
+            tree_boundaries_scalar(3, [h, h, h], 1, 18),
+            [1, 3, 5],
+            "upper corner child touches the three upper faces"
+        );
+        assert_eq!(tree_boundaries_scalar(3, [0, h, 0], 1, 18), [0, 3, 4]);
+    }
+
+    #[test]
+    fn child_sibling_parent_consistency() {
+        let l = 3u8;
+        let base = [0i32, 1 << (18 - 2), 0];
+        for c in 0..8 {
+            let ch = child_coords(base, l, 18, c);
+            assert_eq!(parent_coords(ch, l + 1, 18), base);
+            for s in 0..8 {
+                let sib = sibling_coords(ch, l + 1, 18, s);
+                assert_eq!(parent_coords(sib, l + 1, 18), base);
+            }
+        }
+    }
+
+    #[test]
+    fn face_neighbor_steps() {
+        let h = 1 << (18 - 4);
+        let q = [4 * h, 5 * h, 6 * h];
+        assert_eq!(face_neighbor_coords(q, 4, 18, 0), [3 * h, 5 * h, 6 * h]);
+        assert_eq!(face_neighbor_coords(q, 4, 18, 1), [5 * h, 5 * h, 6 * h]);
+        assert_eq!(face_neighbor_coords(q, 4, 18, 2), [4 * h, 4 * h, 6 * h]);
+        assert_eq!(face_neighbor_coords(q, 4, 18, 3), [4 * h, 6 * h, 6 * h]);
+        assert_eq!(face_neighbor_coords(q, 4, 18, 4), [4 * h, 5 * h, 5 * h]);
+        assert_eq!(face_neighbor_coords(q, 4, 18, 5), [4 * h, 5 * h, 7 * h]);
+    }
+}

@@ -1,0 +1,415 @@
+//! A Hilbert-curve quadrant — the paper's *other* stated goal for the
+//! virtual interface, reserved there for future research: "to allow for
+//! different space filling curves and orderings while writing the octree
+//! algorithms just once".
+//!
+//! This representation keeps the standard coordinate layout but replaces
+//! the Morton curve with the 2D Hilbert curve: [`Quadrant::morton_index`]
+//! returns the *Hilbert* index (the trait's index contract is
+//! curve-agnostic — a hierarchical index where the children of cell `I`
+//! occupy `4I..4I+4`, which the Hilbert curve satisfies). Every generic
+//! forest algorithm (refinement, balance, partition, ghost, iteration,
+//! node numbering) then runs unchanged in Hilbert order, demonstrating
+//! the interface claim end to end.
+//!
+//! # Curve mechanics
+//!
+//! The curve is generated with the classic four-state automaton; states
+//! are the Klein four-group `{id, T, R, P}` of square symmetries applied
+//! to the base curve `A` (visiting `(0,0) → (0,1) → (1,1) → (1,0)`):
+//! `B = transpose`, `C = point reflection`, `D = anti-transpose`. The
+//! sub-curve placed in digit-`k`'s quadrant of state `g` is `g·h_k` with
+//! `h = [T, id, id, R]`.
+//!
+//! Unlike the Morton curve, the digit of a cell depends on the path from
+//! the root, so curve-order operations (`child`, `child_id`,
+//! `from_morton`, descendants) cost `O(level)` here instead of `O(1)` —
+//! exactly the representation-dependent complexity trade-off the paper's
+//! Section 2 discusses for its own encodings. Coordinate-based
+//! operations (`parent`, `face_neighbor`, `tree_boundaries`) remain
+//! `O(1)`.
+
+use super::common::*;
+use super::Quadrant;
+
+/// 2D Hilbert-curve quadrant: coordinates + level, ordered by the
+/// Hilbert index. 12 bytes.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[repr(C)]
+pub struct HilbertQuad {
+    x: i32,
+    y: i32,
+    level: u8,
+    pad: [u8; 3],
+}
+
+/// States: 0 = A (identity), 1 = B (transpose), 2 = C (point
+/// reflection), 3 = D (anti-transpose).
+type State = usize;
+
+/// `TO_QUAD[state][digit]` = quadrant bits `(qx, qy)` of the digit-th
+/// curve cell.
+const TO_QUAD: [[(i32, i32); 4]; 4] = [
+    [(0, 0), (0, 1), (1, 1), (1, 0)], // A
+    [(0, 0), (1, 0), (1, 1), (0, 1)], // B
+    [(1, 1), (1, 0), (0, 0), (0, 1)], // C
+    [(1, 1), (0, 1), (0, 0), (1, 0)], // D
+];
+
+/// `TO_DIGIT[state][qy << 1 | qx]` = curve digit of the quadrant.
+const TO_DIGIT: [[u64; 4]; 4] = [
+    [0, 3, 1, 2], // A
+    [0, 1, 3, 2], // B
+    [2, 1, 3, 0], // C
+    [2, 3, 1, 0], // D
+];
+
+/// `NEXT[state][digit]` = sub-curve state inside that quadrant.
+const NEXT: [[State; 4]; 4] = [
+    [1, 0, 0, 3], // A: [B, A, A, D]
+    [0, 1, 1, 2], // B: [A, B, B, C]
+    [3, 2, 2, 1], // C: [D, C, C, B]
+    [2, 3, 3, 0], // D: [C, D, D, A]
+];
+
+impl HilbertQuad {
+    const L: u8 = shared_max_level(2);
+
+    #[inline]
+    fn make(x: i32, y: i32, level: u8) -> Self {
+        Self {
+            x,
+            y,
+            level,
+            pad: [0; 3],
+        }
+    }
+
+    /// Quadrant bits of this cell's refinement step `i` (0 = coarsest).
+    #[inline]
+    fn quad_bits(&self, i: u8) -> usize {
+        let pos = Self::L - 1 - i;
+        let qx = (self.x >> pos) & 1;
+        let qy = (self.y >> pos) & 1;
+        ((qy << 1) | qx) as usize
+    }
+
+    /// The curve state of this cell's own frame: the automaton state
+    /// after descending to `self.level`. `O(level)`.
+    pub fn state(&self) -> usize {
+        let mut s: State = 0;
+        for i in 0..self.level {
+            let q = self.quad_bits(i);
+            let d = TO_DIGIT[s][q];
+            s = NEXT[s][d as usize];
+        }
+        s
+    }
+
+    /// State of the *parent* frame (needed for `child_id`/`sibling`).
+    fn parent_state(&self) -> usize {
+        debug_assert!(self.level > 0);
+        let mut s: State = 0;
+        for i in 0..self.level - 1 {
+            let q = self.quad_bits(i);
+            let d = TO_DIGIT[s][q];
+            s = NEXT[s][d as usize];
+        }
+        s
+    }
+}
+
+impl Quadrant for HilbertQuad {
+    const DIM: u32 = 2;
+    const MAX_LEVEL: u8 = shared_max_level(2);
+    const REPR_MAX_LEVEL: u8 = 30;
+    const NAME: &'static str = "hilbert";
+
+    #[inline]
+    fn root() -> Self {
+        Self::make(0, 0, 0)
+    }
+
+    #[inline]
+    fn from_coords(coords: [i32; 3], level: u8) -> Self {
+        debug_assert!(level <= Self::MAX_LEVEL);
+        Self::make(coords[0], coords[1], level)
+    }
+
+    /// Hilbert `d → (x, y)`: run the automaton over the index digits.
+    fn from_morton(index: u64, level: u8) -> Self {
+        debug_assert!(level <= Self::MAX_LEVEL);
+        debug_assert!(level == 0 || index < 1u64 << (2 * level as u32));
+        let (mut x, mut y) = (0i32, 0i32);
+        let mut s: State = 0;
+        for i in 0..level {
+            let digit = ((index >> (2 * (level - 1 - i) as u32)) & 3) as usize;
+            let (qx, qy) = TO_QUAD[s][digit];
+            let pos = Self::L - 1 - i;
+            x |= qx << pos;
+            y |= qy << pos;
+            s = NEXT[s][digit];
+        }
+        Self::make(x, y, level)
+    }
+
+    #[inline]
+    fn level(&self) -> u8 {
+        self.level
+    }
+
+    #[inline]
+    fn coords(&self) -> [i32; 3] {
+        [self.x, self.y, 0]
+    }
+
+    /// Hilbert `(x, y) → d`.
+    fn morton_index(&self) -> u64 {
+        let mut s: State = 0;
+        let mut d: u64 = 0;
+        for i in 0..self.level {
+            let q = self.quad_bits(i);
+            let digit = TO_DIGIT[s][q];
+            d = (d << 2) | digit;
+            s = NEXT[s][digit as usize];
+        }
+        d
+    }
+
+    /// The `c`-th child **in curve order** (Definition 2.1 holds:
+    /// `I_{ℓ+1} = 4 I_ℓ + c`).
+    fn child(&self, c: u32) -> Self {
+        debug_assert!(self.level < Self::MAX_LEVEL && c < 4);
+        let s = self.state();
+        let (qx, qy) = TO_QUAD[s][c as usize];
+        let pos = Self::L - self.level - 1;
+        Self::make(self.x | (qx << pos), self.y | (qy << pos), self.level + 1)
+    }
+
+    fn sibling(&self, sib: u32) -> Self {
+        debug_assert!(self.level > 0 && sib < 4);
+        let s = self.parent_state();
+        let (qx, qy) = TO_QUAD[s][sib as usize];
+        let pos = Self::L - self.level;
+        let clear = !(1i32 << pos);
+        Self::make(
+            (self.x & clear) | (qx << pos),
+            (self.y & clear) | (qy << pos),
+            self.level,
+        )
+    }
+
+    #[inline]
+    fn parent(&self) -> Self {
+        debug_assert!(self.level > 0);
+        let c = parent_coords(self.coords(), self.level, Self::MAX_LEVEL);
+        Self::make(c[0], c[1], self.level - 1)
+    }
+
+    #[inline]
+    fn face_neighbor(&self, f: u32) -> Self {
+        debug_assert!(f < 4);
+        let c = face_neighbor_coords(self.coords(), self.level, Self::MAX_LEVEL, f);
+        Self::make(c[0], c[1], self.level)
+    }
+
+    #[inline]
+    fn tree_boundaries(&self) -> [i32; 3] {
+        tree_boundaries_scalar(2, self.coords(), self.level, Self::MAX_LEVEL)
+    }
+
+    fn successor(&self) -> Self {
+        let next = self.morton_index() + 1;
+        debug_assert!(self.level == 0 || next < 1u64 << (2 * self.level as u32));
+        Self::from_morton(next, self.level)
+    }
+
+    fn predecessor(&self) -> Self {
+        let idx = self.morton_index();
+        debug_assert!(idx > 0);
+        Self::from_morton(idx - 1, self.level)
+    }
+
+    /// Curve child index — `O(level)` for the Hilbert curve (the digit
+    /// depends on the path from the root).
+    fn child_id(&self) -> u32 {
+        debug_assert!(self.level > 0);
+        let s = self.parent_state();
+        TO_DIGIT[s][self.quad_bits(self.level - 1)] as u32
+    }
+
+    fn ancestor_id(&self, level: u8) -> u32 {
+        debug_assert!(level > 0 && level <= self.level);
+        self.ancestor(level).child_id()
+    }
+
+    /// Curve-first descendant: repeatedly take curve digit 0.
+    fn first_descendant(&self, level: u8) -> Self {
+        debug_assert!(level >= self.level && level <= Self::MAX_LEVEL);
+        let mut s = self.state();
+        let (mut x, mut y) = (self.x, self.y);
+        for i in self.level..level {
+            let (qx, qy) = TO_QUAD[s][0];
+            let pos = Self::L - 1 - i;
+            x |= qx << pos;
+            y |= qy << pos;
+            s = NEXT[s][0];
+        }
+        Self::make(x, y, level)
+    }
+
+    /// Curve-last descendant: repeatedly take curve digit 3.
+    fn last_descendant(&self, level: u8) -> Self {
+        debug_assert!(level >= self.level && level <= Self::MAX_LEVEL);
+        let mut s = self.state();
+        let (mut x, mut y) = (self.x, self.y);
+        for i in self.level..level {
+            let (qx, qy) = TO_QUAD[s][3];
+            let pos = Self::L - 1 - i;
+            x |= qx << pos;
+            y |= qy << pos;
+            s = NEXT[s][3];
+        }
+        Self::make(x, y, level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadrant::StandardQuad;
+
+    type H = HilbertQuad;
+
+    #[test]
+    fn base_curve_order() {
+        // level 1: the base state A
+        assert_eq!(H::from_morton(0, 1).coords()[..2], [0, 0]);
+        assert_eq!(H::from_morton(1, 1).coords()[0], 0);
+        assert!(H::from_morton(1, 1).coords()[1] > 0);
+        assert!(H::from_morton(2, 1).coords()[0] > 0 && H::from_morton(2, 1).coords()[1] > 0);
+        assert!(H::from_morton(3, 1).coords()[0] > 0 && H::from_morton(3, 1).coords()[1] == 0);
+    }
+
+    #[test]
+    fn roundtrip_all_levels() {
+        for level in 0..=6u8 {
+            for i in 0..H::uniform_count(level) {
+                let q = H::from_morton(i, level);
+                assert_eq!(q.morton_index(), i, "level {level} index {i}");
+                assert_eq!(q.level(), level);
+                assert!(q.is_valid());
+            }
+        }
+    }
+
+    #[test]
+    fn continuity_is_the_hilbert_property() {
+        // Consecutive cells along the curve share a full face: Manhattan
+        // distance exactly one cell — this is what distinguishes the
+        // Hilbert curve from the discontinuous Morton curve.
+        for level in 1..=7u8 {
+            let h = H::len_at(level);
+            let mut prev = H::from_morton(0, level);
+            for i in 1..H::uniform_count(level) {
+                let cur = H::from_morton(i, level);
+                let [px, py, _] = prev.coords();
+                let [cx, cy, _] = cur.coords();
+                let dist = (px - cx).abs() + (py - cy).abs();
+                assert_eq!(
+                    dist,
+                    h,
+                    "jump between index {} and {} at level {level}",
+                    i - 1,
+                    i
+                );
+                prev = cur;
+            }
+        }
+        // Morton, by contrast, jumps:
+        let a = StandardQuad::<2>::from_morton(1, 2);
+        let b = StandardQuad::<2>::from_morton(2, 2);
+        let d = (a.coords()[0] - b.coords()[0]).abs() + (a.coords()[1] - b.coords()[1]).abs();
+        assert!(d > StandardQuad::<2>::len_at(2));
+    }
+
+    #[test]
+    fn hierarchy_children_nest() {
+        for level in 0..=5u8 {
+            for i in (0..H::uniform_count(level)).step_by(3) {
+                let q = H::from_morton(i, level);
+                for c in 0..4 {
+                    let ch = q.child(c);
+                    // Definition 2.1 with the Hilbert curve
+                    assert_eq!(ch.morton_index(), 4 * i + c as u64);
+                    assert_eq!(ch.parent(), q);
+                    assert_eq!(ch.child_id(), c);
+                    assert!(q.is_ancestor_of(&ch));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn siblings_and_successors() {
+        let q = H::from_morton(37, 4);
+        for s in 0..4 {
+            let sib = q.sibling(s);
+            assert_eq!(sib.child_id(), s);
+            assert_eq!(sib.parent(), q.parent());
+        }
+        assert_eq!(q.successor().morton_index(), 38);
+        assert_eq!(q.successor().predecessor(), q);
+    }
+
+    #[test]
+    fn descendants_bound_the_curve_range() {
+        for i in [0u64, 5, 11, 15] {
+            let q = H::from_morton(i, 2);
+            let fd = q.first_descendant(6);
+            let ld = q.last_descendant(6);
+            assert_eq!(fd.morton_index(), i << (2 * 4));
+            assert_eq!(ld.morton_index(), ((i + 1) << (2 * 4)) - 1);
+            assert!(q.is_ancestor_of(&fd));
+            assert!(q.is_ancestor_of(&ld));
+        }
+    }
+
+    #[test]
+    fn morton_abs_orders_hierarchically() {
+        // ancestors sort before descendants; curve order is respected
+        let q = H::from_morton(9, 3);
+        assert!(q.compare_sfc(&q.child(0)).is_lt());
+        assert!(q.child(3).compare_sfc(&q.successor()).is_lt());
+    }
+
+    #[test]
+    fn coordinate_ops_are_curve_independent() {
+        // parent/face_neighbor/tree_boundaries agree with the standard
+        // representation on the same coordinates
+        for i in 0..64u64 {
+            let h = H::from_morton(i, 3);
+            let s = StandardQuad::<2>::from_coords(h.coords(), 3);
+            assert_eq!(h.parent().coords(), s.parent().coords());
+            assert_eq!(h.tree_boundaries(), s.tree_boundaries());
+            for f in 0..4 {
+                assert_eq!(h.face_neighbor(f).coords(), s.face_neighbor(f).coords());
+            }
+        }
+    }
+
+    #[test]
+    fn family_detection_in_curve_order() {
+        let q = H::from_morton(6, 3);
+        let family: Vec<H> = (0..4).map(|c| q.child(c)).collect();
+        assert!(H::is_family(&family));
+        let mut swapped = family.clone();
+        swapped.swap(1, 2);
+        assert!(!H::is_family(&swapped));
+    }
+
+    #[test]
+    fn size_is_12_bytes() {
+        assert_eq!(core::mem::size_of::<HilbertQuad>(), 12);
+    }
+}

@@ -1,0 +1,343 @@
+//! The paper's future-work representation (Conclusion, second direction):
+//! a raw Morton index carried in a 128-bit word, combining the algorithmic
+//! simplicity of the raw Morton layout with a register width that lifts
+//! the attainable refinement level (to 31 — beyond the AVX layout's
+//! coordinate width nothing is gained, so we cap there as the paper's
+//! discussion suggests the need for levels beyond ~30 is unclear).
+//!
+//! Bit layout: level in the high 8 bits, the level-independent Morton
+//! index in the low 120 bits. All algorithms are the 128-bit analogues of
+//! Algorithms 4–8; for interoperability with the other representations
+//! the *logical* root resolution stays at the shared maximum
+//! ([`Quadrant::MAX_LEVEL`]), while [`Quadrant::REPR_MAX_LEVEL`] documents
+//! the layout's own capability.
+
+use super::common::shared_max_level;
+use super::Quadrant;
+use crate::morton::{self, DIR_PATTERN_2D, DIR_PATTERN_3D};
+
+/// 128-bit raw-Morton quadrant, `D ∈ {2, 3}`; 16 bytes.
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+#[repr(transparent)]
+pub struct Morton128Quad<const D: usize> {
+    word: u128,
+}
+
+const LEVEL_SHIFT: u32 = 120;
+const INDEX_MASK: u128 = (1u128 << LEVEL_SHIFT) - 1;
+
+impl<const D: usize> Morton128Quad<D> {
+    const _ASSERT_DIM: () = assert!(D == 2 || D == 3, "D must be 2 or 3");
+
+    const DIR_PATTERN: u128 = if D == 2 {
+        DIR_PATTERN_2D as u128
+    } else {
+        DIR_PATTERN_3D as u128
+    };
+
+    /// The packed 128-bit word (level high, index low).
+    #[inline]
+    pub fn to_bits(self) -> u128 {
+        self.word
+    }
+
+    /// Rebuild from a packed word (validity `debug_assert`ed).
+    #[inline]
+    pub fn from_bits(word: u128) -> Self {
+        let q = Self { word };
+        debug_assert!(q.is_valid());
+        q
+    }
+
+    /// Level-independent index `I` (low 120 bits).
+    #[inline]
+    pub fn index_abs(self) -> u128 {
+        self.word & INDEX_MASK
+    }
+
+    /// Monotonic sort key, as for the 64-bit layout: one rotation.
+    #[inline]
+    pub fn sfc_key(self) -> u128 {
+        self.word.rotate_left(8)
+    }
+
+    #[inline]
+    fn dl(level: u8) -> u32 {
+        D as u32 * (shared_max_level(D as u32) - level) as u32
+    }
+}
+
+impl<const D: usize> core::fmt::Debug for Morton128Quad<D> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let [x, y, z] = self.coords();
+        write!(
+            f,
+            "Morton128Quad<{D}>(level={}, xyz=({x},{y},{z}))",
+            self.level()
+        )
+    }
+}
+
+impl<const D: usize> Quadrant for Morton128Quad<D> {
+    const DIM: u32 = D as u32;
+    const MAX_LEVEL: u8 = shared_max_level(D as u32);
+    const REPR_MAX_LEVEL: u8 = 31;
+    const NAME: &'static str = "morton128";
+
+    #[inline]
+    fn root() -> Self {
+        Self { word: 0 }
+    }
+
+    #[inline]
+    fn from_coords(coords: [i32; 3], level: u8) -> Self {
+        debug_assert!(level <= Self::MAX_LEVEL);
+        debug_assert!(
+            coords[0] >= 0 && coords[1] >= 0 && coords[2] >= 0,
+            "raw Morton quadrants cannot leave the unit tree"
+        );
+        let idx = if D == 2 {
+            morton::encode2(coords[0] as u32, coords[1] as u32)
+        } else {
+            morton::encode3(coords[0] as u32, coords[1] as u32, coords[2] as u32)
+        };
+        Self {
+            word: ((level as u128) << LEVEL_SHIFT) | idx as u128,
+        }
+    }
+
+    #[inline]
+    fn from_morton(index: u64, level: u8) -> Self {
+        debug_assert!(level <= Self::MAX_LEVEL);
+        debug_assert!(level == 0 || index < 1u64 << (Self::DIM * level as u32));
+        Self {
+            word: ((level as u128) << LEVEL_SHIFT) | ((index as u128) << Self::dl(level)),
+        }
+    }
+
+    #[inline]
+    fn level(&self) -> u8 {
+        (self.word >> LEVEL_SHIFT) as u8
+    }
+
+    #[inline]
+    fn coords(&self) -> [i32; 3] {
+        let idx = self.index_abs() as u64;
+        if D == 2 {
+            let (x, y) = morton::decode2(idx);
+            [x as i32, y as i32, 0]
+        } else {
+            let (x, y, z) = morton::decode3(idx);
+            [x as i32, y as i32, z as i32]
+        }
+    }
+
+    #[inline]
+    fn morton_index(&self) -> u64 {
+        (self.index_abs() >> Self::dl(self.level())) as u64
+    }
+
+    #[inline]
+    fn child(&self, c: u32) -> Self {
+        debug_assert!(self.level() < Self::MAX_LEVEL && c < Self::NUM_CHILDREN);
+        let shift = (c as u128) << Self::dl(self.level() + 1);
+        Self {
+            word: (self.word | shift) + (1u128 << LEVEL_SHIFT),
+        }
+    }
+
+    #[inline]
+    fn sibling(&self, s: u32) -> Self {
+        debug_assert!(self.level() > 0 && s < Self::NUM_CHILDREN);
+        let dl = Self::dl(self.level());
+        let group = (Self::NUM_CHILDREN as u128 - 1) << dl;
+        Self {
+            word: (self.word & !group) | ((s as u128) << dl),
+        }
+    }
+
+    #[inline]
+    fn parent(&self) -> Self {
+        debug_assert!(self.level() > 0);
+        let group = (Self::NUM_CHILDREN as u128 - 1) << Self::dl(self.level());
+        Self {
+            word: (self.word & !group) - (1u128 << LEVEL_SHIFT),
+        }
+    }
+
+    #[inline]
+    fn face_neighbor(&self, f: u32) -> Self {
+        debug_assert!(f < Self::NUM_FACES);
+        let q = self.word;
+        let mask_level = !((1u128 << Self::dl(self.level())) - 1);
+        let mask_dir = (Self::DIR_PATTERN & mask_level) << (f / 2);
+        let r = if f & 1 == 1 {
+            (q | !mask_dir).wrapping_add(1)
+        } else {
+            (q & mask_dir).wrapping_sub(1)
+        };
+        Self {
+            word: (r & mask_dir) | (q & !mask_dir),
+        }
+    }
+
+    #[inline]
+    fn tree_boundaries(&self) -> [i32; 3] {
+        if self.level() == 0 {
+            let mut out = [super::boundary::NONE; 3];
+            out[..D].fill(super::boundary::ALL);
+            return out;
+        }
+        let mask_level = !((1u128 << Self::dl(self.level())) - 1);
+        let mut out = [super::boundary::NONE; 3];
+        for axis in 0..D as u32 {
+            let mask_dir = (Self::DIR_PATTERN & mask_level) << axis;
+            let bits = self.word & mask_dir;
+            if bits == 0 {
+                out[axis as usize] = 2 * axis as i32;
+            } else if bits == mask_dir {
+                out[axis as usize] = 2 * axis as i32 + 1;
+            }
+        }
+        out
+    }
+
+    #[inline]
+    fn successor(&self) -> Self {
+        debug_assert!(
+            self.level() == 0
+                || self.morton_index() + 1 < 1u64 << (Self::DIM * self.level() as u32)
+        );
+        Self {
+            word: self.word + (1u128 << Self::dl(self.level())),
+        }
+    }
+
+    #[inline]
+    fn predecessor(&self) -> Self {
+        debug_assert!(self.morton_index() > 0);
+        Self {
+            word: self.word - (1u128 << Self::dl(self.level())),
+        }
+    }
+
+    #[inline]
+    fn morton_abs(&self) -> u64 {
+        self.index_abs() as u64
+    }
+
+    #[inline]
+    fn child_id(&self) -> u32 {
+        debug_assert!(self.level() > 0);
+        ((self.word >> Self::dl(self.level())) & (Self::NUM_CHILDREN as u128 - 1)) as u32
+    }
+
+    #[inline]
+    fn ancestor(&self, level: u8) -> Self {
+        debug_assert!(level <= self.level());
+        let keep = !((1u128 << Self::dl(level)) - 1) & INDEX_MASK;
+        Self {
+            word: ((level as u128) << LEVEL_SHIFT) | (self.word & keep),
+        }
+    }
+
+    #[inline]
+    fn first_descendant(&self, level: u8) -> Self {
+        debug_assert!(level >= self.level() && level <= Self::MAX_LEVEL);
+        Self {
+            word: ((level as u128) << LEVEL_SHIFT) | self.index_abs(),
+        }
+    }
+
+    #[inline]
+    fn last_descendant(&self, level: u8) -> Self {
+        debug_assert!(level >= self.level() && level <= Self::MAX_LEVEL);
+        let fill_all = (1u128 << Self::dl(self.level())) - 1;
+        let fill_below = (1u128 << Self::dl(level)) - 1;
+        Self {
+            word: ((level as u128) << LEVEL_SHIFT) | self.index_abs() | (fill_all & !fill_below),
+        }
+    }
+
+    #[inline]
+    fn compare_sfc(&self, other: &Self) -> core::cmp::Ordering {
+        self.sfc_key().cmp(&other.sfc_key())
+    }
+
+    #[inline]
+    fn is_ancestor_of(&self, other: &Self) -> bool {
+        if self.level() >= other.level() {
+            return false;
+        }
+        let keep = !((1u128 << Self::dl(self.level())) - 1);
+        (other.index_abs() & keep) == self.index_abs()
+    }
+
+    #[inline]
+    fn is_inside_root(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn is_valid(&self) -> bool {
+        let l = self.level();
+        l <= Self::MAX_LEVEL
+            && (self.index_abs() & ((1u128 << Self::dl(l.min(Self::MAX_LEVEL))) - 1)) == 0
+            && self.index_abs() >> (D as u32 * Self::MAX_LEVEL as u32) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadrant::{conformance, convert, MortonQuad, StandardQuad};
+
+    #[test]
+    fn size_is_16_bytes() {
+        assert_eq!(core::mem::size_of::<Morton128Quad<3>>(), 16);
+    }
+
+    #[test]
+    fn conformance_2d() {
+        conformance::<Morton128Quad<2>>();
+    }
+
+    #[test]
+    fn conformance_3d() {
+        conformance::<Morton128Quad<3>>();
+    }
+
+    #[test]
+    fn agrees_with_64_bit_raw_morton() {
+        for level in [0u8, 1, 3, 7] {
+            let count = 1u64 << (3 * level as u32);
+            for i in (0..count).step_by((count / 32).max(1) as usize) {
+                let w = Morton128Quad::<3>::from_morton(i, level);
+                let m = MortonQuad::<3>::from_morton(i, level);
+                assert_eq!(w.coords(), m.coords());
+                assert_eq!(w.morton_index(), m.morton_index());
+                if level > 0 {
+                    assert_eq!(
+                        convert::<_, StandardQuad<3>>(&w.parent()),
+                        convert::<_, StandardQuad<3>>(&m.parent())
+                    );
+                }
+                for f in 0..6 {
+                    assert_eq!(
+                        w.face_neighbor_inside(f).map(|q| q.coords()),
+                        m.face_neighbor_inside(f).map(|q| q.coords())
+                    );
+                }
+                assert_eq!(w.tree_boundaries(), m.tree_boundaries());
+            }
+        }
+    }
+
+    #[test]
+    fn sfc_key_total_order() {
+        let a = Morton128Quad::<3>::from_morton(10, 4);
+        let b = Morton128Quad::<3>::from_morton(11, 4);
+        assert!(a.sfc_key() < b.sfc_key());
+        assert!(a.compare_sfc(&a.child(0)).is_lt());
+    }
+}

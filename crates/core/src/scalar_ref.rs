@@ -1,0 +1,290 @@
+//! Auto-vectorization reference kernels (the compiler baseline of the
+//! paper's contribution 5).
+//!
+//! The paper compares its manually vectorized intrinsic algorithms
+//! against what the optimizing compiler produces on its own from plain
+//! scalar code at `-O3`. This module is that baseline: the same
+//! per-quadrant operations written as straight-line loops over a
+//! structure-of-arrays container — the friendliest possible shape for the
+//! auto-vectorizer — with no intrinsics anywhere. The manually vectorized
+//! counterparts live in [`crate::batch`] (256-bit SoA) and
+//! [`crate::quadrant::AvxQuad`] (128-bit AoS).
+
+use crate::quadrant::Quadrant;
+
+/// Structure-of-arrays quadrant storage: one contiguous lane per
+/// component. Used by both the auto-vectorized kernels here and the
+/// manually vectorized kernels in [`crate::batch`], so the two compile
+/// from identical memory layouts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QuadSoA {
+    /// x coordinates.
+    pub x: Vec<i32>,
+    /// y coordinates.
+    pub y: Vec<i32>,
+    /// z coordinates (all zero in 2D).
+    pub z: Vec<i32>,
+    /// refinement levels, widened to `i32` for uniform lane width.
+    pub level: Vec<i32>,
+}
+
+impl QuadSoA {
+    /// Gather a quadrant slice into SoA form.
+    pub fn from_quads<Q: Quadrant>(quads: &[Q]) -> Self {
+        let n = quads.len();
+        let mut soa = Self::with_len(n);
+        for (i, q) in quads.iter().enumerate() {
+            let [x, y, z] = q.coords();
+            soa.x[i] = x;
+            soa.y[i] = y;
+            soa.z[i] = z;
+            soa.level[i] = q.level() as i32;
+        }
+        soa
+    }
+
+    /// Zero-filled SoA of length `n`.
+    pub fn with_len(n: usize) -> Self {
+        Self {
+            x: vec![0; n],
+            y: vec![0; n],
+            z: vec![0; n],
+            level: vec![0; n],
+        }
+    }
+
+    /// Number of quadrants.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Scatter back into a quadrant vector.
+    pub fn to_quads<Q: Quadrant>(&self) -> Vec<Q> {
+        (0..self.len())
+            .map(|i| Q::from_coords([self.x[i], self.y[i], self.z[i]], self.level[i] as u8))
+            .collect()
+    }
+}
+
+/// `child` over a whole SoA array: every quadrant gets its `c`-th child
+/// (Algorithm 2 element-wise; per-element shift via the level lane).
+pub fn child_all(soa: &QuadSoA, c: u32, max_level: u8, out: &mut QuadSoA) {
+    let n = soa.len();
+    assert!(out.len() >= n);
+    let ml = max_level as i32;
+    let (cx, cy, cz) = ((c & 1) as i32, ((c >> 1) & 1) as i32, ((c >> 2) & 1) as i32);
+    for i in 0..n {
+        let shift = 1i32 << (ml - (soa.level[i] + 1));
+        out.x[i] = soa.x[i] | (cx * shift);
+        out.y[i] = soa.y[i] | (cy * shift);
+        out.z[i] = soa.z[i] | (cz * shift);
+        out.level[i] = soa.level[i] + 1;
+    }
+}
+
+/// `parent` over a whole SoA array (Algorithm's mask element-wise).
+pub fn parent_all(soa: &QuadSoA, max_level: u8, out: &mut QuadSoA) {
+    let n = soa.len();
+    assert!(out.len() >= n);
+    let ml = max_level as i32;
+    for i in 0..n {
+        let clear = !(1i32 << (ml - soa.level[i]));
+        out.x[i] = soa.x[i] & clear;
+        out.y[i] = soa.y[i] & clear;
+        out.z[i] = soa.z[i] & clear;
+        out.level[i] = soa.level[i] - 1;
+    }
+}
+
+/// `sibling` over a whole SoA array (Algorithm 3 element-wise).
+pub fn sibling_all(soa: &QuadSoA, s: u32, max_level: u8, out: &mut QuadSoA) {
+    let n = soa.len();
+    assert!(out.len() >= n);
+    let ml = max_level as i32;
+    let (sx, sy, sz) = ((s & 1) as i32, ((s >> 1) & 1) as i32, ((s >> 2) & 1) as i32);
+    for i in 0..n {
+        let h = 1i32 << (ml - soa.level[i]);
+        out.x[i] = (soa.x[i] & !h) | (sx * h);
+        out.y[i] = (soa.y[i] & !h) | (sy * h);
+        out.z[i] = (soa.z[i] & !h) | (sz * h);
+        out.level[i] = soa.level[i];
+    }
+}
+
+/// `face_neighbor` over a whole SoA array for a fixed face `f`.
+pub fn face_neighbor_all(soa: &QuadSoA, f: u32, max_level: u8, out: &mut QuadSoA) {
+    let n = soa.len();
+    assert!(out.len() >= n);
+    let ml = max_level as i32;
+    let sign = if f & 1 == 1 { 1 } else { -1 };
+    let axis = f / 2;
+    out.level.copy_from_slice(&soa.level);
+    out.x.copy_from_slice(&soa.x);
+    out.y.copy_from_slice(&soa.y);
+    out.z.copy_from_slice(&soa.z);
+    let lane = match axis {
+        0 => &mut out.x,
+        1 => &mut out.y,
+        _ => &mut out.z,
+    };
+    for i in 0..n {
+        let h = 1i32 << (ml - soa.level[i]);
+        lane[i] += sign * h;
+    }
+}
+
+/// `tree_boundaries` over a whole SoA array; the three output slices
+/// receive the per-axis classification of Algorithm 12.
+pub fn tree_boundaries_all(soa: &QuadSoA, dim: u32, max_level: u8, out: [&mut [i32]; 3]) {
+    let n = soa.len();
+    let ml = max_level as i32;
+    let root = 1i32 << ml;
+    let [fx, fy, fz] = out;
+    assert!(fx.len() >= n && fy.len() >= n && fz.len() >= n);
+    for i in 0..n {
+        let l = soa.level[i];
+        if l == 0 {
+            fx[i] = -2;
+            fy[i] = -2;
+            fz[i] = if dim == 3 { -2 } else { -1 };
+            continue;
+        }
+        let up = root - (1i32 << (ml - l));
+        let t = |v: i32, lo: i32, hi: i32| {
+            (if v == 0 { lo } else { 0 } | if v == up { hi } else { 0 }) - 1
+        };
+        fx[i] = t(soa.x[i], 1, 2);
+        fy[i] = t(soa.y[i], 3, 4);
+        fz[i] = if dim == 3 { t(soa.z[i], 5, 6) } else { -1 };
+    }
+}
+
+/// `from_morton` over an index/level stream into SoA storage — the
+/// Fig. 2 kernel as the auto-vectorizer sees it (the interleaving bit
+/// shuffle is inherently serial per element, which is exactly why the
+/// paper's raw-Morton representation that *skips* it wins this figure).
+pub fn from_morton_all_3d(inputs: &[(u64, u8)], max_level: u8, out: &mut QuadSoA) {
+    let n = inputs.len();
+    assert!(out.len() >= n);
+    for (i, &(idx, level)) in inputs.iter().enumerate() {
+        let (x, y, z) = crate::morton::decode3(idx);
+        let up = (max_level - level) as u32;
+        out.x[i] = (x << up) as i32;
+        out.y[i] = (y << up) as i32;
+        out.z[i] = (z << up) as i32;
+        out.level[i] = level as i32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadrant::{Quadrant, StandardQuad};
+    use crate::workload;
+
+    fn sample() -> (Vec<StandardQuad<3>>, QuadSoA) {
+        let quads = workload::complete_tree::<StandardQuad<3>>(3);
+        let soa = QuadSoA::from_quads(&quads);
+        (quads, soa)
+    }
+
+    #[test]
+    fn soa_roundtrip() {
+        let (quads, soa) = sample();
+        assert_eq!(soa.to_quads::<StandardQuad<3>>(), quads);
+    }
+
+    #[test]
+    fn child_all_matches_scalar() {
+        let (quads, soa) = sample();
+        let mut out = QuadSoA::with_len(soa.len());
+        for c in 0..8 {
+            child_all(&soa, c, StandardQuad::<3>::MAX_LEVEL, &mut out);
+            for (i, q) in quads.iter().enumerate() {
+                if q.level() < 7 + 1 {
+                    let expect = q.child(c);
+                    assert_eq!(out.x[i], expect.coords()[0]);
+                    assert_eq!(out.level[i], expect.level() as i32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parent_sibling_match_scalar() {
+        let (quads, soa) = sample();
+        let mut out = QuadSoA::with_len(soa.len());
+        parent_all(&soa, StandardQuad::<3>::MAX_LEVEL, &mut out);
+        for (i, q) in quads.iter().enumerate() {
+            // the root's "parent" lane holds garbage (level -1); skip it
+            if q.level() > 0 {
+                let got = StandardQuad::<3>::from_coords(
+                    [out.x[i], out.y[i], out.z[i]],
+                    out.level[i] as u8,
+                );
+                assert_eq!(got, q.parent());
+            }
+        }
+        for s in [0u32, 3, 7] {
+            sibling_all(&soa, s, StandardQuad::<3>::MAX_LEVEL, &mut out);
+            for (i, q) in quads.iter().enumerate() {
+                if q.level() > 0 {
+                    let got = StandardQuad::<3>::from_coords(
+                        [out.x[i], out.y[i], out.z[i]],
+                        out.level[i] as u8,
+                    );
+                    assert_eq!(got, q.sibling(s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn face_neighbor_all_matches_scalar() {
+        let (quads, soa) = sample();
+        let mut out = QuadSoA::with_len(soa.len());
+        for f in 0..6 {
+            face_neighbor_all(&soa, f, StandardQuad::<3>::MAX_LEVEL, &mut out);
+            for (i, q) in quads.iter().enumerate() {
+                let expect = q.face_neighbor(f);
+                assert_eq!(
+                    [out.x[i], out.y[i], out.z[i]],
+                    expect.coords(),
+                    "face {f} index {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tree_boundaries_all_matches_scalar() {
+        let (quads, soa) = sample();
+        let n = soa.len();
+        let (mut fx, mut fy, mut fz) = (vec![0; n], vec![0; n], vec![0; n]);
+        tree_boundaries_all(
+            &soa,
+            3,
+            StandardQuad::<3>::MAX_LEVEL,
+            [&mut fx, &mut fy, &mut fz],
+        );
+        for (i, q) in quads.iter().enumerate() {
+            assert_eq!([fx[i], fy[i], fz[i]], q.tree_boundaries(), "index {i}");
+        }
+    }
+
+    #[test]
+    fn from_morton_all_matches_scalar() {
+        let inputs = workload::morton_inputs(3, 3);
+        let mut out = QuadSoA::with_len(inputs.len());
+        from_morton_all_3d(&inputs, StandardQuad::<3>::MAX_LEVEL, &mut out);
+        let quads = out.to_quads::<StandardQuad<3>>();
+        for (&(idx, level), q) in inputs.iter().zip(&quads) {
+            assert_eq!(*q, StandardQuad::<3>::from_morton(idx, level));
+        }
+    }
+}

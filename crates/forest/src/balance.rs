@@ -1,0 +1,380 @@
+//! Parallel 2:1 balance.
+//!
+//! A forest is 2:1 balanced when no leaf is adjacent (across the chosen
+//! relations: faces, or faces+edges+corners) to a leaf more than one
+//! refinement level away. Balancing only ever *refines* (as in p4est):
+//! the algorithm ripples refinement outward from fine regions until the
+//! constraint holds globally.
+//!
+//! The implementation alternates local fixed-point rounds with a
+//! constraint exchange: each leaf `q` emits, for every neighbor domain
+//! `n` of its own size, the constraint "any leaf overlapping `n` must
+//! have level ≥ `level(q) − 1`". Constraints targeting remote SFC ranges
+//! are shipped to their owner ranks; a global allreduce detects the
+//! fixed point. Convergence is guaranteed because levels are bounded by
+//! [`Quadrant::MAX_LEVEL`] and every round only refines.
+//!
+//! Inter-tree constraints propagate across *face* connections (including
+//! edge/corner offsets that exit through a single tree face); tree-edge
+//! and tree-corner connections are not modeled (see DESIGN.md).
+
+use crate::directions::{neighbor_domain, offsets, Adjacency};
+use crate::Forest;
+use quadforest_comm::Comm;
+use quadforest_core::quadrant::Quadrant;
+
+/// Which neighbor relations the 2:1 constraint covers.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BalanceKind {
+    /// Faces only (p4est's `P4EST_CONNECT_FACE`).
+    Face,
+    /// Faces, edges (3D) and corners (`P4EST_CONNECT_FULL`).
+    Full,
+}
+
+impl BalanceKind {
+    fn adjacency(self) -> Adjacency {
+        match self {
+            BalanceKind::Face => Adjacency::Face,
+            BalanceKind::Full => Adjacency::Full,
+        }
+    }
+}
+
+/// A balance constraint: leaves overlapping the domain anchored at
+/// `coords` (level `level`) in `tree` must be at least `level - 1` deep.
+type Constraint = (u32, [i32; 3], u8);
+
+impl<Q: Quadrant> Forest<Q> {
+    /// 2:1-balance the forest (collective). Returns the number of leaves
+    /// refined on this rank.
+    pub fn balance(&mut self, comm: &Comm, kind: BalanceKind) -> usize {
+        let adjacency = kind.adjacency();
+        let mut refined_total = 0;
+        loop {
+            // local fixed point
+            refined_total += self.balance_local(adjacency);
+
+            // emit constraints whose target range is (partly) remote
+            let mut outgoing: Vec<Vec<Constraint>> = (0..self.size).map(|_| Vec::new()).collect();
+            for (t, q) in self.leaves() {
+                if q.level() < 2 {
+                    continue; // cannot constrain anyone below level 1
+                }
+                for off in offsets(Q::DIM, adjacency) {
+                    let Some(dom) = neighbor_domain(self.connectivity(), t, q, off) else {
+                        continue;
+                    };
+                    let probe = Q::from_coords(dom.coords, dom.level);
+                    for r in self.owners_of_subtree(dom.tree, &probe) {
+                        if r != self.rank {
+                            outgoing[r].push((dom.tree, dom.coords, dom.level));
+                        }
+                    }
+                }
+            }
+            let incoming = comm.alltoallv(outgoing);
+
+            // apply remote constraints in one batch
+            let remote: Vec<Constraint> = incoming.into_iter().flatten().collect();
+            let changed = self.apply_constraints(&remote) > 0;
+            if changed {
+                // remote-induced refinement may cascade locally
+                refined_total += self.balance_local(adjacency);
+            }
+
+            let global_changed = comm.allreduce(changed as u64, |a, b| a | b);
+            // one final quiet round proves the fixed point; since
+            // balance_local always runs to a local fixed point and
+            // constraints only flow through the exchange, a round with no
+            // remote-induced changes anywhere is the global fixed point.
+            if global_changed == 0 {
+                break;
+            }
+        }
+        self.refresh_global(comm);
+        debug_assert_eq!(self.validate(), Ok(()));
+        refined_total
+    }
+
+    /// Enforce the 2:1 constraint among local leaves until stable.
+    /// Each round gathers all constraints, marks every violator, and
+    /// splits them in one rebuild per tree (one level per round; rounds
+    /// repeat to the fixed point). Returns the number of leaves refined.
+    fn balance_local(&mut self, adjacency: Adjacency) -> usize {
+        let mut refined = 0;
+        loop {
+            // collect constraints from all local leaves
+            let mut constraints: Vec<Constraint> = Vec::new();
+            for (t, q) in self.leaves() {
+                if q.level() < 2 {
+                    continue;
+                }
+                for off in offsets(Q::DIM, adjacency) {
+                    if let Some(dom) = neighbor_domain(self.connectivity(), t, q, off) {
+                        constraints.push((dom.tree, dom.coords, dom.level));
+                    }
+                }
+            }
+            let changed = self.apply_constraints(&constraints);
+            refined += changed;
+            if changed == 0 {
+                return refined;
+            }
+        }
+    }
+
+    /// Mark every local leaf violating any of `constraints` and split
+    /// the marked leaves once (one level). One rebuild per affected
+    /// tree. Returns the number of splits.
+    fn apply_constraints(&mut self, constraints: &[Constraint]) -> usize {
+        // per-tree violator marks
+        let mut marks: Vec<Vec<bool>> = self.trees.iter().map(|t| vec![false; t.len()]).collect();
+        let mut any = false;
+        for &(tree, coords, level) in constraints {
+            if level < 2 {
+                continue;
+            }
+            let dom = Q::from_coords(coords, level);
+            let range = self.overlapping_range(tree, &dom);
+            let leaves = &self.trees[tree as usize];
+            let min_level = level - 1;
+            for i in range {
+                if leaves[i].level() < min_level && !marks[tree as usize][i] {
+                    marks[tree as usize][i] = true;
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            return 0;
+        }
+        let mut split = 0;
+        for (t, tree_marks) in marks.into_iter().enumerate() {
+            if !tree_marks.iter().any(|&m| m) {
+                continue;
+            }
+            let old = std::mem::take(&mut self.trees[t]);
+            let mut out: Vec<Q> =
+                Vec::with_capacity(old.len() + tree_marks.iter().filter(|&&m| m).count() * 7);
+            for (q, marked) in old.into_iter().zip(tree_marks) {
+                if marked {
+                    split += 1;
+                    for c in 0..Q::NUM_CHILDREN {
+                        out.push(q.child(c));
+                    }
+                } else {
+                    out.push(q);
+                }
+            }
+            self.trees[t] = out;
+        }
+        split
+    }
+
+    /// Check the 2:1 property over the locally visible mesh (local
+    /// leaves plus an optional ghost layer), returning the first
+    /// violation found. Used by tests; collective-free.
+    pub fn is_balanced_local(&self, kind: BalanceKind) -> Result<(), String> {
+        for (t, q) in self.leaves() {
+            if q.level() < 2 {
+                continue;
+            }
+            for off in offsets(Q::DIM, kind.adjacency()) {
+                let Some(dom) = neighbor_domain(self.connectivity(), t, q, off) else {
+                    continue;
+                };
+                let probe = Q::from_coords(dom.coords, dom.level);
+                let range = self.overlapping_range(dom.tree, &probe);
+                for p in &self.trees[dom.tree as usize][range] {
+                    if p.level() + 1 < q.level() {
+                        return Err(format!(
+                            "leaf {q:?} in tree {t} (level {}) neighbors {p:?} in tree {} (level {})",
+                            q.level(),
+                            dom.tree,
+                            p.level()
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quadforest_connectivity::Connectivity;
+    use quadforest_core::quadrant::{AvxQuad, MortonQuad, StandardQuad};
+    use std::sync::Arc;
+
+    type Q2 = StandardQuad<2>;
+    type Q3 = StandardQuad<3>;
+
+    /// Serial balance of a point refinement: refining the single path of
+    /// quadrants containing the domain center produces leaves hugging
+    /// the center from one side, directly adjacent to level-1 leaves on
+    /// the other — a hard 2:1 violation that must ripple outward.
+    #[test]
+    fn balance_point_refinement_2d() {
+        quadforest_comm::run(1, |comm| {
+            let conn = Arc::new(Connectivity::unit(2));
+            let mut f = Forest::<Q2>::new_uniform(conn, &comm, 1);
+            let center = [Q2::len_at(0) / 2, Q2::len_at(0) / 2, 0];
+            f.refine(&comm, true, |_, q| {
+                q.contains_point(center) && q.level() < 6
+            });
+            assert!(
+                f.is_balanced_local(BalanceKind::Face).is_err(),
+                "a 5-level jump at the center must violate 2:1"
+            );
+            let n = f.balance(&comm, BalanceKind::Face);
+            assert!(n > 0);
+            assert_eq!(f.validate(), Ok(()));
+            f.is_balanced_local(BalanceKind::Face).unwrap();
+        });
+    }
+
+    #[test]
+    fn balance_full_is_stronger_than_face() {
+        quadforest_comm::run(1, |comm| {
+            let conn = Arc::new(Connectivity::unit(2));
+            let build = |comm: &quadforest_comm::Comm| {
+                let conn = Arc::new(Connectivity::unit(2));
+                let mut f = Forest::<Q2>::new_uniform(conn, comm, 1);
+                let center = [Q2::len_at(0) / 2, Q2::len_at(0) / 2, 0];
+                f.refine(comm, true, |_, q| q.contains_point(center) && q.level() < 7);
+                f
+            };
+            let mut face = build(&comm);
+            face.balance(&comm, BalanceKind::Face);
+            let mut full = build(&comm);
+            full.balance(&comm, BalanceKind::Full);
+            full.is_balanced_local(BalanceKind::Full).unwrap();
+            assert!(
+                full.global_count() >= face.global_count(),
+                "full balance can only add leaves over face balance"
+            );
+            // face-balanced mesh generally violates the corner condition
+            assert!(face.is_balanced_local(BalanceKind::Full).is_err());
+            let _ = conn;
+        });
+    }
+
+    #[test]
+    fn balance_3d_with_edges() {
+        quadforest_comm::run(1, |comm| {
+            let conn = Arc::new(Connectivity::unit(3));
+            let mut f = Forest::<Q3>::new_uniform(conn, &comm, 1);
+            f.refine(&comm, true, |_, q| q.coords() == [0, 0, 0] && q.level() < 5);
+            f.balance(&comm, BalanceKind::Full);
+            assert_eq!(f.validate(), Ok(()));
+            f.is_balanced_local(BalanceKind::Full).unwrap();
+        });
+    }
+
+    #[test]
+    fn balance_is_idempotent() {
+        quadforest_comm::run(1, |comm| {
+            let conn = Arc::new(Connectivity::unit(2));
+            let mut f = Forest::<MortonQuad<2>>::new_uniform(conn, &comm, 1);
+            f.refine(&comm, true, |_, q| q.coords() == [0, 0, 0] && q.level() < 5);
+            f.balance(&comm, BalanceKind::Face);
+            let count = f.global_count();
+            let n = f.balance(&comm, BalanceKind::Face);
+            assert_eq!(n, 0, "balanced forest must not refine again");
+            assert_eq!(f.global_count(), count);
+        });
+    }
+
+    #[test]
+    fn balance_across_tree_faces() {
+        quadforest_comm::run(1, |comm| {
+            let conn = Arc::new(Connectivity::brick2d(2, 1, false, false));
+            let mut f = Forest::<Q2>::new_uniform(conn, &comm, 1);
+            // refine deeply against the shared face from tree 0's side
+            let root = Q2::len_at(0);
+            f.refine(&comm, true, |t, q| {
+                t == 0 && q.coords()[0] + q.side() == root && q.coords()[1] == 0 && q.level() < 6
+            });
+            f.balance(&comm, BalanceKind::Face);
+            f.is_balanced_local(BalanceKind::Face).unwrap();
+            // tree 1 must have been refined near its -x face
+            let deep_in_tree1 = f
+                .tree_leaves(1)
+                .iter()
+                .filter(|q| q.coords()[0] == 0)
+                .map(|q| q.level())
+                .max()
+                .unwrap();
+            assert!(
+                deep_in_tree1 >= 4,
+                "balance must ripple into tree 1, got max level {deep_in_tree1}"
+            );
+        });
+    }
+
+    #[test]
+    fn balance_distributed_matches_serial() {
+        // The balanced forest must be identical for every rank count.
+        let serial = quadforest_comm::run(1, |comm| {
+            let conn = Arc::new(Connectivity::unit(2));
+            let mut f = Forest::<Q2>::new_uniform(conn, &comm, 2);
+            f.refine(&comm, true, |_, q| {
+                q.coords()[0] == 0 && q.coords()[1] == 0 && q.level() < 6
+            });
+            f.balance(&comm, BalanceKind::Face);
+            f.checksum(&comm)
+        })[0];
+        for p in [2usize, 3, 5] {
+            let sums = quadforest_comm::run(p, |comm| {
+                let conn = Arc::new(Connectivity::unit(2));
+                let mut f = Forest::<Q2>::new_uniform(conn, &comm, 2);
+                f.refine(&comm, true, |_, q| {
+                    q.coords()[0] == 0 && q.coords()[1] == 0 && q.level() < 6
+                });
+                f.balance(&comm, BalanceKind::Face);
+                assert_eq!(f.validate(), Ok(()));
+                f.checksum(&comm)
+            });
+            assert!(
+                sums.iter().all(|s| *s == serial),
+                "P = {p}: balanced forest differs from serial result"
+            );
+        }
+    }
+
+    #[test]
+    fn balance_periodic_wraps() {
+        quadforest_comm::run(1, |comm| {
+            let conn = Arc::new(Connectivity::periodic(2));
+            let mut f = Forest::<AvxQuad<2>>::new_uniform(conn, &comm, 1);
+            f.refine(&comm, true, |_, q| q.coords() == [0, 0, 0] && q.level() < 5);
+            f.balance(&comm, BalanceKind::Face);
+            f.is_balanced_local(BalanceKind::Face).unwrap();
+            // the far side of the periodic domain must feel the ripple
+            let root = Q2::len_at(0);
+            let far = f
+                .tree_leaves(0)
+                .iter()
+                .filter(|q| q.coords()[0] + q.side() == root && q.coords()[1] == 0)
+                .map(|q| q.level())
+                .max()
+                .unwrap();
+            assert!(far >= 3, "periodic wrap missing: far-side max level {far}");
+        });
+    }
+
+    #[test]
+    fn already_balanced_uniform_is_untouched() {
+        quadforest_comm::run(2, |comm| {
+            let conn = Arc::new(Connectivity::unit(3));
+            let mut f = Forest::<Q3>::new_uniform(conn, &comm, 3);
+            let before = f.checksum(&comm);
+            let n = f.balance(&comm, BalanceKind::Full);
+            assert_eq!(n, 0);
+            assert_eq!(f.checksum(&comm), before);
+        });
+    }
+}

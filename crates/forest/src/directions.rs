@@ -1,0 +1,281 @@
+//! Neighbor-direction enumeration shared by balance, ghost construction
+//! and iteration.
+//!
+//! All cross-leaf reasoning in the high-level algorithms is done in pure
+//! coordinate arithmetic (boxes and offsets), never by constructing
+//! exterior quadrants — the raw-Morton representations carry no sign
+//! bits, so exterior positions must not be materialized as quadrants.
+
+use quadforest_connectivity::Connectivity;
+use quadforest_core::quadrant::Quadrant;
+
+/// Which neighbor relations an algorithm considers.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Adjacency {
+    /// Across faces only.
+    Face,
+    /// Across faces, edges (3D) and corners.
+    Full,
+}
+
+/// Unit offsets `{-1,0,1}^d \ {0}` selecting same-size neighbor domains,
+/// filtered by the adjacency kind. Face offsets have exactly one nonzero
+/// component, edge offsets two, corner offsets `d`.
+pub fn offsets(dim: u32, kind: Adjacency) -> Vec<[i32; 3]> {
+    let mut out = Vec::new();
+    let range = |_d: usize| -1i32..=1;
+    for dz in if dim == 3 { range(2) } else { 0..=0 } {
+        for dy in range(1) {
+            for dx in range(0) {
+                let nz = (dx != 0) as u32 + (dy != 0) as u32 + (dz != 0) as u32;
+                let keep = match kind {
+                    Adjacency::Face => nz == 1,
+                    Adjacency::Full => nz >= 1,
+                };
+                if keep {
+                    out.push([dx, dy, dz]);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// An axis-aligned closed box in tree coordinates (possibly degenerate).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Box3 {
+    /// Inclusive lower corner.
+    pub lo: [i32; 3],
+    /// Inclusive upper corner.
+    pub hi: [i32; 3],
+}
+
+impl Box3 {
+    /// Closed intersection test (shared boundary points count).
+    #[inline]
+    pub fn intersects(&self, other: &Box3, dim: u32) -> bool {
+        (0..dim as usize).all(|a| self.lo[a] <= other.hi[a] && self.hi[a] >= other.lo[a])
+    }
+
+    /// The closed domain of a quadrant.
+    #[inline]
+    pub fn of_quad<Q: Quadrant>(q: &Q) -> Box3 {
+        let c = q.coords();
+        let h = q.side();
+        Box3 {
+            lo: c,
+            hi: [c[0] + h, c[1] + h, if Q::DIM == 3 { c[2] + h } else { 0 }],
+        }
+    }
+
+    /// Transform the box across a tree face, mapping both corners as
+    /// points (`h = 0` reflection) and reordering.
+    pub fn transformed(&self, tf: &quadforest_connectivity::FaceTransform, root: i32) -> Box3 {
+        let a = tf.apply(self.lo, 0, root);
+        let b = tf.apply(self.hi, 0, root);
+        let mut lo = [0i32; 3];
+        let mut hi = [0i32; 3];
+        for i in 0..3 {
+            lo[i] = a[i].min(b[i]);
+            hi[i] = a[i].max(b[i]);
+        }
+        Box3 { lo, hi }
+    }
+}
+
+/// A same-size neighbor domain of a quadrant, resolved against the
+/// connectivity: in which tree it lives and where.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct NeighborDomain {
+    /// Tree holding the domain.
+    pub tree: u32,
+    /// Anchor of the domain (a valid quadrant anchor in that tree).
+    pub coords: [i32; 3],
+    /// Level (same as the originating quadrant).
+    pub level: u8,
+    /// Closed contact region between the originating quadrant and this
+    /// domain, in the *domain's* tree frame.
+    pub contact: Box3,
+}
+
+/// Compute the same-size neighbor domain of `q` in `tree` along `offset`,
+/// resolving a single tree-face crossing through the connectivity.
+///
+/// Returns `None` when the domain lies outside the forest (physical
+/// boundary) or when the offset crosses more than one tree face (edge /
+/// corner tree connections are not modeled; see DESIGN.md).
+pub fn neighbor_domain<Q: Quadrant>(
+    conn: &Connectivity,
+    tree: u32,
+    q: &Q,
+    offset: [i32; 3],
+) -> Option<NeighborDomain> {
+    let dim = Q::DIM;
+    let h = q.side();
+    let root = Q::len_at(0);
+    let c = q.coords();
+    let mut dom = [0i32; 3];
+    for a in 0..3 {
+        dom[a] = c[a] + offset[a] * h;
+    }
+    // contact box in the current frame
+    let mut contact = Box3 {
+        lo: [0; 3],
+        hi: [0; 3],
+    };
+    for a in 0..3 {
+        match offset[a] {
+            0 => {
+                contact.lo[a] = c[a];
+                contact.hi[a] = c[a] + if (a as u32) < dim { h } else { 0 };
+            }
+            1 => {
+                contact.lo[a] = c[a] + h;
+                contact.hi[a] = c[a] + h;
+            }
+            _ => {
+                contact.lo[a] = c[a];
+                contact.hi[a] = c[a];
+            }
+        }
+    }
+    // which axes leave the root domain?
+    let mut exit_face = None;
+    let mut exits = 0;
+    for a in 0..dim as usize {
+        let f = if dom[a] < 0 {
+            Some(2 * a as u32)
+        } else if dom[a] + h > root {
+            Some(2 * a as u32 + 1)
+        } else {
+            None
+        };
+        if let Some(f) = f {
+            exits += 1;
+            exit_face = Some(f);
+        }
+    }
+    match exits {
+        0 => Some(NeighborDomain {
+            tree,
+            coords: dom,
+            level: q.level(),
+            contact,
+        }),
+        1 => {
+            let face = exit_face.unwrap();
+            let connection = conn.neighbor(tree, face)?;
+            let tf = &connection.transform;
+            let out = tf.apply(dom, h, root);
+            Some(NeighborDomain {
+                tree: connection.tree,
+                coords: out,
+                level: q.level(),
+                contact: contact.transformed(tf, root),
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quadforest_core::quadrant::StandardQuad;
+
+    type Q2 = StandardQuad<2>;
+    type Q3 = StandardQuad<3>;
+
+    #[test]
+    fn offset_counts() {
+        assert_eq!(offsets(2, Adjacency::Face).len(), 4);
+        assert_eq!(offsets(2, Adjacency::Full).len(), 8);
+        assert_eq!(offsets(3, Adjacency::Face).len(), 6);
+        assert_eq!(offsets(3, Adjacency::Full).len(), 26);
+    }
+
+    #[test]
+    fn box_intersections() {
+        let a = Box3 {
+            lo: [0, 0, 0],
+            hi: [4, 4, 0],
+        };
+        let b = Box3 {
+            lo: [4, 0, 0],
+            hi: [8, 4, 0],
+        };
+        let c = Box3 {
+            lo: [5, 5, 0],
+            hi: [6, 6, 0],
+        };
+        assert!(a.intersects(&b, 2), "closed boxes touch at x = 4");
+        assert!(!a.intersects(&c, 2));
+    }
+
+    #[test]
+    fn interior_face_domain() {
+        let conn = Connectivity::unit(2);
+        let root = Q2::len_at(0);
+        let h = Q2::len_at(2);
+        let q = Q2::from_coords([h, h, 0], 2);
+        let d = neighbor_domain(&conn, 0, &q, [1, 0, 0]).unwrap();
+        assert_eq!(d.tree, 0);
+        assert_eq!(d.coords, [2 * h, h, 0]);
+        assert_eq!(d.contact.lo, [2 * h, h, 0]);
+        assert_eq!(d.contact.hi, [2 * h, 2 * h, 0]);
+        // boundary face
+        let q0 = Q2::from_coords([0, 0, 0], 2);
+        assert!(neighbor_domain(&conn, 0, &q0, [-1, 0, 0]).is_none());
+        let _ = root;
+    }
+
+    #[test]
+    fn corner_domain_within_tree() {
+        let conn = Connectivity::unit(3);
+        let h = Q3::len_at(1);
+        let q = Q3::from_coords([h, h, h], 1);
+        let d = neighbor_domain(&conn, 0, &q, [-1, -1, -1]).unwrap();
+        assert_eq!(d.coords, [0, 0, 0]);
+        // contact is the single shared corner point
+        assert_eq!(d.contact.lo, [h, h, h]);
+        assert_eq!(d.contact.hi, [h, h, h]);
+    }
+
+    #[test]
+    fn face_crossing_resolves_through_connectivity() {
+        let conn = Connectivity::brick2d(2, 1, false, false);
+        let h = Q2::len_at(1);
+        let root = Q2::len_at(0);
+        let q = Q2::from_coords([root - h, 0, 0], 1);
+        let d = neighbor_domain(&conn, 0, &q, [1, 0, 0]).unwrap();
+        assert_eq!(d.tree, 1);
+        assert_eq!(d.coords, [0, 0, 0]);
+        assert_eq!(d.contact.lo, [0, 0, 0]);
+        assert_eq!(d.contact.hi, [0, h, 0]);
+    }
+
+    #[test]
+    fn corner_crossing_two_faces_is_skipped() {
+        let conn = Connectivity::brick2d(2, 2, false, false);
+        let h = Q2::len_at(1);
+        let root = Q2::len_at(0);
+        let q = Q2::from_coords([root - h, root - h, 0], 1);
+        // exits through +x and +y simultaneously
+        assert!(neighbor_domain(&conn, 0, &q, [1, 1, 0]).is_none());
+        // but single-axis crossings resolve
+        assert!(neighbor_domain(&conn, 0, &q, [1, 0, 0]).is_some());
+        assert!(neighbor_domain(&conn, 0, &q, [0, 1, 0]).is_some());
+    }
+
+    #[test]
+    fn periodic_corner_wraps_single_axis() {
+        let conn = Connectivity::periodic(2);
+        let h = Q2::len_at(1);
+        let root = Q2::len_at(0);
+        // corner offset exiting only through +x (y stays inside)
+        let q = Q2::from_coords([root - h, 0, 0], 1);
+        let d = neighbor_domain(&conn, 0, &q, [1, 1, 0]).unwrap();
+        assert_eq!(d.tree, 0);
+        assert_eq!(d.coords, [0, h, 0]);
+    }
+}

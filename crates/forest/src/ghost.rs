@@ -1,0 +1,414 @@
+//! Ghost (halo) layer construction.
+//!
+//! The ghost layer of a rank is the set of *remote* leaves whose closed
+//! domain touches the closed domain of at least one local leaf — p4est's
+//! `p4est_ghost_new` with `P4EST_CONNECT_FULL` (or `_FACE` for face-only
+//! adjacency). Construction is a two-round exchange:
+//!
+//! 1. **request**: every rank enumerates its leaves' same-size neighbor
+//!    domains, resolves them through the connectivity, and asks the
+//!    owner ranks of each domain's SFC range for leaves touching the
+//!    contact region;
+//! 2. **reply**: owners answer with their matching leaves, which the
+//!    requester dedupes and sorts into the ghost array.
+//!
+//! All geometry runs in coordinate boxes (see `directions`), so the
+//! algorithm is identical for every quadrant representation, including
+//! the sign-free raw-Morton layouts.
+
+use crate::directions::{neighbor_domain, offsets, Adjacency, Box3};
+use crate::Forest;
+use quadforest_comm::Comm;
+use quadforest_core::quadrant::Quadrant;
+
+/// A ghost quadrant: a remote leaf adjacent to the local domain.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct GhostQuad<Q: Quadrant> {
+    /// Rank owning the leaf.
+    pub owner: usize,
+    /// Tree containing the leaf.
+    pub tree: u32,
+    /// The remote leaf itself.
+    pub quad: Q,
+}
+
+/// The ghost layer of a forest on one rank.
+#[derive(Clone, Debug)]
+pub struct GhostLayer<Q: Quadrant> {
+    /// Ghosts sorted by `(tree, SFC position, level)`, deduplicated.
+    pub ghosts: Vec<GhostQuad<Q>>,
+}
+
+impl<Q: Quadrant> Default for GhostLayer<Q> {
+    fn default() -> Self {
+        Self { ghosts: Vec::new() }
+    }
+}
+
+impl<Q: Quadrant> GhostLayer<Q> {
+    /// Number of ghosts.
+    pub fn len(&self) -> usize {
+        self.ghosts.len()
+    }
+
+    /// True when no ghosts exist (serial run or isolated rank).
+    pub fn is_empty(&self) -> bool {
+        self.ghosts.is_empty()
+    }
+
+    /// The ghosts living in `tree`, as a sorted slice.
+    pub fn tree_ghosts(&self, tree: u32) -> &[GhostQuad<Q>] {
+        let lo = self.ghosts.partition_point(|g| g.tree < tree);
+        let hi = self.ghosts.partition_point(|g| g.tree <= tree);
+        &self.ghosts[lo..hi]
+    }
+
+    /// Ghosts of `tree` whose subtree range overlaps the quadrant `q`
+    /// (i.e. ghosts equal to, contained in, or containing `q`).
+    pub fn overlapping(&self, tree: u32, q: &Q) -> &[GhostQuad<Q>] {
+        let ghosts = self.tree_ghosts(tree);
+        let first = q.first_descendant(Q::MAX_LEVEL).morton_abs();
+        let last = q.last_descendant(Q::MAX_LEVEL).morton_abs();
+        let lo =
+            ghosts.partition_point(|g| g.quad.last_descendant(Q::MAX_LEVEL).morton_abs() < first);
+        let hi = ghosts.partition_point(|g| g.quad.morton_abs() <= last);
+        &ghosts[lo..hi]
+    }
+}
+
+/// A request for leaves of `tree` overlapping the domain anchored at
+/// `dom` (level `level`) whose closed domain intersects `contact`.
+type Request = (u32, [i32; 3], u8, Box3);
+
+impl<Q: Quadrant> Forest<Q> {
+    /// Build the ghost layer (collective).
+    pub fn ghost(&self, comm: &Comm, kind: crate::BalanceKind) -> GhostLayer<Q> {
+        let adjacency = match kind {
+            crate::BalanceKind::Face => Adjacency::Face,
+            crate::BalanceKind::Full => Adjacency::Full,
+        };
+
+        // round 1: requests
+        let mut outgoing: Vec<Vec<Request>> = (0..self.size).map(|_| Vec::new()).collect();
+        for (t, q) in self.leaves() {
+            for off in offsets(Q::DIM, adjacency) {
+                let Some(dom) = neighbor_domain(self.connectivity(), t, q, off) else {
+                    continue;
+                };
+                let probe = Q::from_coords(dom.coords, dom.level);
+                for r in self.owners_of_subtree(dom.tree, &probe) {
+                    if r != self.rank {
+                        outgoing[r].push((dom.tree, dom.coords, dom.level, dom.contact));
+                    }
+                }
+            }
+        }
+        for reqs in &mut outgoing {
+            reqs.sort_by_key(|(t, c, l, _)| (*t, *l, c[0], c[1], c[2]));
+            reqs.dedup();
+        }
+        let incoming = comm.alltoallv(outgoing);
+
+        // round 2: replies
+        let mut replies: Vec<Vec<(u32, Q)>> = (0..self.size).map(|_| Vec::new()).collect();
+        for (src, reqs) in incoming.into_iter().enumerate() {
+            for (tree, coords, level, contact) in reqs {
+                let dom = Q::from_coords(coords, level);
+                let range = self.overlapping_range(tree, &dom);
+                for p in &self.trees[tree as usize][range] {
+                    if Box3::of_quad(p).intersects(&contact, Q::DIM) {
+                        replies[src].push((tree, *p));
+                    }
+                }
+            }
+        }
+        let mut ghosts: Vec<GhostQuad<Q>> = Vec::new();
+        for (owner, reply) in comm.alltoallv(replies).into_iter().enumerate() {
+            for (tree, quad) in reply {
+                ghosts.push(GhostQuad { owner, tree, quad });
+            }
+        }
+        ghosts.sort_by(|a, b| {
+            (a.tree, a.quad.morton_abs(), a.quad.level()).cmp(&(
+                b.tree,
+                b.quad.morton_abs(),
+                b.quad.level(),
+            ))
+        });
+        ghosts.dedup();
+        GhostLayer { ghosts }
+    }
+}
+
+impl<Q: Quadrant> GhostLayer<Q> {
+    /// Exchange per-leaf application data: every ghost receives the
+    /// value its owner holds for that leaf — the
+    /// `p4est_ghost_exchange_data` equivalent. `local_data` must hold
+    /// one value per local leaf in forest iteration order; the result
+    /// holds one value per ghost in ghost order. Collective.
+    pub fn exchange_data<T: Clone + Send + 'static>(
+        &self,
+        forest: &Forest<Q>,
+        comm: &Comm,
+        local_data: &[T],
+    ) -> Vec<T> {
+        assert_eq!(
+            local_data.len(),
+            forest.local_count(),
+            "one datum per local leaf required"
+        );
+        // global order index of each local leaf: (tree, abs, level) key
+        // request each ghost's datum from its owner
+        let mut requests: Vec<Vec<(u32, u64, u8)>> = (0..comm.size()).map(|_| Vec::new()).collect();
+        for g in &self.ghosts {
+            requests[g.owner].push((g.tree, g.quad.morton_abs(), g.quad.level()));
+        }
+        let incoming = comm.alltoallv(requests);
+        // build the local lookup: key -> flat leaf index
+        let mut index = std::collections::HashMap::new();
+        for (i, (t, q)) in forest.leaves().enumerate() {
+            index.insert((t, q.morton_abs(), q.level()), i);
+        }
+        let mut replies: Vec<Vec<T>> = (0..comm.size()).map(|_| Vec::new()).collect();
+        for (src, reqs) in incoming.into_iter().enumerate() {
+            for key in reqs {
+                let i = index
+                    .get(&key)
+                    .unwrap_or_else(|| panic!("ghost request for non-local leaf {key:?}"));
+                replies[src].push(local_data[*i].clone());
+            }
+        }
+        let answers = comm.alltoallv(replies);
+        // scatter answers back into ghost order
+        let mut cursors = vec![0usize; comm.size()];
+        self.ghosts
+            .iter()
+            .map(|g| {
+                let c = cursors[g.owner];
+                cursors[g.owner] += 1;
+                answers[g.owner][c].clone()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BalanceKind;
+    use quadforest_connectivity::Connectivity;
+    use quadforest_core::quadrant::{MortonQuad, StandardQuad};
+    use std::sync::Arc;
+
+    type Q2 = StandardQuad<2>;
+    type Q3 = StandardQuad<3>;
+
+    /// Brute-force reference: gather everything everywhere and compute
+    /// each rank's ghost layer by definition (closed-domain contact,
+    /// including across tree faces).
+    fn reference_ghosts<Q: Quadrant>(
+        f: &Forest<Q>,
+        comm: &Comm,
+        adjacency: Adjacency,
+    ) -> Vec<(u32, [i32; 3], u8)> {
+        let all: Vec<(usize, u32, Q)> = comm
+            .allgather(
+                f.leaves()
+                    .map(|(t, q)| (comm.rank(), t, *q))
+                    .collect::<Vec<_>>(),
+            )
+            .into_iter()
+            .flatten()
+            .collect();
+        let mut out = Vec::new();
+        for (owner, gt, g) in &all {
+            if *owner == comm.rank() {
+                continue;
+            }
+            // is g adjacent to any local leaf? test via the local leaf's
+            // neighbor domains (handles tree crossings symmetrically)
+            let mut adjacent = false;
+            'outer: for (t, q) in f.leaves() {
+                for off in offsets(Q::DIM, adjacency) {
+                    if let Some(dom) = neighbor_domain(f.connectivity(), t, q, off) {
+                        if dom.tree == *gt {
+                            let gb = Box3::of_quad(g);
+                            let probe = Q::from_coords(dom.coords, dom.level);
+                            if (probe.is_ancestor_of(g) || g.is_ancestor_of(&probe) || probe == *g)
+                                && gb.intersects(&dom.contact, Q::DIM)
+                            {
+                                adjacent = true;
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+            if adjacent {
+                out.push((*gt, g.coords(), g.level()));
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn ghost_as_tuples<Q: Quadrant>(g: &GhostLayer<Q>) -> Vec<(u32, [i32; 3], u8)> {
+        let mut v: Vec<_> = g
+            .ghosts
+            .iter()
+            .map(|g| (g.tree, g.quad.coords(), g.quad.level()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn serial_run_has_no_ghosts() {
+        quadforest_comm::run(1, |comm| {
+            let conn = Arc::new(Connectivity::unit(3));
+            let f = Forest::<Q3>::new_uniform(conn, &comm, 2);
+            let g = f.ghost(&comm, BalanceKind::Full);
+            assert!(g.is_empty());
+        });
+    }
+
+    #[test]
+    fn uniform_ghosts_match_reference() {
+        for p in [2usize, 4, 7] {
+            quadforest_comm::run(p, |comm| {
+                let conn = Arc::new(Connectivity::unit(2));
+                let f = Forest::<Q2>::new_uniform(conn, &comm, 3);
+                let g = f.ghost(&comm, BalanceKind::Full);
+                assert_eq!(
+                    ghost_as_tuples(&g),
+                    reference_ghosts(&f, &comm, Adjacency::Full),
+                    "P = {p}"
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn adaptive_ghosts_match_reference() {
+        quadforest_comm::run(3, |comm| {
+            let conn = Arc::new(Connectivity::unit(2));
+            let mut f = Forest::<Q2>::new_uniform(conn, &comm, 2);
+            f.refine(&comm, true, |_, q| q.coords()[0] == 0 && q.level() < 4);
+            f.balance(&comm, BalanceKind::Face);
+            f.partition(&comm);
+            let g = f.ghost(&comm, BalanceKind::Full);
+            assert_eq!(
+                ghost_as_tuples(&g),
+                reference_ghosts(&f, &comm, Adjacency::Full)
+            );
+        });
+    }
+
+    #[test]
+    fn face_ghosts_are_subset_of_full() {
+        quadforest_comm::run(4, |comm| {
+            let conn = Arc::new(Connectivity::unit(3));
+            let f = Forest::<Q3>::new_uniform(conn, &comm, 2);
+            let gf = ghost_as_tuples(&f.ghost(&comm, BalanceKind::Face));
+            let gc = ghost_as_tuples(&f.ghost(&comm, BalanceKind::Full));
+            assert!(gf.iter().all(|x| gc.contains(x)));
+            assert!(gf.len() <= gc.len());
+            assert_eq!(gf, reference_ghosts(&f, &comm, Adjacency::Face));
+        });
+    }
+
+    #[test]
+    fn multitree_ghosts_cross_tree_faces() {
+        quadforest_comm::run(2, |comm| {
+            let conn = Arc::new(Connectivity::brick2d(2, 1, false, false));
+            let f = Forest::<Q2>::new_uniform(conn, &comm, 2);
+            // rank 0 owns tree 0, rank 1 owns tree 1 (16 leaves each)
+            let g = f.ghost(&comm, BalanceKind::Face);
+            assert_eq!(
+                ghost_as_tuples(&g),
+                reference_ghosts(&f, &comm, Adjacency::Face)
+            );
+            // the ghosts must live in the *other* tree and hug the
+            // shared face
+            for gq in &g.ghosts {
+                assert_ne!(gq.owner, comm.rank());
+            }
+            assert!(!g.is_empty());
+        });
+    }
+
+    #[test]
+    fn morton_representation_ghosts_identical_to_standard() {
+        let reference = quadforest_comm::run(3, |comm| {
+            let conn = Arc::new(Connectivity::unit(3));
+            let f = Forest::<Q3>::new_uniform(conn, &comm, 2);
+            ghost_as_tuples(&f.ghost(&comm, BalanceKind::Full))
+        });
+        let morton = quadforest_comm::run(3, |comm| {
+            let conn = Arc::new(Connectivity::unit(3));
+            let f = Forest::<MortonQuad<3>>::new_uniform(conn, &comm, 2);
+            ghost_as_tuples(&f.ghost(&comm, BalanceKind::Full))
+        });
+        assert_eq!(reference, morton);
+    }
+
+    #[test]
+    fn exchange_data_delivers_owner_values() {
+        quadforest_comm::run(3, |comm| {
+            let conn = Arc::new(Connectivity::unit(2));
+            let mut f = Forest::<Q2>::new_uniform(conn, &comm, 3);
+            f.refine(&comm, false, |_, q| q.morton_index() % 5 == 0);
+            let g = f.ghost(&comm, BalanceKind::Full);
+            // each leaf's datum is its identity key; ghosts must receive
+            // exactly the key of the remote leaf they mirror
+            let local: Vec<(usize, u32, u64, u8)> = f
+                .leaves()
+                .map(|(t, q)| (comm.rank(), t, q.morton_abs(), q.level()))
+                .collect();
+            let ghost_data = g.exchange_data(&f, &comm, &local);
+            assert_eq!(ghost_data.len(), g.len());
+            for (gq, datum) in g.ghosts.iter().zip(&ghost_data) {
+                assert_eq!(
+                    datum,
+                    &(gq.owner, gq.tree, gq.quad.morton_abs(), gq.quad.level()),
+                    "ghost must carry its owner's datum"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn exchange_data_roundtrip_after_balance() {
+        quadforest_comm::run(4, |comm| {
+            let conn = Arc::new(Connectivity::unit(3));
+            let mut f = Forest::<Q3>::new_uniform(conn, &comm, 2);
+            let center = [Q3::len_at(0) / 2; 3];
+            f.refine(&comm, true, |_, q| {
+                q.level() < 4 && q.contains_point(center)
+            });
+            f.balance(&comm, BalanceKind::Face);
+            f.partition(&comm);
+            let g = f.ghost(&comm, BalanceKind::Face);
+            let local: Vec<u8> = f.leaves().map(|(_, q)| q.level()).collect();
+            let ghost_levels = g.exchange_data(&f, &comm, &local);
+            for (gq, lvl) in g.ghosts.iter().zip(&ghost_levels) {
+                assert_eq!(gq.quad.level(), *lvl);
+            }
+        });
+    }
+
+    #[test]
+    fn ghost_lookup_helpers() {
+        quadforest_comm::run(2, |comm| {
+            let conn = Arc::new(Connectivity::unit(2));
+            let f = Forest::<Q2>::new_uniform(conn, &comm, 3);
+            let g = f.ghost(&comm, BalanceKind::Full);
+            assert_eq!(g.tree_ghosts(0).len(), g.len());
+            for gq in &g.ghosts {
+                let hits = g.overlapping(gq.tree, &gq.quad);
+                assert!(hits.iter().any(|h| h.quad == gq.quad));
+            }
+        });
+    }
+}

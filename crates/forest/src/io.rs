@@ -1,0 +1,272 @@
+//! Portable forest serialization — the `p4est_save` / `p4est_load`
+//! equivalent.
+//!
+//! A forest is serialized representation-independently as `(tree,
+//! coordinates, level)` triples plus the partition markers, so a forest
+//! saved from one quadrant representation loads into any other (the
+//! virtual-interface property extends to storage). The format is a
+//! self-describing little-endian binary stream with a magic header and
+//! version.
+
+use crate::{Forest, SfcPosition};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use quadforest_comm::Comm;
+use quadforest_connectivity::Connectivity;
+use quadforest_core::quadrant::Quadrant;
+use std::sync::Arc;
+
+const MAGIC: &[u8; 4] = b"QFOR";
+const VERSION: u32 = 1;
+
+/// Representation-independent image of one rank's forest partition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PortableForest {
+    /// Spatial dimension.
+    pub dim: u32,
+    /// Number of trees in the connectivity.
+    pub num_trees: u64,
+    /// Global leaf count.
+    pub global_count: u64,
+    /// Communicator size the forest was saved from.
+    pub size: u64,
+    /// Partition markers (`size + 1` entries).
+    pub markers: Vec<SfcPosition>,
+    /// This rank's leaves: `(tree, coords, level)`.
+    pub leaves: Vec<(u32, [i32; 3], u8)>,
+}
+
+impl PortableForest {
+    /// Serialize to a binary buffer.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(64 + self.leaves.len() * 18);
+        b.put_slice(MAGIC);
+        b.put_u32_le(VERSION);
+        b.put_u32_le(self.dim);
+        b.put_u64_le(self.num_trees);
+        b.put_u64_le(self.global_count);
+        b.put_u64_le(self.size);
+        b.put_u64_le(self.markers.len() as u64);
+        for (t, a) in &self.markers {
+            b.put_u32_le(*t);
+            b.put_u64_le(*a);
+        }
+        b.put_u64_le(self.leaves.len() as u64);
+        for (t, c, l) in &self.leaves {
+            b.put_u32_le(*t);
+            b.put_i32_le(c[0]);
+            b.put_i32_le(c[1]);
+            b.put_i32_le(c[2]);
+            b.put_u8(*l);
+        }
+        b.freeze()
+    }
+
+    /// Deserialize from a binary buffer.
+    pub fn from_bytes(mut data: &[u8]) -> Result<Self, String> {
+        let need = |data: &[u8], n: usize| {
+            if data.remaining() < n {
+                Err(format!("truncated stream: need {n} more bytes"))
+            } else {
+                Ok(())
+            }
+        };
+        need(data, 8)?;
+        let mut magic = [0u8; 4];
+        data.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(format!("bad magic {magic:?}"));
+        }
+        let version = data.get_u32_le();
+        if version != VERSION {
+            return Err(format!("unsupported version {version}"));
+        }
+        need(data, 4 + 8 * 4)?;
+        let dim = data.get_u32_le();
+        let num_trees = data.get_u64_le();
+        let global_count = data.get_u64_le();
+        let size = data.get_u64_le();
+        let n_markers = data.get_u64_le() as usize;
+        if n_markers != size as usize + 1 {
+            return Err(format!("marker count {n_markers} != size+1"));
+        }
+        need(data, n_markers * 12)?;
+        let markers = (0..n_markers)
+            .map(|_| (data.get_u32_le(), data.get_u64_le()))
+            .collect();
+        need(data, 8)?;
+        let n_leaves = data.get_u64_le() as usize;
+        need(data, n_leaves * 17)?;
+        let leaves = (0..n_leaves)
+            .map(|_| {
+                let t = data.get_u32_le();
+                let c = [data.get_i32_le(), data.get_i32_le(), data.get_i32_le()];
+                let l = data.get_u8();
+                (t, c, l)
+            })
+            .collect();
+        Ok(Self {
+            dim,
+            num_trees,
+            global_count,
+            size,
+            markers,
+            leaves,
+        })
+    }
+}
+
+impl<Q: Quadrant> Forest<Q> {
+    /// Capture this rank's partition in portable form.
+    pub fn to_portable(&self) -> PortableForest {
+        PortableForest {
+            dim: Q::DIM,
+            num_trees: self.connectivity().num_trees() as u64,
+            global_count: self.global_count(),
+            size: self.size() as u64,
+            markers: self.markers().to_vec(),
+            leaves: self
+                .leaves()
+                .map(|(t, q)| (t, q.coords(), q.level()))
+                .collect(),
+        }
+    }
+
+    /// Reconstruct a forest from its portable image. The communicator
+    /// must have the same size as at save time, and `conn` must be the
+    /// connectivity the forest was built over (dimension and tree count
+    /// are checked).
+    pub fn from_portable(
+        conn: Arc<Connectivity>,
+        comm: &Comm,
+        portable: &PortableForest,
+    ) -> Result<Self, String> {
+        if portable.dim != Q::DIM {
+            return Err(format!(
+                "dimension mismatch: stream {} vs representation {}",
+                portable.dim,
+                Q::DIM
+            ));
+        }
+        if portable.num_trees != conn.num_trees() as u64 {
+            return Err(format!(
+                "tree count mismatch: stream {} vs connectivity {}",
+                portable.num_trees,
+                conn.num_trees()
+            ));
+        }
+        if portable.size != comm.size() as u64 {
+            return Err(format!(
+                "communicator size mismatch: stream {} vs run {}",
+                portable.size,
+                comm.size()
+            ));
+        }
+        let mut trees: Vec<Vec<Q>> = vec![Vec::new(); conn.num_trees()];
+        for (t, c, l) in &portable.leaves {
+            if *t as usize >= trees.len() || *l > Q::MAX_LEVEL {
+                return Err(format!("corrupt leaf record ({t}, {c:?}, {l})"));
+            }
+            trees[*t as usize].push(Q::from_coords(*c, *l));
+        }
+        let f = Self::assemble(
+            conn,
+            comm.rank(),
+            comm.size(),
+            trees,
+            portable.global_count,
+            portable.markers.clone(),
+        );
+        f.validate()?;
+        Ok(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BalanceKind;
+    use quadforest_core::quadrant::{AvxQuad, MortonQuad, StandardQuad};
+
+    type Q2 = StandardQuad<2>;
+
+    fn adaptive_forest(comm: &Comm) -> Forest<Q2> {
+        let conn = Arc::new(Connectivity::brick2d(2, 1, false, false));
+        let mut f = Forest::<Q2>::new_uniform(conn, comm, 2);
+        let center = [Q2::len_at(0) / 2, Q2::len_at(0) / 2, 0];
+        f.refine(comm, true, |t, q| {
+            t == 0 && q.level() < 4 && q.contains_point(center)
+        });
+        f.balance(comm, BalanceKind::Face);
+        f.partition(comm);
+        f
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        quadforest_comm::run(2, |comm| {
+            let f = adaptive_forest(&comm);
+            let p = f.to_portable();
+            let bytes = p.to_bytes();
+            let q = PortableForest::from_bytes(&bytes).unwrap();
+            assert_eq!(p, q);
+        });
+    }
+
+    #[test]
+    fn load_into_same_representation() {
+        quadforest_comm::run(3, |comm| {
+            let f = adaptive_forest(&comm);
+            let p = f.to_portable();
+            let conn = f.connectivity().clone();
+            let g = Forest::<Q2>::from_portable(conn, &comm, &p).unwrap();
+            assert_eq!(g.checksum(&comm), f.checksum(&comm));
+            assert_eq!(g.global_count(), f.global_count());
+            assert_eq!(g.markers(), f.markers());
+        });
+    }
+
+    #[test]
+    fn load_into_other_representations() {
+        quadforest_comm::run(2, |comm| {
+            let f = adaptive_forest(&comm);
+            let p = f.to_portable();
+            let conn = f.connectivity().clone();
+            let reference = f.checksum(&comm);
+            let m = Forest::<MortonQuad<2>>::from_portable(conn.clone(), &comm, &p).unwrap();
+            assert_eq!(m.checksum(&comm), reference);
+            let a = Forest::<AvxQuad<2>>::from_portable(conn, &comm, &p).unwrap();
+            assert_eq!(a.checksum(&comm), reference);
+        });
+    }
+
+    #[test]
+    fn corrupt_streams_are_rejected() {
+        quadforest_comm::run(1, |comm| {
+            let f = adaptive_forest(&comm);
+            let bytes = f.to_portable().to_bytes();
+            assert!(PortableForest::from_bytes(&bytes[..3]).is_err());
+            let mut bad = bytes.to_vec();
+            bad[0] = b'X';
+            assert!(PortableForest::from_bytes(&bad).is_err());
+            let truncated = &bytes[..bytes.len() - 5];
+            assert!(PortableForest::from_bytes(truncated).is_err());
+        });
+    }
+
+    #[test]
+    fn wrong_context_is_rejected() {
+        quadforest_comm::run(2, |comm| {
+            let f = adaptive_forest(&comm);
+            let p = f.to_portable();
+            // wrong dimension
+            let conn3 = Arc::new(Connectivity::unit(3));
+            assert!(
+                Forest::<MortonQuad<3>>::from_portable(conn3, &comm, &p).is_err(),
+                "3D representation must reject a 2D stream"
+            );
+            // wrong tree count
+            let conn1 = Arc::new(Connectivity::unit(2));
+            assert!(Forest::<Q2>::from_portable(conn1, &comm, &p).is_err());
+        });
+    }
+}

@@ -1,0 +1,256 @@
+//! Static neighbor tables — the `p4est_mesh` equivalent.
+//!
+//! Applications that sweep the mesh many times (matrix-free operators,
+//! flux loops) do not want to re-derive adjacency through searches on
+//! every pass. [`Mesh::build`] runs the interface iterator once and
+//! materializes, for every local leaf and face, an O(1)-indexable
+//! neighbor record: the domain boundary, a single conforming or coarser
+//! neighbor, or the list of finer leaves on a hanging face — each
+//! pointing into the local leaf array or the ghost layer.
+
+use crate::{iterate_faces, Forest, GhostLayer, Interface};
+use quadforest_core::quadrant::Quadrant;
+use std::collections::HashMap;
+
+/// Reference to a leaf: local (index into forest iteration order) or
+/// ghost (index into [`GhostLayer::ghosts`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LeafRef {
+    /// Index into the local leaves (forest iteration order).
+    Local(usize),
+    /// Index into the ghost array.
+    Ghost(usize),
+}
+
+/// What lies across one face of a local leaf.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MeshNeighbor {
+    /// The physical domain boundary.
+    Boundary,
+    /// One neighbor of the same size or coarser.
+    One(LeafRef),
+    /// A hanging face: the finer leaves touching it, in SFC order.
+    Hanging(Vec<LeafRef>),
+    /// Not visible from this rank (possible only when the mesh was
+    /// built without a sufficient ghost layer).
+    Unknown,
+}
+
+/// Per-leaf, per-face neighbor tables for the local partition.
+#[derive(Clone, Debug)]
+pub struct Mesh {
+    /// `neighbors[leaf][face]`, leaf in forest iteration order.
+    pub neighbors: Vec<Vec<MeshNeighbor>>,
+}
+
+impl Mesh {
+    /// Build the tables from one pass of [`iterate_faces`]. Supply a
+    /// **full** ghost layer for complete cross-rank information.
+    pub fn build<Q: Quadrant>(forest: &Forest<Q>, ghost: &GhostLayer<Q>) -> Mesh {
+        let nf = Q::NUM_FACES as usize;
+        let mut neighbors: Vec<Vec<MeshNeighbor>> = (0..forest.local_count())
+            .map(|_| vec![MeshNeighbor::Unknown; nf])
+            .collect();
+        let local_index: HashMap<(u32, u64, u8), usize> = forest
+            .leaves()
+            .enumerate()
+            .map(|(i, (t, q))| ((t, q.morton_abs(), q.level()), i))
+            .collect();
+        let ghost_index: HashMap<(u32, u64, u8), usize> = ghost
+            .ghosts
+            .iter()
+            .enumerate()
+            .map(|(i, g)| ((g.tree, g.quad.morton_abs(), g.quad.level()), i))
+            .collect();
+        let resolve = |tree: u32, q: &Q, is_ghost: bool| -> LeafRef {
+            let key = (tree, q.morton_abs(), q.level());
+            if is_ghost {
+                LeafRef::Ghost(ghost_index[&key])
+            } else {
+                LeafRef::Local(local_index[&key])
+            }
+        };
+
+        iterate_faces(forest, ghost, |iface| match iface {
+            Interface::Boundary(s) => {
+                let i = local_index[&(s.tree, s.quad.morton_abs(), s.quad.level())];
+                neighbors[i][s.face as usize] = MeshNeighbor::Boundary;
+            }
+            Interface::Interior(p, others) => {
+                let p_ref = resolve(p.tree, &p.quad, p.is_ghost);
+                // fill the primary side
+                if !p.is_ghost {
+                    let i = local_index[&(p.tree, p.quad.morton_abs(), p.quad.level())];
+                    let entry = if others.len() == 1 {
+                        MeshNeighbor::One(resolve(
+                            others[0].tree,
+                            &others[0].quad,
+                            others[0].is_ghost,
+                        ))
+                    } else {
+                        MeshNeighbor::Hanging(
+                            others
+                                .iter()
+                                .map(|o| resolve(o.tree, &o.quad, o.is_ghost))
+                                .collect(),
+                        )
+                    };
+                    neighbors[i][p.face as usize] = entry;
+                }
+                // fill each local opposite side: its neighbor across the
+                // shared face is the primary (same size or coarser)
+                for o in &others {
+                    if !o.is_ghost {
+                        let i = local_index[&(o.tree, o.quad.morton_abs(), o.quad.level())];
+                        neighbors[i][o.face as usize] = MeshNeighbor::One(p_ref);
+                    }
+                }
+            }
+        });
+        Mesh { neighbors }
+    }
+
+    /// Verify that every (leaf, face) slot was filled — true whenever
+    /// the ghost layer covered all rank boundaries.
+    pub fn is_complete(&self) -> bool {
+        self.neighbors
+            .iter()
+            .all(|faces| faces.iter().all(|n| *n != MeshNeighbor::Unknown))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BalanceKind;
+    use quadforest_comm::Comm;
+    use quadforest_connectivity::Connectivity;
+    use quadforest_core::quadrant::{MortonQuad, StandardQuad};
+    use std::sync::Arc;
+
+    type Q2 = StandardQuad<2>;
+
+    fn build_mesh<Q: Quadrant>(f: &Forest<Q>, comm: &Comm) -> (Mesh, GhostLayer<Q>) {
+        let g = f.ghost(comm, BalanceKind::Full);
+        (Mesh::build(f, &g), g)
+    }
+
+    #[test]
+    fn uniform_mesh_neighbors_match_geometry() {
+        quadforest_comm::run(1, |comm| {
+            let conn = Arc::new(Connectivity::unit(2));
+            let f = Forest::<Q2>::new_uniform(conn, &comm, 3);
+            let (mesh, _) = build_mesh(&f, &comm);
+            assert!(mesh.is_complete());
+            let leaves: Vec<Q2> = f.leaves().map(|(_, q)| *q).collect();
+            for (i, q) in leaves.iter().enumerate() {
+                for face in 0..4u32 {
+                    match &mesh.neighbors[i][face as usize] {
+                        MeshNeighbor::Boundary => {
+                            assert!(q.face_neighbor_inside(face).is_none());
+                        }
+                        MeshNeighbor::One(LeafRef::Local(j)) => {
+                            let expect = q.face_neighbor(face);
+                            assert_eq!(leaves[*j], expect, "leaf {i} face {face}");
+                        }
+                        other => panic!("uniform serial mesh: unexpected {other:?}"),
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn hanging_mesh_entries() {
+        quadforest_comm::run(1, |comm| {
+            let conn = Arc::new(Connectivity::unit(2));
+            let mut f = Forest::<Q2>::new_uniform(conn, &comm, 1);
+            f.refine(&comm, false, |_, q| q.morton_index() == 0);
+            let (mesh, _) = build_mesh(&f, &comm);
+            assert!(mesh.is_complete());
+            let leaves: Vec<Q2> = f.leaves().map(|(_, q)| *q).collect();
+            let mut hanging_seen = 0;
+            for (i, q) in leaves.iter().enumerate() {
+                for face in 0..4usize {
+                    match &mesh.neighbors[i][face] {
+                        MeshNeighbor::Hanging(fines) => {
+                            hanging_seen += 1;
+                            assert_eq!(q.level(), 1, "only coarse leaves hang");
+                            assert_eq!(fines.len(), 2);
+                            for r in fines {
+                                let LeafRef::Local(j) = r else {
+                                    panic!("serial run")
+                                };
+                                assert_eq!(leaves[*j].level(), 2);
+                            }
+                        }
+                        MeshNeighbor::One(LeafRef::Local(j)) => {
+                            // fine leaves may point at a coarser neighbor
+                            assert!(leaves[*j].level() + 1 >= q.level());
+                        }
+                        MeshNeighbor::Boundary => {}
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+            }
+            // the refined quadrant's +x and +y faces hang
+            assert_eq!(hanging_seen, 2);
+        });
+    }
+
+    #[test]
+    fn distributed_mesh_is_complete_and_symmetric() {
+        quadforest_comm::run(3, |comm| {
+            let conn = Arc::new(Connectivity::unit(2));
+            let mut f = Forest::<MortonQuad<2>>::new_uniform(conn, &comm, 2);
+            let center = [
+                MortonQuad::<2>::len_at(0) / 2,
+                MortonQuad::<2>::len_at(0) / 2,
+                0,
+            ];
+            f.refine(&comm, true, |_, q| {
+                q.level() < 4 && q.contains_point(center)
+            });
+            f.balance(&comm, BalanceKind::Face);
+            f.partition(&comm);
+            let (mesh, ghost) = build_mesh(&f, &comm);
+            assert!(
+                mesh.is_complete(),
+                "rank {}: every face slot must be filled",
+                comm.rank()
+            );
+            // local symmetry: if leaf a lists local leaf b across face
+            // f as a conforming One(), then b lists a back across f^1
+            let leaves: Vec<MortonQuad<2>> = f.leaves().map(|(_, q)| *q).collect();
+            for (i, q) in leaves.iter().enumerate() {
+                for face in 0..4usize {
+                    if let MeshNeighbor::One(LeafRef::Local(j)) = mesh.neighbors[i][face] {
+                        if leaves[j].level() == q.level() {
+                            assert_eq!(
+                                mesh.neighbors[j][face ^ 1],
+                                MeshNeighbor::One(LeafRef::Local(i)),
+                                "conforming symmetry {i} <-> {j}"
+                            );
+                        }
+                    }
+                }
+            }
+            let _ = ghost;
+        });
+    }
+
+    #[test]
+    fn periodic_mesh_has_no_boundary() {
+        quadforest_comm::run(2, |comm| {
+            let conn = Arc::new(Connectivity::periodic(2));
+            let f = Forest::<Q2>::new_uniform(conn, &comm, 2);
+            let (mesh, _) = build_mesh(&f, &comm);
+            assert!(mesh.is_complete());
+            for faces in &mesh.neighbors {
+                for n in faces {
+                    assert_ne!(*n, MeshNeighbor::Boundary);
+                }
+            }
+        });
+    }
+}

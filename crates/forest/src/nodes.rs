@@ -1,0 +1,612 @@
+//! Global corner-node numbering for lowest-order continuous elements —
+//! the `p4est_nodes` / `p4est_lnodes(degree 1)` equivalent mentioned in
+//! the paper's introduction ("node numberings for low- and high-order
+//! continuous elements").
+//!
+//! Every leaf contributes its `2^d` corners. Corners shared between
+//! leaves (also across tree faces and periodic identifications) receive
+//! one global number; corners of fine leaves that lie strictly inside a
+//! face or edge of a coarser neighbor are **hanging**: they carry no
+//! number of their own but a dependency list of independent nodes (the
+//! corners of the coarse entity they hang on), with equal interpolation
+//! weights — the standard conforming-interpolation constraint.
+//!
+//! Requires a 2:1-balanced forest and a **full** (corner-adjacent) ghost
+//! layer, so that every leaf touching a local node is visible locally;
+//! classification is then rank-independent by construction.
+
+use crate::directions::Box3;
+use crate::{Forest, GhostLayer};
+use quadforest_comm::Comm;
+use quadforest_core::quadrant::Quadrant;
+
+/// Canonical identity of a node: the lexicographically smallest
+/// `(tree, point)` among all images of the point under the inter-tree
+/// face identifications.
+pub type NodeKey = (u32, [i32; 3]);
+
+/// A leaf corner's reference into the node numbering.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeRef {
+    /// An independent node: index into [`LocalNodes::keys`] /
+    /// [`LocalNodes::global_ids`].
+    Independent(u32),
+    /// A hanging node: depends on these independent nodes (local
+    /// indices) with equal weights.
+    Hanging(Vec<u32>),
+}
+
+/// The node numbering visible on one rank.
+#[derive(Clone, Debug)]
+pub struct LocalNodes {
+    /// Total number of independent nodes across all ranks.
+    pub global_count: u64,
+    /// Number of independent nodes owned by this rank.
+    pub owned_count: u64,
+    /// Global id of this rank's first owned node.
+    pub owned_offset: u64,
+    /// Canonical keys of the independent nodes known on this rank.
+    pub keys: Vec<NodeKey>,
+    /// Global id per entry of `keys`.
+    pub global_ids: Vec<u64>,
+    /// Owning rank per entry of `keys`.
+    pub owners: Vec<usize>,
+    /// Per local leaf (forest iteration order), per corner
+    /// (Morton corner order), the node reference. Only the first `2^d`
+    /// entries are meaningful.
+    pub element_nodes: Vec<Vec<NodeRef>>,
+}
+
+impl LocalNodes {
+    /// The global ids a leaf corner resolves to: one id for an
+    /// independent corner, the dependency ids for a hanging corner.
+    pub fn resolve(&self, r: &NodeRef) -> Vec<u64> {
+        match r {
+            NodeRef::Independent(i) => vec![self.global_ids[*i as usize]],
+            NodeRef::Hanging(deps) => deps.iter().map(|i| self.global_ids[*i as usize]).collect(),
+        }
+    }
+}
+
+impl<Q: Quadrant> Forest<Q> {
+    /// Compute the canonical key of a node point: the smallest
+    /// `(tree, point)` over its orbit under face identifications.
+    fn canonical_node(&self, tree: u32, p: [i32; 3]) -> NodeKey {
+        let conn = self.connectivity();
+        let root = Q::len_at(0);
+        let dim = Q::DIM;
+        let mut orbit = vec![(tree, p)];
+        let mut stack = vec![(tree, p)];
+        while let Some((t, x)) = stack.pop() {
+            for f in 0..(2 * dim) {
+                let axis = (f / 2) as usize;
+                let on_face = if f & 1 == 0 {
+                    x[axis] == 0
+                } else {
+                    x[axis] == root
+                };
+                if !on_face {
+                    continue;
+                }
+                if let Some(connection) = conn.neighbor(t, f) {
+                    // transform the point (h = 0); the point lies ON the
+                    // shared face, so apply's whole-root translate lands
+                    // it exactly on the neighbor's matching face.
+                    let img = connection.transform.apply(x, 0, root);
+                    let key = (connection.tree, img);
+                    if !orbit.contains(&key) {
+                        orbit.push(key);
+                        stack.push(key);
+                    }
+                }
+            }
+        }
+        orbit.into_iter().min().unwrap()
+    }
+
+    /// All leaves (local and ghost) whose closed domain contains the
+    /// point `p` of `tree`, searched across the point's face orbit.
+    fn leaves_touching(&self, ghost: &GhostLayer<Q>, tree: u32, p: [i32; 3]) -> Vec<(u32, Q)> {
+        let conn = self.connectivity();
+        let root = Q::len_at(0);
+        let dim = Q::DIM;
+        // orbit of (tree, point) images
+        let mut orbit = vec![(tree, p)];
+        let mut stack = vec![(tree, p)];
+        while let Some((t, x)) = stack.pop() {
+            for f in 0..(2 * dim) {
+                let axis = (f / 2) as usize;
+                let on_face = if f & 1 == 0 {
+                    x[axis] == 0
+                } else {
+                    x[axis] == root
+                };
+                if !on_face {
+                    continue;
+                }
+                if let Some(connection) = conn.neighbor(t, f) {
+                    let img = connection.transform.apply(x, 0, root);
+                    let key = (connection.tree, img);
+                    if !orbit.contains(&key) {
+                        orbit.push(key);
+                        stack.push(key);
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(u32, Q)> = Vec::new();
+        for (t, x) in orbit {
+            let pb = Box3 { lo: x, hi: x };
+            // candidate leaves: those overlapping the deepest quadrant at
+            // the clamped point are not enough (the point may lie on the
+            // corner of up to 2^d leaves), so probe the at-most-2^d
+            // containing positions
+            for dz in if dim == 3 { [0, 1].as_slice() } else { &[0] } {
+                for dy in [0, 1] {
+                    for dx in [0, 1] {
+                        let cx = x[0] - dx;
+                        let cy = x[1] - dy;
+                        let cz = x[2] - dz;
+                        if cx < 0
+                            || cy < 0
+                            || (dim == 3 && cz < 0)
+                            || cx >= root
+                            || cy >= root
+                            || (dim == 3 && cz >= root)
+                        {
+                            continue;
+                        }
+                        let probe =
+                            Q::from_coords([cx, cy, if dim == 3 { cz } else { 0 }], Q::MAX_LEVEL);
+                        let range = self.overlapping_range(t, &probe);
+                        for l in &self.tree_leaves(t)[range] {
+                            if Box3::of_quad(l).intersects(&pb, dim) && !out.contains(&(t, *l)) {
+                                out.push((t, *l));
+                            }
+                        }
+                        for g in ghost.overlapping(t, &probe) {
+                            if Box3::of_quad(&g.quad).intersects(&pb, dim)
+                                && !out.contains(&(t, g.quad))
+                            {
+                                out.push((t, g.quad));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// True when `p` is a corner point of leaf `l`.
+    fn is_corner_of(l: &Q, p: [i32; 3]) -> bool {
+        let c = l.coords();
+        let h = l.side();
+        (0..Q::DIM as usize).all(|a| p[a] == c[a] || p[a] == c[a] + h)
+    }
+
+    /// Global corner-node numbering (collective). The forest must be
+    /// 2:1 balanced; `ghost` must be a full (corner) ghost layer.
+    pub fn nodes(&self, comm: &Comm, ghost: &GhostLayer<Q>) -> LocalNodes {
+        let dim = Q::DIM;
+        let corners = 1usize << dim;
+
+        // -- pass 1: classify every distinct local node ------------------
+        // key -> (independent?, dependency keys if hanging)
+        let mut node_index: Vec<NodeKey> = Vec::new();
+        let mut classes: Vec<Option<Vec<NodeKey>>> = Vec::new(); // None = independent
+        let mut lookup = std::collections::HashMap::<NodeKey, usize>::new();
+        let mut element_corner_keys: Vec<Vec<NodeKey>> = Vec::new();
+
+        for (t, q) in self.leaves() {
+            let c = q.coords();
+            let h = q.side();
+            let mut per_elem = Vec::with_capacity(corners);
+            for k in 0..corners {
+                let p = [
+                    c[0] + ((k & 1) as i32) * h,
+                    c[1] + (((k >> 1) & 1) as i32) * h,
+                    if dim == 3 {
+                        c[2] + (((k >> 2) & 1) as i32) * h
+                    } else {
+                        0
+                    },
+                ];
+                let key = self.canonical_node(t, p);
+                per_elem.push(key);
+                if lookup.contains_key(&key) {
+                    continue;
+                }
+                // classification: corner of every touching leaf?
+                let touching = self.leaves_touching(ghost, t, p);
+                debug_assert!(!touching.is_empty());
+                let mut hanging_on: Option<(u32, Q)> = None;
+                for (lt, l) in &touching {
+                    if !Self::is_corner_of(l, self.point_in_tree(t, p, *lt)) {
+                        let better = match &hanging_on {
+                            None => true,
+                            Some((_, cur)) => l.level() < cur.level(),
+                        };
+                        if better {
+                            hanging_on = Some((*lt, *l));
+                        }
+                    }
+                }
+                let class = hanging_on.map(|(lt, l)| {
+                    // dependency nodes: the corners of the entity of `l`
+                    // containing the (transformed) point
+                    let x = self.point_in_tree(t, p, lt);
+                    let lc = l.coords();
+                    let lh = l.side();
+                    let mut deps = Vec::new();
+                    let free: Vec<usize> = (0..dim as usize)
+                        .filter(|&a| x[a] != lc[a] && x[a] != lc[a] + lh)
+                        .collect();
+                    let n_deps = 1usize << free.len();
+                    for m in 0..n_deps {
+                        let mut dp = x;
+                        for (bit, &a) in free.iter().enumerate() {
+                            dp[a] = if (m >> bit) & 1 == 1 {
+                                lc[a] + lh
+                            } else {
+                                lc[a]
+                            };
+                        }
+                        deps.push(self.canonical_node(lt, dp));
+                    }
+                    deps
+                });
+                lookup.insert(key, node_index.len());
+                node_index.push(key);
+                classes.push(class);
+            }
+            element_corner_keys.push(per_elem);
+        }
+
+        // -- pass 2: collect independent nodes, assign ownership --------
+        let mut keys: Vec<NodeKey> = Vec::new();
+        let mut key_slot = std::collections::HashMap::<NodeKey, u32>::new();
+        let mut intern = |key: NodeKey, keys: &mut Vec<NodeKey>| -> u32 {
+            *key_slot.entry(key).or_insert_with(|| {
+                keys.push(key);
+                (keys.len() - 1) as u32
+            })
+        };
+        let mut element_nodes: Vec<Vec<NodeRef>> = Vec::new();
+        for per_elem in &element_corner_keys {
+            let mut refs = Vec::with_capacity(corners);
+            for key in per_elem {
+                let idx = lookup[key];
+                match &classes[idx] {
+                    None => refs.push(NodeRef::Independent(intern(*key, &mut keys))),
+                    Some(deps) => refs.push(NodeRef::Hanging(
+                        deps.iter().map(|d| intern(*d, &mut keys)).collect(),
+                    )),
+                }
+            }
+            element_nodes.push(refs);
+        }
+
+        let owners: Vec<usize> = keys.iter().map(|k| self.node_owner(*k)).collect();
+        let owned_count = owners.iter().filter(|&&o| o == self.rank()).count() as u64;
+        let owned_offset = comm.exscan_sum(owned_count);
+        let global_count = comm.allreduce_sum(owned_count);
+
+        // assign ids to owned nodes in key order (deterministic)
+        let mut owned: Vec<(NodeKey, u32)> = keys
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| owners[*i] == self.rank())
+            .map(|(i, k)| (*k, i as u32))
+            .collect();
+        owned.sort();
+        let mut global_ids = vec![u64::MAX; keys.len()];
+        for (rank_local, (_, slot)) in owned.iter().enumerate() {
+            global_ids[*slot as usize] = owned_offset + rank_local as u64;
+        }
+
+        // -- pass 3: fetch ids of remotely owned nodes -------------------
+        let mut requests: Vec<Vec<NodeKey>> = (0..self.size()).map(|_| Vec::new()).collect();
+        for (i, key) in keys.iter().enumerate() {
+            if owners[i] != self.rank() {
+                requests[owners[i]].push(*key);
+            }
+        }
+        let incoming = comm.alltoallv(requests.clone());
+        let mut replies: Vec<Vec<u64>> = (0..self.size()).map(|_| Vec::new()).collect();
+        for (src, reqs) in incoming.into_iter().enumerate() {
+            for key in reqs {
+                let slot = key_slot
+                    .get(&key)
+                    .unwrap_or_else(|| panic!("rank {} asked us for unknown node {key:?}", src));
+                let id = global_ids[*slot as usize];
+                debug_assert_ne!(id, u64::MAX, "owner must have numbered its node");
+                replies[src].push(id);
+            }
+        }
+        let answers = comm.alltoallv(replies);
+        for (owner_rank, (reqs, ids)) in requests.iter().zip(answers.iter()).enumerate() {
+            let _ = owner_rank;
+            for (key, id) in reqs.iter().zip(ids) {
+                global_ids[key_slot[key] as usize] = *id;
+            }
+        }
+
+        LocalNodes {
+            global_count,
+            owned_count,
+            owned_offset,
+            keys,
+            global_ids,
+            owners,
+            element_nodes,
+        }
+    }
+
+    /// Transform a node point of `tree` into the frame of `target_tree`
+    /// when they differ (via the face orbit); identity otherwise.
+    fn point_in_tree(&self, tree: u32, p: [i32; 3], target_tree: u32) -> [i32; 3] {
+        if tree == target_tree {
+            return p;
+        }
+        let conn = self.connectivity();
+        let root = Q::len_at(0);
+        let dim = Q::DIM;
+        // BFS through the orbit to the target tree
+        let mut stack = vec![(tree, p)];
+        let mut seen = vec![(tree, p)];
+        while let Some((t, x)) = stack.pop() {
+            if t == target_tree {
+                return x;
+            }
+            for f in 0..(2 * dim) {
+                let axis = (f / 2) as usize;
+                let on_face = if f & 1 == 0 {
+                    x[axis] == 0
+                } else {
+                    x[axis] == root
+                };
+                if !on_face {
+                    continue;
+                }
+                if let Some(connection) = conn.neighbor(t, f) {
+                    let img = connection.transform.apply(x, 0, root);
+                    let key = (connection.tree, img);
+                    if !seen.contains(&key) {
+                        seen.push(key);
+                        stack.push(key);
+                    }
+                }
+            }
+        }
+        // target not reachable via faces: the caller only asks for trees
+        // that share the point, so this is unreachable in valid meshes
+        unreachable!("point {p:?} of tree {tree} has no image in tree {target_tree}")
+    }
+
+    /// The rank owning a node: the owner of the SFC position of the
+    /// deepest quadrant containing the (clamped) canonical point — a
+    /// rule every rank evaluates identically.
+    fn node_owner(&self, (tree, p): NodeKey) -> usize {
+        let root = Q::len_at(0);
+        let c = [
+            p[0].min(root - 1),
+            p[1].min(root - 1),
+            if Q::DIM == 3 { p[2].min(root - 1) } else { 0 },
+        ];
+        let probe = Q::from_coords(c, Q::MAX_LEVEL);
+        self.owner_of_position((tree, probe.morton_abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BalanceKind;
+    use quadforest_connectivity::Connectivity;
+    use quadforest_core::quadrant::{MortonQuad, StandardQuad};
+    use std::sync::Arc;
+
+    type Q2 = StandardQuad<2>;
+    type Q3 = StandardQuad<3>;
+
+    fn full_ghost<Q: Quadrant>(f: &Forest<Q>, comm: &Comm) -> GhostLayer<Q> {
+        f.ghost(comm, BalanceKind::Full)
+    }
+
+    #[test]
+    fn uniform_2d_counts() {
+        quadforest_comm::run(1, |comm| {
+            let conn = Arc::new(Connectivity::unit(2));
+            let f = Forest::<Q2>::new_uniform(conn, &comm, 2);
+            let nodes = f.nodes(&comm, &full_ghost(&f, &comm));
+            // 4x4 elements -> 5x5 nodes
+            assert_eq!(nodes.global_count, 25);
+            assert_eq!(nodes.owned_count, 25);
+            assert!(nodes
+                .element_nodes
+                .iter()
+                .flatten()
+                .all(|r| matches!(r, NodeRef::Independent(_))));
+        });
+    }
+
+    #[test]
+    fn uniform_3d_counts() {
+        quadforest_comm::run(1, |comm| {
+            let conn = Arc::new(Connectivity::unit(3));
+            let f = Forest::<Q3>::new_uniform(conn, &comm, 1);
+            let nodes = f.nodes(&comm, &full_ghost(&f, &comm));
+            assert_eq!(nodes.global_count, 27);
+        });
+    }
+
+    #[test]
+    fn single_hanging_configuration() {
+        quadforest_comm::run(1, |comm| {
+            let conn = Arc::new(Connectivity::unit(2));
+            let mut f = Forest::<Q2>::new_uniform(conn, &comm, 1);
+            // refine only the lower-left quadrant: the classic single
+            // hanging-node configuration
+            f.refine(&comm, false, |_, q| q.morton_index() == 0);
+            let nodes = f.nodes(&comm, &full_ghost(&f, &comm));
+            // 9 coarse + (0.25,0), (0,0.25), (0.25,0.25) independent
+            assert_eq!(nodes.global_count, 12);
+            let hanging: Vec<&NodeRef> = nodes
+                .element_nodes
+                .iter()
+                .flatten()
+                .filter(|r| matches!(r, NodeRef::Hanging(_)))
+                .collect();
+            // (0.5, 0.25) appears in 2 fine elements; (0.25, 0.5) in 2
+            assert_eq!(hanging.len(), 4);
+            for h in hanging {
+                let NodeRef::Hanging(deps) = h else {
+                    unreachable!()
+                };
+                assert_eq!(deps.len(), 2, "2D edge hanging: two endpoints");
+            }
+        });
+    }
+
+    #[test]
+    fn hanging_deps_are_coarse_edge_endpoints() {
+        quadforest_comm::run(1, |comm| {
+            let conn = Arc::new(Connectivity::unit(2));
+            let mut f = Forest::<Q2>::new_uniform(conn, &comm, 1);
+            f.refine(&comm, false, |_, q| q.morton_index() == 0);
+            let nodes = f.nodes(&comm, &full_ghost(&f, &comm));
+            let root = Q2::len_at(0);
+            let h2 = root / 2;
+            // find the hanging node at (h2, h4)
+            let mut found = false;
+            for (elem, refs) in nodes.element_nodes.iter().enumerate() {
+                let _ = elem;
+                for r in refs {
+                    if let NodeRef::Hanging(deps) = r {
+                        let pts: Vec<[i32; 3]> =
+                            deps.iter().map(|d| nodes.keys[*d as usize].1).collect();
+                        if pts.contains(&[h2, 0, 0]) {
+                            assert!(pts.contains(&[h2, h2, 0]));
+                            found = true;
+                        }
+                    }
+                }
+            }
+            assert!(
+                found,
+                "expected the (h/2, h/4) hanging node on the x = 1/2 edge"
+            );
+        });
+    }
+
+    #[test]
+    fn hanging_3d_face_and_edge() {
+        quadforest_comm::run(1, |comm| {
+            let conn = Arc::new(Connectivity::unit(3));
+            let mut f = Forest::<Q3>::new_uniform(conn, &comm, 1);
+            f.refine(&comm, false, |_, q| q.morton_index() == 0);
+            f.balance(&comm, BalanceKind::Full);
+            let nodes = f.nodes(&comm, &full_ghost(&f, &comm));
+            let mut face_hangs = 0;
+            let mut edge_hangs = 0;
+            for r in nodes.element_nodes.iter().flatten() {
+                if let NodeRef::Hanging(deps) = r {
+                    match deps.len() {
+                        2 => edge_hangs += 1,
+                        4 => face_hangs += 1,
+                        n => panic!("3D hanging node with {n} dependencies"),
+                    }
+                }
+            }
+            assert!(face_hangs > 0, "face centers must hang");
+            assert!(edge_hangs > 0, "edge midpoints must hang");
+        });
+    }
+
+    #[test]
+    fn periodic_identifies_opposite_faces() {
+        quadforest_comm::run(1, |comm| {
+            let conn = Arc::new(Connectivity::periodic(2));
+            let f = Forest::<Q2>::new_uniform(conn, &comm, 1);
+            let nodes = f.nodes(&comm, &full_ghost(&f, &comm));
+            // 2x2 torus grid: 4 distinct nodes
+            assert_eq!(nodes.global_count, 4);
+        });
+    }
+
+    #[test]
+    fn two_trees_share_interface_nodes() {
+        quadforest_comm::run(1, |comm| {
+            let conn = Arc::new(Connectivity::brick2d(2, 1, false, false));
+            let f = Forest::<Q2>::new_uniform(conn, &comm, 1);
+            let nodes = f.nodes(&comm, &full_ghost(&f, &comm));
+            // two 2x2 patches: 5x3 + 5x3 - shared 3 = 15 + 15 - 3 ... the
+            // combined grid is 4x2 elements -> 5x3 = 15 nodes
+            assert_eq!(nodes.global_count, 15);
+        });
+    }
+
+    #[test]
+    fn distributed_numbering_is_consistent() {
+        let serial_count = quadforest_comm::run(1, |comm| {
+            let conn = Arc::new(Connectivity::unit(2));
+            let mut f = Forest::<Q2>::new_uniform(conn, &comm, 2);
+            let center = [Q2::len_at(0) / 2, Q2::len_at(0) / 2, 0];
+            f.refine(&comm, true, |_, q| {
+                q.level() < 4 && q.contains_point(center)
+            });
+            f.balance(&comm, BalanceKind::Full);
+            let nodes = f.nodes(&comm, &full_ghost(&f, &comm));
+            nodes.global_count
+        })[0];
+        for p in [2usize, 3, 5] {
+            let maps = quadforest_comm::run(p, |comm| {
+                let conn = Arc::new(Connectivity::unit(2));
+                let mut f = Forest::<Q2>::new_uniform(conn, &comm, 2);
+                let center = [Q2::len_at(0) / 2, Q2::len_at(0) / 2, 0];
+                f.refine(&comm, true, |_, q| {
+                    q.level() < 4 && q.contains_point(center)
+                });
+                f.balance(&comm, BalanceKind::Full);
+                let nodes = f.nodes(&comm, &full_ghost(&f, &comm));
+                assert_eq!(nodes.global_count, serial_count, "P = {p}");
+                assert_eq!(comm.allreduce_sum(nodes.owned_count), nodes.global_count);
+                // return this rank's key -> id map
+                nodes
+                    .keys
+                    .iter()
+                    .zip(&nodes.global_ids)
+                    .map(|(k, id)| (*k, *id))
+                    .collect::<Vec<_>>()
+            });
+            // ids must agree wherever two ranks know the same node
+            let mut global: std::collections::HashMap<NodeKey, u64> =
+                std::collections::HashMap::new();
+            for map in maps {
+                for (k, id) in map {
+                    if let Some(prev) = global.insert(k, id) {
+                        assert_eq!(prev, id, "node {k:?} numbered inconsistently");
+                    }
+                }
+            }
+            assert_eq!(global.len() as u64, serial_count);
+            // ids form exactly 0..global_count
+            let mut ids: Vec<u64> = global.values().copied().collect();
+            ids.sort();
+            ids.dedup();
+            assert_eq!(ids, (0..serial_count).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn works_with_morton_representation() {
+        quadforest_comm::run(2, |comm| {
+            let conn = Arc::new(Connectivity::unit(3));
+            let f = Forest::<MortonQuad<3>>::new_uniform(conn, &comm, 2);
+            let nodes = f.nodes(&comm, &full_ghost(&f, &comm));
+            // 4x4x4 elements -> 5^3 nodes
+            assert_eq!(nodes.global_count, 125);
+        });
+    }
+}

@@ -1,0 +1,70 @@
+//! Structural invariant checking for distributed forests.
+
+use crate::{end_position, Forest, SfcPosition};
+use quadforest_core::quadrant::Quadrant;
+
+impl<Q: Quadrant> Forest<Q> {
+    /// Verify the linear-octree invariants of the local partition:
+    ///
+    /// * markers are monotone and end at the sentinel,
+    /// * every leaf is structurally valid and inside the unit tree,
+    /// * leaves are sorted in SFC order, pairwise disjoint, and their
+    ///   union tiles this rank's marker range exactly (no gaps, no
+    ///   overlap, no spill) — checked in one sweep by walking expected
+    ///   SFC positions.
+    pub fn validate(&self) -> Result<(), String> {
+        let k = self.trees.len();
+        // marker monotonicity
+        if self.markers.len() != self.size + 1 {
+            return Err(format!(
+                "markers length {} != P+1 = {}",
+                self.markers.len(),
+                self.size + 1
+            ));
+        }
+        for w in self.markers.windows(2) {
+            if w[0] > w[1] {
+                return Err(format!("markers not monotone: {:?} > {:?}", w[0], w[1]));
+            }
+        }
+        if *self.markers.last().unwrap() != end_position(k) {
+            return Err(format!(
+                "last marker {:?} is not the end sentinel {:?}",
+                self.markers.last().unwrap(),
+                end_position(k)
+            ));
+        }
+
+        // sweep: the local leaves must tile [markers[rank], markers[rank+1])
+        let lo = self.markers[self.rank];
+        let hi = self.markers[self.rank + 1];
+        let mut expected: SfcPosition = lo;
+        let per_tree = 1u64 << (Q::DIM * Q::MAX_LEVEL as u32);
+        for (t, q) in self.leaves() {
+            if !q.is_valid() {
+                return Err(format!("invalid leaf {q:?} in tree {t}"));
+            }
+            let first = (t, q.first_descendant(Q::MAX_LEVEL).morton_abs());
+            let last = (t, q.last_descendant(Q::MAX_LEVEL).morton_abs());
+            if first != expected {
+                return Err(format!(
+                    "gap or overlap: expected position {expected:?}, leaf {q:?} in tree {t} starts at {first:?}"
+                ));
+            }
+            // advance past this leaf
+            expected = if last.1 + 1 == per_tree {
+                (t + 1, 0)
+            } else {
+                (t, last.1 + 1)
+            };
+        }
+        // the walk may legitimately end at a tree boundary that the next
+        // rank's marker expresses as (t+1, 0)
+        if expected != hi {
+            return Err(format!(
+                "local range incomplete: walk ended at {expected:?}, marker range ends at {hi:?}"
+            ));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,243 @@
+//! Finite-volume diffusion on a dynamically adapting forest — the kind
+//! of application the AMR workflow exists for, and a hard end-to-end
+//! test of the interface machinery: explicit diffusion fluxes are
+//! exchanged across every mesh interface (conforming *and* hanging, local
+//! *and* ghost), and total mass must be conserved to machine precision
+//! at every step. Any interface visited twice, missed, or mis-paired
+//! breaks conservation immediately.
+//!
+//! A Gaussian blob diffuses through a periodic unit square; the mesh
+//! refines where the field is steep and coarsens behind, with
+//! mass-conservative remapping (children inherit, parents average).
+//!
+//! Run: `cargo run --release --example diffusion_fv`
+
+use quadforest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+type Q = Morton2;
+
+const RANKS: usize = 3;
+const BASE_LEVEL: u8 = 3;
+const MAX_LEVEL: u8 = 6;
+const STEPS: usize = 60;
+const KAPPA: f64 = 0.05;
+
+/// Leaf identity key for data remapping across adaptation.
+fn key(t: TreeId, q: &Q) -> (u32, u64, u8) {
+    (t, q.morton_abs(), q.level())
+}
+
+/// Initial condition: a narrow Gaussian at (0.3, 0.4).
+fn initial(t: TreeId, q: &Q) -> f64 {
+    let _ = t;
+    let root = Q::len_at(0) as f64;
+    let c = q.coords();
+    let h = q.side() as f64 / root;
+    let x = c[0] as f64 / root + h / 2.0;
+    let y = c[1] as f64 / root + h / 2.0;
+    let d2 = (x - 0.3).powi(2) + (y - 0.4).powi(2);
+    (-d2 / 0.003).exp()
+}
+
+/// One rank's simulation state: the forest plus one value per leaf.
+struct Sim {
+    forest: Forest<Q>,
+    u: Vec<f64>,
+}
+
+impl Sim {
+    fn leaf_index(&self) -> HashMap<(u32, u64, u8), usize> {
+        self.forest
+            .leaves()
+            .enumerate()
+            .map(|(i, (t, q))| (key(t, q), i))
+            .collect()
+    }
+
+    /// Local mass: Σ u_i · V_i (V in units of the root square).
+    fn local_mass(&self) -> f64 {
+        let root = Q::len_at(0) as f64;
+        self.forest
+            .leaves()
+            .zip(&self.u)
+            .map(|((_, q), u)| {
+                let h = q.side() as f64 / root;
+                u * h * h
+            })
+            .sum()
+    }
+
+    /// Adapt the mesh toward the field's steep regions and remap the
+    /// data conservatively (copy to children, volume-average to parent).
+    fn adapt(&mut self, comm: &Comm) {
+        let old_forest = self.forest.clone();
+        let old_u = self.u.clone();
+        let old_index: HashMap<_, _> = old_forest
+            .leaves()
+            .enumerate()
+            .map(|(i, (t, q))| (key(t, q), i))
+            .collect();
+
+        // refine where the value is significant, coarsen where flat
+        let index = self.leaf_index();
+        let u = &self.u;
+        let magnitude =
+            |t: TreeId, q: &Q| -> f64 { index.get(&key(t, q)).map(|i| u[*i]).unwrap_or(0.0) };
+        self.forest.refine(comm, false, |t, q| {
+            q.level() < MAX_LEVEL && magnitude(t, q) > 0.2
+        });
+        self.forest.coarsen(comm, false, |t, fam| {
+            fam[0].level() > BASE_LEVEL && fam.iter().all(|q| magnitude(t, q) < 0.05)
+        });
+        self.forest.balance(comm, BalanceKind::Face);
+
+        // remap: every new leaf is an old leaf, a child of one, or a
+        // parent of a family (possibly several levels after balance)
+        let mut new_u = Vec::with_capacity(self.forest.local_count());
+        for (t, q) in self.forest.leaves() {
+            if let Some(i) = old_index.get(&key(t, q)) {
+                new_u.push(old_u[*i]);
+                continue;
+            }
+            // containment search in the old local forest
+            let range = old_forest.overlapping_range(t, q);
+            let olds = &old_forest.tree_leaves(t)[range.clone()];
+            assert!(
+                !olds.is_empty(),
+                "remap source must be local (no repartition between adapt steps)"
+            );
+            if olds.len() == 1 && olds[0].is_ancestor_of(q) {
+                // refined: inherit the parent's value
+                let old_leaf_idx = old_index[&key(t, &olds[0])];
+                new_u.push(old_u[old_leaf_idx]);
+            } else {
+                // coarsened: volume-weighted average of the children
+                let mut mass = 0.0;
+                let mut vol = 0.0;
+                for o in olds {
+                    let i = old_index[&key(t, o)];
+                    let h = o.side() as f64;
+                    mass += old_u[i] * h * h;
+                    vol += h * h;
+                }
+                new_u.push(mass / vol);
+            }
+        }
+        self.u = new_u;
+    }
+
+    /// One explicit diffusion step; returns the flux applied per leaf.
+    fn step(&mut self, comm: &Comm, dt: f64) {
+        let root = Q::len_at(0) as f64;
+        let ghost = self.forest.ghost(comm, BalanceKind::Face);
+        let ghost_u = ghost.exchange_data(&self.forest, comm, &self.u);
+        let ghost_index: HashMap<_, _> = ghost
+            .ghosts
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (key(g.tree, &g.quad), i))
+            .collect();
+        let index = self.leaf_index();
+
+        let value = |side: &FaceSide<Q>, u: &[f64]| -> f64 {
+            let k = key(side.tree, &side.quad);
+            if side.is_ghost {
+                ghost_u[ghost_index[&k]]
+            } else {
+                u[index[&k]]
+            }
+        };
+
+        let mut du = vec![0.0; self.u.len()];
+        iterate_faces(&self.forest, &ghost, |iface| {
+            let Interface::Interior(primary, others) = iface else {
+                unreachable!("periodic domain has no boundary faces");
+            };
+            for other in &others {
+                // geometric factors: shared face length = the finer
+                // side's face; center distance along the face normal
+                let hp = primary.quad.side() as f64 / root;
+                let ho = other.quad.side() as f64 / root;
+                let area = hp.min(ho);
+                let dist = (hp + ho) / 2.0;
+                let up = value(&primary, &self.u);
+                let uo = value(other, &self.u);
+                let flux = KAPPA * (uo - up) * area / dist; // into primary
+                if !primary.is_ghost {
+                    let i = index[&key(primary.tree, &primary.quad)];
+                    let vol = hp * hp;
+                    du[i] += dt * flux / vol;
+                }
+                if !other.is_ghost {
+                    let i = index[&key(other.tree, &other.quad)];
+                    let vol = ho * ho;
+                    du[i] -= dt * flux / vol;
+                }
+            }
+        });
+        for (u, d) in self.u.iter_mut().zip(&du) {
+            *u += d;
+        }
+    }
+}
+
+fn main() {
+    let reports = quadforest::comm::run(RANKS, |comm| {
+        let conn = Arc::new(Connectivity::periodic(2));
+        let mut forest = Forest::<Q>::new_uniform(conn, &comm, BASE_LEVEL);
+        // initial refinement onto the blob, then freeze the partition
+        // (data stays rank-local through adaptation; see `adapt`)
+        for _ in 0..(MAX_LEVEL - BASE_LEVEL) {
+            forest.refine(&comm, false, |t, q| {
+                q.level() < MAX_LEVEL && initial(t, q) > 0.1
+            });
+        }
+        forest.balance(&comm, BalanceKind::Face);
+        let u: Vec<f64> = forest.leaves().map(|(t, q)| initial(t, &q)).collect();
+        let mut sim = Sim { forest, u };
+
+        let mass0 = comm.allreduce(sim.local_mass(), |a, b| a + b);
+        let mut history = Vec::new();
+        // dt bounded by the finest cell: dt <= h_min^2 / (4 kappa)
+        let hmin = 1.0 / (1u64 << MAX_LEVEL) as f64;
+        let dt = 0.2 * hmin * hmin / KAPPA;
+
+        for s in 0..STEPS {
+            sim.step(&comm, dt);
+            if s % 10 == 9 {
+                sim.adapt(&comm);
+            }
+            let mass = comm.allreduce(sim.local_mass(), |a, b| a + b);
+            let umax = comm.allreduce(sim.u.iter().cloned().fold(0.0f64, f64::max), |a, b| {
+                a.max(*b)
+            });
+            history.push((s, sim.forest.global_count(), mass, umax));
+            let drift = (mass - mass0).abs() / mass0;
+            assert!(
+                drift < 1e-12,
+                "mass must be conserved: step {s}, drift {drift:e}"
+            );
+        }
+        (mass0, history)
+    });
+
+    let (mass0, history) = &reports[0];
+    println!("finite-volume diffusion on dynamic AMR — periodic square, {RANKS} ranks");
+    println!("initial mass: {mass0:.12}");
+    println!("step | leaves | mass (conserved) | max u");
+    for (s, n, mass, umax) in history.iter().step_by(10) {
+        println!("{s:4} | {n:6} | {mass:.12} | {umax:.4}");
+    }
+    let (_, n_last, mass_last, umax_last) = history.last().unwrap();
+    println!(
+        "{:4} | {n_last:6} | {mass_last:.12} | {umax_last:.4}",
+        STEPS - 1
+    );
+    println!(
+        "\nOK: mass drift {:.2e} over {STEPS} steps (machine precision), peak decayed {:.2}x",
+        (mass_last - mass0).abs() / mass0,
+        history[0].3 / umax_last
+    );
+}

@@ -1,0 +1,111 @@
+//! Quickstart: the canonical p4est-style opening sequence.
+//!
+//! Builds a forest over a 2×2 brick of quadtrees on four simulated MPI
+//! ranks, refines toward a circle, 2:1-balances, repartitions, builds a
+//! ghost layer, and iterates the mesh interfaces — the full high-level
+//! workflow the paper's quadrant representations plug into. The
+//! representation is chosen once, on the type parameter; everything else
+//! is representation-agnostic.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use quadforest::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    const RANKS: usize = 4;
+    const INIT_LEVEL: u8 = 3;
+    const MAX_LEVEL: u8 = 6;
+
+    // The circle we refine toward, in unit coordinates of the brick.
+    let center = [1.0, 1.0];
+    let radius = 0.55;
+
+    let reports = quadforest::comm::run(RANKS, |comm| {
+        // a 2x2 brick of quadtrees — the macro mesh
+        let conn = Arc::new(Connectivity::brick2d(2, 2, false, false));
+
+        // The paper's raw Morton representation drives the whole run;
+        // swap `Morton2` for `Standard2`, `Avx2d` or `Morton128x2` and
+        // every result below stays identical.
+        let mut forest = Forest::<Morton2>::new_uniform(conn, &comm, INIT_LEVEL);
+
+        // refine every leaf crossing the circle boundary
+        let root_len = Morton2::len_at(0) as f64;
+        let crosses_circle = |tree: TreeId, q: &Morton2| {
+            let tx = (tree % 2) as f64;
+            let ty = (tree / 2) as f64;
+            let c = q.coords();
+            let h = q.side() as f64 / root_len;
+            let x0 = tx + c[0] as f64 / root_len;
+            let y0 = ty + c[1] as f64 / root_len;
+            // does the leaf box intersect the circle line?
+            let (mut dmin, mut dmax) = (0.0f64, 0.0f64);
+            for (lo, cc) in [(x0, center[0]), (y0, center[1])] {
+                let hi = lo + h;
+                let lo_d = lo - cc;
+                let hi_d = hi - cc;
+                let far = lo_d.abs().max(hi_d.abs());
+                let near = if lo_d <= 0.0 && hi_d >= 0.0 {
+                    0.0
+                } else {
+                    lo_d.abs().min(hi_d.abs())
+                };
+                dmin += near * near;
+                dmax += far * far;
+            }
+            dmin.sqrt() <= radius && dmax.sqrt() >= radius
+        };
+        forest.refine(&comm, true, |t, q| {
+            q.level() < MAX_LEVEL && crosses_circle(t, q)
+        });
+
+        let after_refine = forest.global_count();
+        let refined_balance = forest.balance(&comm, BalanceKind::Face);
+        forest
+            .is_balanced_local(BalanceKind::Face)
+            .expect("2:1 holds");
+        let moved = forest.partition(&comm);
+        forest.validate().expect("forest invariants");
+
+        // ghost layer + interface statistics
+        let ghost = forest.ghost(&comm, BalanceKind::Face);
+        let (mut boundary, mut conforming, mut hanging) = (0u64, 0u64, 0u64);
+        iterate_faces(&forest, &ghost, |iface| match iface {
+            Interface::Boundary(_) => boundary += 1,
+            Interface::Interior(_, others) => {
+                if others.len() == 1 {
+                    conforming += 1
+                } else {
+                    hanging += 1
+                }
+            }
+        });
+
+        (
+            comm.rank(),
+            after_refine,
+            forest.global_count(),
+            refined_balance,
+            moved,
+            forest.local_count(),
+            ghost.len(),
+            (boundary, conforming, hanging),
+        )
+    });
+
+    println!("quadforest quickstart — 2x2 brick, {RANKS} simulated ranks, raw-Morton quadrants");
+    println!(
+        "global leaves: {} after refine -> {} after balance",
+        reports[0].1, reports[0].2
+    );
+    for (rank, _, _, bal, moved, local, ghosts, (b, c, h)) in &reports {
+        println!(
+            "rank {rank}: {local:5} leaves, {ghosts:3} ghosts, balance refined {bal:3}, \
+             partition moved {moved:4} | faces: {b} boundary / {c} conforming / {h} hanging"
+        );
+    }
+    let total: usize = reports.iter().map(|r| r.5).sum();
+    assert_eq!(total as u64, reports[0].2);
+    println!("OK: per-rank leaves sum to the global count");
+}
