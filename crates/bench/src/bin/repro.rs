@@ -5,6 +5,7 @@
 //! repro --fig 4               # one figure
 //! repro --mem --level 8       # Section 3.2 memory experiment
 //! repro --autovec             # contribution 5
+//! repro --chaos               # fault-injected forest pipeline
 //! repro --iters 5 --ranks 1,4,64,512
 //! ```
 //!
@@ -66,6 +67,7 @@ struct Opts {
     mem_level: u8,
     autovec: bool,
     dim2: bool,
+    chaos: bool,
     iters: usize,
     ranks: Vec<usize>,
 }
@@ -77,6 +79,7 @@ fn parse_args() -> Opts {
         mem_level: 8,
         autovec: false,
         dim2: false,
+        chaos: false,
         iters: 3,
         ranks: RANKS.to_vec(),
     };
@@ -89,6 +92,7 @@ fn parse_args() -> Opts {
                 opts.figures = vec![2, 3, 4, 5, 6, 7];
                 opts.mem = true;
                 opts.autovec = true;
+                opts.chaos = true;
                 any = true;
             }
             "--fig" => {
@@ -102,6 +106,10 @@ fn parse_args() -> Opts {
             }
             "--autovec" => {
                 opts.autovec = true;
+                any = true;
+            }
+            "--chaos" => {
+                opts.chaos = true;
                 any = true;
             }
             "--dim2" => {
@@ -135,6 +143,7 @@ fn parse_args() -> Opts {
         opts.mem = true;
         opts.autovec = true;
         opts.dim2 = true;
+        opts.chaos = true;
     }
     opts
 }
@@ -495,6 +504,75 @@ fn run_dim2(opts: &Opts) {
     row!("tree_boundaries", kernel_boundaries, |v| v);
 }
 
+// ---------------------------------------------------------------------------
+// Chaos: the forest pipeline under deterministic fault injection
+// ---------------------------------------------------------------------------
+
+fn run_chaos(opts: &Opts) {
+    use quadforest_comm::FaultPlan;
+    use quadforest_connectivity::Connectivity;
+    use quadforest_core::quadrant::MortonQuad;
+    use quadforest_forest::{BalanceKind, Forest};
+    use std::sync::Arc;
+
+    println!("\n## Chaos: refine→balance→partition→ghost under fault injection");
+    println!("delivery delays + cross-stream reordering; a correct pipeline must be");
+    println!("bit-identical to the fault-free run (seeded plans replay exactly)\n");
+
+    fn pipeline(comm: &quadforest_comm::Comm) -> (u64, u64) {
+        let conn = Arc::new(Connectivity::unit(2));
+        let mut f = Forest::<MortonQuad<2>>::new_uniform(conn, comm, 2);
+        f.refine(comm, true, |_, q| {
+            let c = q.coords();
+            q.level() < 6 && c[0] == 0 && c[1] == 0
+        });
+        f.balance(comm, BalanceKind::Face);
+        f.partition(comm);
+        let ghost = f.ghost(comm, BalanceKind::Face);
+        f.validate().expect("invariants must hold under chaos");
+        (f.checksum(comm), comm.allreduce_sum(ghost.len() as u64))
+    }
+
+    println!("| P | fault seed | checksum | ghosts | matches fault-free | wall (ms) |");
+    println!("|---|---|---|---|---|---|");
+    let mut all_ok = true;
+    for &p in &[1usize, 2, 4, 7] {
+        let baseline = quadforest_comm::run(p, |c| pipeline(&c));
+        for seed in [11u64, 22, 33, 44] {
+            let plan = FaultPlan::new(seed)
+                .with_delays(0.2, Duration::from_micros(100))
+                .with_reordering(0.25);
+            let t = std::time::Instant::now();
+            let chaotic = quadforest_comm::run_with_faults(p, plan, |c| pipeline(&c))
+                .unwrap_or_else(|e| panic!("chaos run failed: {e}"));
+            let wall = t.elapsed();
+            let ok = chaotic == baseline;
+            all_ok &= ok;
+            println!(
+                "| {p} | {seed} | {:#018x} | {} | {} | {:.3} |",
+                chaotic[0].0,
+                chaotic[0].1,
+                if ok { "yes" } else { "NO" },
+                ms(wall)
+            );
+        }
+    }
+    assert!(all_ok, "fault injection changed a pipeline result");
+
+    // and a scheduled rank death: the world reports instead of hanging
+    let plan = FaultPlan::new(1).with_panic_at(2, 9);
+    match quadforest_comm::run_with_faults(4, plan, |c| pipeline(&c)) {
+        Ok(_) => println!("\nscheduled panic did not fire (pipeline too short)"),
+        Err(e) => println!(
+            "\nscheduled rank death at P=4: origin rank {} — \"{}\" ({} collateral)",
+            e.origin,
+            e.reason,
+            e.failures.len().saturating_sub(1)
+        ),
+    }
+    let _ = opts;
+}
+
 fn main() {
     let opts = parse_args();
     println!("# quadforest repro — paper evaluation on this machine");
@@ -516,5 +594,8 @@ fn main() {
     }
     if opts.dim2 {
         run_dim2(&opts);
+    }
+    if opts.chaos {
+        run_chaos(&opts);
     }
 }

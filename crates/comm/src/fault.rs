@@ -1,0 +1,319 @@
+//! Deterministic, seed-driven fault injection for chaos-testing the
+//! forest algorithms.
+//!
+//! A [`FaultPlan`] describes *what can go wrong* in a world: message
+//! delivery delays, cross-`(dst, tag)` delivery reordering, and
+//! scheduled rank panics at the Nth communication operation. The plan
+//! is compiled per rank into an independent [`RankFaults`] stream, so
+//! the same `(plan, size)` pair always injects exactly the same faults
+//! regardless of OS scheduling — chaos runs are replayable from the
+//! seed alone.
+//!
+//! Reordering is implemented sender-side as a hold-back buffer: a
+//! to-be-reordered message is parked in the sender and flushed later in
+//! a shuffled order. Messages to the *same* `(dst, tag)` are always
+//! appended behind an already-held message for that destination, which
+//! preserves the simulator's per-sender non-overtaking guarantee — the
+//! injected faults only exercise timing freedom the real network has
+//! anyway, so correct programs must produce identical results.
+
+use std::cell::{Cell, RefCell};
+use std::time::Duration;
+
+/// splitmix64: tiny, seedable, statistically fine for fault schedules.
+#[inline]
+fn splitmix64(state: &Cell<u64>) -> u64 {
+    let s = state.get().wrapping_add(0x9E37_79B9_7F4A_7C15);
+    state.set(s);
+    let mut z = s;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Draw from `[0, bound)` without modulo bias (128-bit multiply-shift).
+#[inline]
+fn below(state: &Cell<u64>, bound: u64) -> u64 {
+    if bound == 0 {
+        return 0;
+    }
+    (((splitmix64(state) as u128) * (bound as u128)) >> 64) as u64
+}
+
+/// Probability expressed in 1/65536ths so plans are hashable/Eq-able.
+const PROB_ONE: u32 = 1 << 16;
+
+fn prob_to_fixed(p: f64) -> u32 {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+    (p * PROB_ONE as f64).round() as u32
+}
+
+#[inline]
+fn coin(state: &Cell<u64>, fixed_prob: u32) -> bool {
+    fixed_prob > 0 && (splitmix64(state) & 0xFFFF) < fixed_prob as u64
+}
+
+/// A declarative, deterministic description of faults to inject into a
+/// world run via [`run_with_faults`](crate::run_with_faults) or
+/// [`RunOptions`](crate::RunOptions).
+///
+/// All randomness derives from `seed`; two runs with the same plan and
+/// world size inject identical faults.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// P(delay) per sent message, in 1/65536ths.
+    delay_prob: u32,
+    /// Maximum injected delay; actual delay is uniform in [0, max].
+    delay_max: Duration,
+    /// P(hold back for reordering) per sent message, in 1/65536ths.
+    reorder_prob: u32,
+    /// `(rank, op_index)`: rank panics when its op counter reaches the
+    /// index (0-based over that rank's communication operations).
+    panics: Vec<(usize, u64)>,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults enabled yet.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            delay_prob: 0,
+            delay_max: Duration::ZERO,
+            reorder_prob: 0,
+            panics: Vec::new(),
+        }
+    }
+
+    /// Delay each sent message with probability `prob`, by a uniform
+    /// duration in `[0, max]`.
+    pub fn with_delays(mut self, prob: f64, max: Duration) -> Self {
+        self.delay_prob = prob_to_fixed(prob);
+        self.delay_max = max;
+        self
+    }
+
+    /// Hold back each sent message with probability `prob` and deliver
+    /// it later, shuffled against other held messages to different
+    /// `(dst, tag)` streams. Per-`(dst, tag)` FIFO order is preserved.
+    pub fn with_reordering(mut self, prob: f64) -> Self {
+        self.reorder_prob = prob_to_fixed(prob);
+        self
+    }
+
+    /// Schedule `rank` to panic when its communication-operation
+    /// counter reaches `op_index` (0-based). The panic fires at the
+    /// entry of that operation, before any message moves.
+    pub fn with_panic_at(mut self, rank: usize, op_index: u64) -> Self {
+        self.panics.push((rank, op_index));
+        self
+    }
+
+    /// The plan's seed (used by diagnostics and replay messages).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True if the plan injects any fault at all.
+    pub fn is_active(&self) -> bool {
+        self.delay_prob > 0 || self.reorder_prob > 0 || !self.panics.is_empty()
+    }
+
+    /// Compile the per-rank fault stream. Each rank gets an independent
+    /// RNG stream derived from `(seed, rank)` so adding a rank does not
+    /// shift any other rank's faults.
+    pub(crate) fn compile<T>(&self, rank: usize) -> RankFaults<T> {
+        let stream = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((rank as u64).wrapping_mul(0xD1B5_4A32_D192_ED03))
+            ^ 0x5851_F42D_4C95_7F2D;
+        RankFaults {
+            rng: Cell::new(stream),
+            delay_prob: self.delay_prob,
+            delay_max: self.delay_max,
+            reorder_prob: self.reorder_prob,
+            panic_at: self
+                .panics
+                .iter()
+                .filter(|(r, _)| *r == rank)
+                .map(|(_, op)| *op)
+                .min(),
+            op_counter: Cell::new(0),
+            held: RefCell::new(Vec::new()),
+        }
+    }
+}
+
+/// A message parked in the sender's hold-back buffer.
+pub(crate) struct HeldMsg<T> {
+    pub dst: usize,
+    pub tag: u64,
+    pub msg: T,
+}
+
+/// The compiled fault stream of one rank. Lives inside that rank's
+/// `Comm`; not `Sync` (uses `Cell`/`RefCell`), which is fine because a
+/// `Comm` is single-threaded by construction.
+pub(crate) struct RankFaults<T = crate::Msg> {
+    rng: Cell<u64>,
+    delay_prob: u32,
+    delay_max: Duration,
+    reorder_prob: u32,
+    /// First scheduled panic for this rank, if any.
+    panic_at: Option<u64>,
+    /// Communication operations performed so far by this rank.
+    op_counter: Cell<u64>,
+    /// Sender-side hold-back buffer for reordering.
+    held: RefCell<Vec<HeldMsg<T>>>,
+}
+
+impl<T> RankFaults<T> {
+    /// Count one communication operation; returns the op index at which
+    /// a scheduled panic must fire, if this operation is it.
+    pub fn tick_op(&self) -> Option<u64> {
+        let op = self.op_counter.get();
+        self.op_counter.set(op + 1);
+        match self.panic_at {
+            Some(at) if at == op => Some(op),
+            _ => None,
+        }
+    }
+
+    /// Delay to inject before sending the next message, if any.
+    pub fn draw_delay(&self) -> Option<Duration> {
+        if !coin(&self.rng, self.delay_prob) {
+            return None;
+        }
+        let max_us = self.delay_max.as_micros() as u64;
+        Some(Duration::from_micros(below(
+            &self.rng,
+            max_us.saturating_add(1),
+        )))
+    }
+
+    /// Decide whether to hold this message back for reordering. A
+    /// message whose `(dst, tag)` already has a held predecessor is
+    /// *always* held (appended behind it) so per-stream FIFO survives.
+    pub fn maybe_hold(&self, dst: usize, tag: u64, msg: T) -> Option<T> {
+        let mut held = self.held.borrow_mut();
+        let stream_blocked = held.iter().any(|h| h.dst == dst && h.tag == tag);
+        if stream_blocked || coin(&self.rng, self.reorder_prob) {
+            held.push(HeldMsg { dst, tag, msg });
+            None
+        } else {
+            Some(msg)
+        }
+    }
+
+    /// Drain the hold-back buffer in a shuffled order that keeps each
+    /// `(dst, tag)` stream's relative order intact: repeatedly pick a
+    /// random stream and emit its oldest held message.
+    pub fn drain_held(&self) -> Vec<HeldMsg<T>> {
+        let mut held = self.held.borrow_mut();
+        let mut out = Vec::with_capacity(held.len());
+        while !held.is_empty() {
+            // pick a random held message that is the *first* of its
+            // (dst, tag) stream — always exists (e.g. index 0's stream
+            // head is at or before index 0)
+            let k = below(&self.rng, held.len() as u64) as usize;
+            let (dst, tag) = (held[k].dst, held[k].tag);
+            let first = held
+                .iter()
+                .position(|h| h.dst == dst && h.tag == tag)
+                .expect("stream head exists");
+            out.push(held.remove(first));
+        }
+        out
+    }
+
+    /// True if any messages are currently held back.
+    pub fn has_held(&self) -> bool {
+        !self.held.borrow().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_deterministic_per_rank() {
+        let plan = FaultPlan::new(42)
+            .with_delays(0.5, Duration::from_micros(100))
+            .with_reordering(0.5);
+        let a: RankFaults<u32> = plan.compile(3);
+        let b: RankFaults<u32> = plan.compile(3);
+        for _ in 0..64 {
+            assert_eq!(a.draw_delay(), b.draw_delay());
+        }
+        // different ranks get different streams
+        let c: RankFaults<u32> = plan.compile(4);
+        let delays_a: Vec<_> = (0..64).map(|_| a.draw_delay()).collect();
+        let delays_c: Vec<_> = (0..64).map(|_| c.draw_delay()).collect();
+        assert_ne!(delays_a, delays_c);
+    }
+
+    #[test]
+    fn hold_back_preserves_per_stream_fifo() {
+        let plan = FaultPlan::new(7).with_reordering(0.4);
+        let f: RankFaults<u32> = plan.compile(0);
+        // pump 200 messages across 3 (dst, tag) streams; anything not
+        // held is "delivered" immediately
+        let mut delivered: Vec<(usize, u64, u32)> = Vec::new();
+        for i in 0..200u32 {
+            let dst = (i % 3) as usize;
+            let tag = (i % 2) as u64;
+            if let Some(m) = f.maybe_hold(dst, tag, i) {
+                delivered.push((dst, tag, m));
+            }
+            if i % 50 == 49 {
+                for h in f.drain_held() {
+                    delivered.push((h.dst, h.tag, h.msg));
+                }
+            }
+        }
+        for h in f.drain_held() {
+            delivered.push((h.dst, h.tag, h.msg));
+        }
+        assert_eq!(delivered.len(), 200);
+        // per-(dst, tag) stream payloads must be strictly increasing
+        for dst in 0..3usize {
+            for tag in 0..2u64 {
+                let stream: Vec<u32> = delivered
+                    .iter()
+                    .filter(|(d, t, _)| *d == dst && *t == tag)
+                    .map(|(_, _, m)| *m)
+                    .collect();
+                assert!(
+                    stream.windows(2).all(|w| w[0] < w[1]),
+                    "stream ({dst},{tag}) reordered: {stream:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scheduled_panic_fires_exactly_once() {
+        let plan = FaultPlan::new(1).with_panic_at(2, 5);
+        let f: RankFaults<u32> = plan.compile(2);
+        let fires: Vec<bool> = (0..10).map(|_| f.tick_op().is_some()).collect();
+        assert_eq!(fires.iter().filter(|b| **b).count(), 1);
+        assert!(fires[5]);
+        // other ranks never fire
+        let g: RankFaults<u32> = plan.compile(1);
+        assert!((0..10).all(|_| g.tick_op().is_none()));
+    }
+
+    #[test]
+    fn zero_prob_injects_nothing() {
+        let plan = FaultPlan::new(9);
+        assert!(!plan.is_active());
+        let f: RankFaults<u32> = plan.compile(0);
+        for i in 0..100 {
+            assert!(f.draw_delay().is_none());
+            assert!(f.maybe_hold(0, 0, i).is_some());
+        }
+        assert!(!f.has_held());
+    }
+}

@@ -15,36 +15,270 @@
 //! algorithms built on it produce rank-count-independent results, which
 //! the integration tests assert by comparing partitions and ghost layers
 //! across different `P`.
+//!
+//! ## Failure semantics
+//!
+//! Real MPI aborts the job when a rank dies; a naive thread simulator
+//! instead deadlocks, because the surviving ranks block forever in
+//! `recv`. This crate propagates failure the way
+//! `MPI_ERRORS_RETURN` + `MPI_Abort` would:
+//!
+//! * every world carries a shared *abort* state — the first rank to
+//!   panic, return an error, or time out records itself as the origin
+//!   and wakes every blocked peer, which then unwinds with
+//!   [`CommError::Aborted`];
+//! * [`try_run`] returns [`WorldError`] naming the origin rank, the
+//!   reason, and every rank that unwound in consequence ([`run`] keeps
+//!   the old infallible signature and simply panics with that report);
+//! * every communication call has a fallible `try_*` twin returning
+//!   [`CommError`] instead of panicking;
+//! * blocking receives respect a configurable timeout
+//!   ([`RunOptions::recv_timeout`]); on expiry the rank dumps a
+//!   deadlock diagnostic — what every rank was waiting on, its parked
+//!   messages, its collective sequence number — then aborts the world.
+//!
+//! ## Chaos testing
+//!
+//! [`run_with_faults`] executes a rank program under a deterministic,
+//! seed-driven [`FaultPlan`]: message delivery delays, cross-stream
+//! reordering (per-`(dst, tag)` FIFO is preserved, exactly the freedom
+//! a real network has), and scheduled rank panics at the Nth
+//! communication operation. Because a correct program may not depend on
+//! timing, a delay/reorder plan must not change any result:
+//!
+//! ```
+//! use quadforest_comm::{run, run_with_faults, FaultPlan};
+//! use std::time::Duration;
+//!
+//! let plan = FaultPlan::new(0xC0FFEE)
+//!     .with_delays(0.25, Duration::from_micros(200))
+//!     .with_reordering(0.25);
+//! let chaotic = run_with_faults(4, plan, |c| c.allreduce_sum(c.rank() as u64)).unwrap();
+//! let calm = run(4, |c| c.allreduce_sum(c.rank() as u64));
+//! assert_eq!(chaotic, calm);
+//! ```
+//!
+//! And a scheduled panic surfaces as a typed world failure instead of a
+//! hang:
+//!
+//! ```
+//! use quadforest_comm::{run_with_faults, FaultPlan};
+//!
+//! let err = run_with_faults(4, FaultPlan::new(1).with_panic_at(2, 0), |c| {
+//!     c.barrier();
+//!     c.rank()
+//! })
+//! .unwrap_err();
+//! assert_eq!(err.origin, 2);
+//! ```
 
 #![warn(missing_docs)]
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+mod error;
+mod fault;
+
+pub use error::{CommError, RankError, RankFailure, WorldError};
+pub use fault::FaultPlan;
+
+use error::tag_display;
+use fault::RankFaults;
 use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// A tagged, typed message in flight.
-struct Msg {
+pub(crate) struct Msg {
     src: usize,
     tag: u64,
     payload: Box<dyn Any + Send>,
 }
 
+/// User tags live below this bound; collective-internal tags above it.
+pub(crate) const COLL_TAG_BASE: u64 = 1 << 48;
+
+/// Lock a mutex, ignoring poisoning: a poisoned mailbox or status cell
+/// only means some rank panicked while holding it, and the abort
+/// machinery — not the lock — is what reports that failure.
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// One rank's inbound queue plus the condvar its owner blocks on.
+struct Mailbox {
+    queue: Mutex<VecDeque<Msg>>,
+    cv: Condvar,
+}
+
+/// What a rank is doing right now, as visible to peers building a
+/// deadlock diagnostic.
+#[derive(Clone, Debug)]
+enum RankState {
+    /// Executing user code (not blocked inside the simulator).
+    Running,
+    /// Blocked in a receive.
+    Waiting {
+        src: usize,
+        tag: u64,
+        /// `(src, tag)` of every parked (received but unmatched) message.
+        parked: Vec<(usize, u64)>,
+        /// Collective sequence number (how many collectives completed).
+        coll_seq: u64,
+    },
+    /// Rank program returned successfully.
+    Finished,
+    /// Rank program panicked or returned an error.
+    Failed(String),
+}
+
+/// The origin of a world abort.
+#[derive(Clone)]
+struct AbortInfo {
+    origin: usize,
+    reason: String,
+}
+
+/// Shared per-world state: mailboxes, abort flag, per-rank status.
+struct World {
+    size: usize,
+    recv_timeout: Duration,
+    mailboxes: Vec<Mailbox>,
+    /// Fast-path flag; the authoritative record is `abort`.
+    aborted: AtomicBool,
+    /// First failure wins; later aborts keep the original origin.
+    abort: Mutex<Option<AbortInfo>>,
+    status: Vec<Mutex<RankState>>,
+}
+
+impl World {
+    fn new(size: usize, recv_timeout: Duration) -> Self {
+        World {
+            size,
+            recv_timeout,
+            mailboxes: (0..size)
+                .map(|_| Mailbox {
+                    queue: Mutex::new(VecDeque::new()),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            aborted: AtomicBool::new(false),
+            abort: Mutex::new(None),
+            status: (0..size).map(|_| Mutex::new(RankState::Running)).collect(),
+        }
+    }
+
+    fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+    }
+
+    fn set_status(&self, rank: usize, state: RankState) {
+        *plock(&self.status[rank]) = state;
+    }
+
+    /// Record a failure and wake every blocked rank. The first caller
+    /// becomes the abort origin; later callers are collateral and do
+    /// not overwrite it. Notifying under each queue lock guarantees no
+    /// receiver misses the wakeup: it either sees the flag before
+    /// sleeping or is woken after.
+    fn abort(&self, origin: usize, reason: String) {
+        {
+            let mut info = plock(&self.abort);
+            if info.is_none() {
+                *info = Some(AbortInfo { origin, reason });
+            }
+        }
+        self.aborted.store(true, Ordering::Release);
+        for mb in &self.mailboxes {
+            let _guard = plock(&mb.queue);
+            mb.cv.notify_all();
+        }
+    }
+
+    /// The `CommError` a rank unwinds with once the world is aborted.
+    fn abort_error(&self) -> CommError {
+        let info = plock(&self.abort).clone();
+        match info {
+            Some(AbortInfo { origin, reason }) => CommError::Aborted { origin, reason },
+            // The flag can only be set through `abort`, but stay safe.
+            None => CommError::Aborted {
+                origin: usize::MAX,
+                reason: "world aborted".into(),
+            },
+        }
+    }
+
+    fn abort_info(&self) -> Option<(usize, String)> {
+        plock(&self.abort).clone().map(|i| (i.origin, i.reason))
+    }
+
+    /// Per-rank world-state dump used by the timeout path: what every
+    /// rank is blocked on, its parked messages, its collective
+    /// sequence number.
+    fn diagnostic(&self) -> String {
+        let mut s = format!(
+            "deadlock diagnostic (size {}, recv timeout {:?}):\n",
+            self.size, self.recv_timeout
+        );
+        for (rank, cell) in self.status.iter().enumerate() {
+            let state = plock(cell).clone();
+            match state {
+                RankState::Running => {
+                    s.push_str(&format!("  rank {rank}: running (not blocked in comm)\n"));
+                }
+                RankState::Waiting {
+                    src,
+                    tag,
+                    parked,
+                    coll_seq,
+                } => {
+                    let parked_s = if parked.is_empty() {
+                        "-".to_string()
+                    } else {
+                        parked
+                            .iter()
+                            .map(|(ps, pt)| format!("{}@src{}", tag_display(*pt), ps))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    };
+                    s.push_str(&format!(
+                        "  rank {rank}: waiting on src={src} tag={} coll_seq={coll_seq} parked=[{parked_s}]\n",
+                        tag_display(tag)
+                    ));
+                }
+                RankState::Finished => {
+                    s.push_str(&format!("  rank {rank}: finished\n"));
+                }
+                RankState::Failed(why) => {
+                    s.push_str(&format!("  rank {rank}: failed ({why})\n"));
+                }
+            }
+        }
+        s
+    }
+
+    /// Enqueue a message and wake the destination if it is blocked.
+    fn deliver(&self, dest: usize, msg: Msg) {
+        let mb = &self.mailboxes[dest];
+        plock(&mb.queue).push_back(msg);
+        mb.cv.notify_all();
+    }
+}
+
 /// Per-rank communicator handle. Not `Sync`: each rank owns its handle.
 pub struct Comm {
     rank: usize,
-    size: usize,
-    senders: Vec<Sender<Msg>>,
-    inbox: Receiver<Msg>,
+    world: Arc<World>,
     /// Out-of-order messages parked until a matching `recv`.
     parked: RefCell<VecDeque<Msg>>,
     /// Sequence number for collective operations; identical call order on
     /// every rank yields matching tags without global coordination.
     coll_seq: Cell<u64>,
+    /// Compiled fault stream, when running under a [`FaultPlan`].
+    faults: Option<RankFaults>,
 }
-
-/// User tags live below this bound; collective-internal tags above it.
-const COLL_TAG_BASE: u64 = 1 << 48;
 
 impl Comm {
     /// This rank's id in `0..size`.
@@ -54,55 +288,186 @@ impl Comm {
 
     /// Number of ranks `P`.
     pub fn size(&self) -> usize {
-        self.size
+        self.world.size
     }
 
-    /// Send `data` to `dest` with `tag`. Never blocks (buffered channel).
+    /// Count one communication operation against the fault plan; a
+    /// scheduled panic fires here, before any message moves. Raised via
+    /// `resume_unwind` so the global panic hook stays quiet — injected
+    /// deaths are expected, only *unexpected* panics should print.
+    fn tick(&self) {
+        if let Some(f) = &self.faults {
+            if let Some(op) = f.tick_op() {
+                std::panic::resume_unwind(Box::new(format!(
+                    "fault injection: scheduled panic at comm op {op} on rank {}",
+                    self.rank
+                )));
+            }
+        }
+    }
+
+    /// Deliver every held-back (reordered) message, in a seeded shuffle
+    /// that preserves per-`(dst, tag)` order. Called before any
+    /// blocking receive — holding messages across our own recv could
+    /// otherwise manufacture a deadlock the real network cannot.
+    fn flush_held(&self) {
+        if let Some(f) = &self.faults {
+            if f.has_held() {
+                for h in f.drain_held() {
+                    self.world.deliver(h.dst, h.msg);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // point-to-point
+    // ------------------------------------------------------------------
+
+    /// Send `data` to `dest` with `tag`. Never blocks (buffered
+    /// mailboxes). Panics if the world has aborted; see [`Comm::try_send`].
     pub fn send<T: Send + 'static>(&self, dest: usize, tag: u64, data: T) {
-        assert!(tag < COLL_TAG_BASE, "user tags must be < 2^48");
-        self.send_raw(dest, tag, data);
+        self.try_send(dest, tag, data)
+            .unwrap_or_else(|e| comm_panic(e))
     }
 
-    fn send_raw<T: Send + 'static>(&self, dest: usize, tag: u64, data: T) {
-        self.senders[dest]
-            .send(Msg {
-                src: self.rank,
-                tag,
-                payload: Box::new(data),
-            })
-            .expect("peer rank hung up before shutdown");
+    /// Fallible [`Comm::send`]: returns [`CommError::Aborted`] instead of
+    /// panicking when another rank has already failed.
+    pub fn try_send<T: Send + 'static>(
+        &self,
+        dest: usize,
+        tag: u64,
+        data: T,
+    ) -> Result<(), CommError> {
+        assert!(tag < COLL_TAG_BASE, "user tags must be < 2^48");
+        self.tick();
+        self.send_impl(dest, tag, Box::new(data))
+    }
+
+    fn send_impl(
+        &self,
+        dest: usize,
+        tag: u64,
+        payload: Box<dyn Any + Send>,
+    ) -> Result<(), CommError> {
+        if self.world.is_aborted() {
+            return Err(self.world.abort_error());
+        }
+        let msg = Msg {
+            src: self.rank,
+            tag,
+            payload,
+        };
+        match &self.faults {
+            Some(f) => {
+                if let Some(delay) = f.draw_delay() {
+                    std::thread::sleep(delay);
+                }
+                if let Some(msg) = f.maybe_hold(dest, tag, msg) {
+                    self.world.deliver(dest, msg);
+                }
+            }
+            None => self.world.deliver(dest, msg),
+        }
+        Ok(())
     }
 
     /// Blocking receive of the next message from `src` with `tag`.
     /// Messages from the same sender are non-overtaking per tag.
+    /// Panics on abort, timeout, or payload-type mismatch; see
+    /// [`Comm::try_recv`].
     pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
-        assert!(tag < COLL_TAG_BASE, "user tags must be < 2^48");
-        self.recv_raw(src, tag)
+        self.try_recv(src, tag).unwrap_or_else(|e| comm_panic(e))
     }
 
-    fn recv_raw<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
+    /// Fallible [`Comm::recv`]: unwinds with [`CommError::Aborted`] when a
+    /// peer fails while we block, [`CommError::Timeout`] (carrying a
+    /// world-state deadlock diagnostic) when nothing arrives within the
+    /// configured [`RunOptions::recv_timeout`], and
+    /// [`CommError::TypeMismatch`] when the matching message holds a
+    /// different payload type.
+    pub fn try_recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Result<T, CommError> {
+        assert!(tag < COLL_TAG_BASE, "user tags must be < 2^48");
+        self.tick();
+        self.recv_impl(src, tag)
+    }
+
+    fn recv_impl<T: Send + 'static>(&self, src: usize, tag: u64) -> Result<T, CommError> {
+        // never block while holding reordered messages of our own
+        self.flush_held();
         // first serve a parked message if one matches
         {
             let mut parked = self.parked.borrow_mut();
             if let Some(pos) = parked.iter().position(|m| m.src == src && m.tag == tag) {
                 let msg = parked.remove(pos).unwrap();
-                return *msg
-                    .payload
-                    .downcast::<T>()
-                    .unwrap_or_else(|_| panic!("type mismatch on tag {tag} from {src}"));
+                return downcast_msg(msg);
             }
         }
+        let world = &self.world;
+        let started = Instant::now();
+        let deadline = started + world.recv_timeout;
+        let mb = &world.mailboxes[self.rank];
+        let mut queue = plock(&mb.queue);
         loop {
-            let msg = self.inbox.recv().expect("all peers hung up");
-            if msg.src == src && msg.tag == tag {
-                return *msg
-                    .payload
-                    .downcast::<T>()
-                    .unwrap_or_else(|_| panic!("type mismatch on tag {tag} from {src}"));
+            // drain everything already delivered
+            while let Some(msg) = queue.pop_front() {
+                if msg.src == src && msg.tag == tag {
+                    drop(queue);
+                    world.set_status(self.rank, RankState::Running);
+                    return downcast_msg(msg);
+                }
+                self.parked.borrow_mut().push_back(msg);
             }
-            self.parked.borrow_mut().push_back(msg);
+            if world.is_aborted() {
+                drop(queue);
+                world.set_status(self.rank, RankState::Running);
+                return Err(world.abort_error());
+            }
+            // publish what we are blocked on, for peers' diagnostics
+            world.set_status(
+                self.rank,
+                RankState::Waiting {
+                    src,
+                    tag,
+                    parked: self
+                        .parked
+                        .borrow()
+                        .iter()
+                        .map(|m| (m.src, m.tag))
+                        .collect(),
+                    coll_seq: self.coll_seq.get(),
+                },
+            );
+            let now = Instant::now();
+            if now >= deadline {
+                drop(queue);
+                let diagnostic = world.diagnostic();
+                world.abort(
+                    self.rank,
+                    format!(
+                        "recv timeout after {:?} waiting on src={src} tag={}",
+                        started.elapsed(),
+                        tag_display(tag)
+                    ),
+                );
+                return Err(CommError::Timeout {
+                    rank: self.rank,
+                    src,
+                    tag,
+                    waited: started.elapsed(),
+                    diagnostic,
+                });
+            }
+            queue = match mb.cv.wait_timeout(queue, deadline - now) {
+                Ok((q, _)) => q,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
         }
     }
+
+    // ------------------------------------------------------------------
+    // collectives
+    // ------------------------------------------------------------------
 
     fn next_coll_tag(&self) -> u64 {
         let seq = self.coll_seq.get();
@@ -110,36 +475,54 @@ impl Comm {
         COLL_TAG_BASE + seq
     }
 
-    /// Synchronize all ranks (dissemination barrier).
+    /// Synchronize all ranks (dissemination barrier). Panics on world
+    /// failure; see [`Comm::try_barrier`].
     pub fn barrier(&self) {
+        self.try_barrier().unwrap_or_else(|e| comm_panic(e))
+    }
+
+    /// Fallible [`Comm::barrier`].
+    pub fn try_barrier(&self) -> Result<(), CommError> {
+        self.tick();
         let tag = self.next_coll_tag();
         let mut round = 1usize;
         let mut round_no = 0u64;
-        while round < self.size {
-            let dest = (self.rank + round) % self.size;
-            let src = (self.rank + self.size - round) % self.size;
-            self.send_raw(dest, tag + (round_no << 32), ());
-            self.recv_raw::<()>(src, tag + (round_no << 32));
+        while round < self.size() {
+            let dest = (self.rank + round) % self.size();
+            let src = (self.rank + self.size() - round) % self.size();
+            self.send_impl(dest, tag + (round_no << 32), Box::new(()))?;
+            self.recv_impl::<()>(src, tag + (round_no << 32))?;
             round <<= 1;
             round_no += 1;
         }
+        Ok(())
     }
 
     /// Gather one value from every rank, returned in rank order on all
-    /// ranks.
+    /// ranks. Panics on world failure; see [`Comm::try_allgather`].
     pub fn allgather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
+        self.try_allgather(value).unwrap_or_else(|e| comm_panic(e))
+    }
+
+    /// Fallible [`Comm::allgather`].
+    pub fn try_allgather<T: Clone + Send + 'static>(&self, value: T) -> Result<Vec<T>, CommError> {
+        self.tick();
+        self.allgather_impl(value)
+    }
+
+    fn allgather_impl<T: Clone + Send + 'static>(&self, value: T) -> Result<Vec<T>, CommError> {
         let tag = self.next_coll_tag();
-        for dest in 0..self.size {
+        for dest in 0..self.size() {
             if dest != self.rank {
-                self.send_raw(dest, tag, value.clone());
+                self.send_impl(dest, tag, Box::new(value.clone()))?;
             }
         }
-        (0..self.size)
+        (0..self.size())
             .map(|src| {
                 if src == self.rank {
-                    value.clone()
+                    Ok(value.clone())
                 } else {
-                    self.recv_raw::<T>(src, tag)
+                    self.recv_impl::<T>(src, tag)
                 }
             })
             .collect()
@@ -147,15 +530,27 @@ impl Comm {
 
     /// Reduce with an associative `op` over all ranks; every rank gets
     /// the result. Reduction order is rank order, hence deterministic.
+    /// Panics on world failure; see [`Comm::try_allreduce`].
     pub fn allreduce<T, F>(&self, value: T, op: F) -> T
     where
         T: Clone + Send + 'static,
         F: Fn(&T, &T) -> T,
     {
-        let all = self.allgather(value);
+        self.try_allreduce(value, op)
+            .unwrap_or_else(|e| comm_panic(e))
+    }
+
+    /// Fallible [`Comm::allreduce`].
+    pub fn try_allreduce<T, F>(&self, value: T, op: F) -> Result<T, CommError>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        self.tick();
+        let all = self.allgather_impl(value)?;
         let mut it = all.into_iter();
         let first = it.next().expect("size >= 1");
-        it.fold(first, |acc, v| op(&acc, &v))
+        Ok(it.fold(first, |acc, v| op(&acc, &v)))
     }
 
     /// Sum of a `u64` across all ranks.
@@ -163,17 +558,32 @@ impl Comm {
         self.allreduce(value, |a, b| a + b)
     }
 
+    /// Fallible [`Comm::allreduce_sum`].
+    pub fn try_allreduce_sum(&self, value: u64) -> Result<u64, CommError> {
+        self.try_allreduce(value, |a, b| a + b)
+    }
+
     /// Exclusive prefix reduction in rank order; rank 0 receives
-    /// `T::default()`.
+    /// `T::default()`. Panics on world failure; see [`Comm::try_exscan`].
     pub fn exscan<T, F>(&self, value: T, op: F) -> T
     where
         T: Clone + Default + Send + 'static,
         F: Fn(&T, &T) -> T,
     {
-        let all = self.allgather(value);
-        all[..self.rank]
+        self.try_exscan(value, op).unwrap_or_else(|e| comm_panic(e))
+    }
+
+    /// Fallible [`Comm::exscan`].
+    pub fn try_exscan<T, F>(&self, value: T, op: F) -> Result<T, CommError>
+    where
+        T: Clone + Default + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        self.tick();
+        let all = self.allgather_impl(value)?;
+        Ok(all[..self.rank]
             .iter()
-            .fold(T::default(), |acc, v| op(&acc, v))
+            .fold(T::default(), |acc, v| op(&acc, v)))
     }
 
     /// Exclusive prefix sum of a `u64`.
@@ -181,126 +591,322 @@ impl Comm {
         self.exscan(value, |a, b| a + b)
     }
 
+    /// Fallible [`Comm::exscan_sum`].
+    pub fn try_exscan_sum(&self, value: u64) -> Result<u64, CommError> {
+        self.try_exscan(value, |a, b| a + b)
+    }
+
     /// Broadcast from `root` to every rank. Non-root ranks pass `None`.
+    /// Panics on world failure; see [`Comm::try_bcast`].
     pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
+        self.try_bcast(root, value)
+            .unwrap_or_else(|e| comm_panic(e))
+    }
+
+    /// Fallible [`Comm::bcast`].
+    pub fn try_bcast<T: Clone + Send + 'static>(
+        &self,
+        root: usize,
+        value: Option<T>,
+    ) -> Result<T, CommError> {
+        self.tick();
         let tag = self.next_coll_tag();
         if self.rank == root {
             let v = value.expect("root must supply the value");
-            for dest in 0..self.size {
+            for dest in 0..self.size() {
                 if dest != root {
-                    self.send_raw(dest, tag, v.clone());
+                    self.send_impl(dest, tag, Box::new(v.clone()))?;
                 }
             }
-            v
+            Ok(v)
         } else {
-            self.recv_raw::<T>(root, tag)
+            self.recv_impl::<T>(root, tag)
         }
     }
 
     /// Gather one value from every rank onto `root` (rank order);
-    /// other ranks receive `None`.
+    /// other ranks receive `None`. Panics on world failure; see
+    /// [`Comm::try_gather`].
     pub fn gather<T: Send + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
+        self.try_gather(root, value)
+            .unwrap_or_else(|e| comm_panic(e))
+    }
+
+    /// Fallible [`Comm::gather`].
+    pub fn try_gather<T: Send + 'static>(
+        &self,
+        root: usize,
+        value: T,
+    ) -> Result<Option<Vec<T>>, CommError> {
+        self.tick();
         let tag = self.next_coll_tag();
         if self.rank == root {
-            let mut out: Vec<Option<T>> = (0..self.size).map(|_| None).collect();
+            let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
             out[root] = Some(value);
-            for src in 0..self.size {
+            for (src, slot) in out.iter_mut().enumerate() {
                 if src != root {
-                    out[src] = Some(self.recv_raw::<T>(src, tag));
+                    *slot = Some(self.recv_impl::<T>(src, tag)?);
                 }
             }
-            Some(out.into_iter().map(|v| v.unwrap()).collect())
+            Ok(Some(out.into_iter().map(|v| v.unwrap()).collect()))
         } else {
-            self.send_raw(root, tag, value);
-            None
+            self.send_impl(root, tag, Box::new(value))?;
+            Ok(None)
         }
     }
 
     /// Scatter one value per rank from `root`; non-root ranks pass
-    /// `None` and receive their slice.
+    /// `None` and receive their slice. Panics on world failure; see
+    /// [`Comm::try_scatter`].
     pub fn scatter<T: Send + 'static>(&self, root: usize, values: Option<Vec<T>>) -> T {
+        self.try_scatter(root, values)
+            .unwrap_or_else(|e| comm_panic(e))
+    }
+
+    /// Fallible [`Comm::scatter`].
+    pub fn try_scatter<T: Send + 'static>(
+        &self,
+        root: usize,
+        values: Option<Vec<T>>,
+    ) -> Result<T, CommError> {
+        self.tick();
         let tag = self.next_coll_tag();
         if self.rank == root {
             let values = values.expect("root must supply one value per rank");
-            assert_eq!(values.len(), self.size);
+            assert_eq!(values.len(), self.size());
             let mut mine = None;
             for (dest, v) in values.into_iter().enumerate() {
                 if dest == root {
                     mine = Some(v);
                 } else {
-                    self.send_raw(dest, tag, v);
+                    self.send_impl(dest, tag, Box::new(v))?;
                 }
             }
-            mine.expect("root slot present")
+            Ok(mine.expect("root slot present"))
         } else {
-            self.recv_raw::<T>(root, tag)
+            self.recv_impl::<T>(root, tag)
         }
     }
 
     /// Personalized all-to-all: `outgoing[d]` is delivered to rank `d`;
-    /// returns the incoming vectors indexed by source rank.
-    pub fn alltoallv<T: Send + 'static>(&self, mut outgoing: Vec<Vec<T>>) -> Vec<Vec<T>> {
-        assert_eq!(outgoing.len(), self.size);
+    /// returns the incoming vectors indexed by source rank. Panics on
+    /// world failure; see [`Comm::try_alltoallv`].
+    pub fn alltoallv<T: Send + 'static>(&self, outgoing: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        self.try_alltoallv(outgoing)
+            .unwrap_or_else(|e| comm_panic(e))
+    }
+
+    /// Fallible [`Comm::alltoallv`].
+    pub fn try_alltoallv<T: Send + 'static>(
+        &self,
+        mut outgoing: Vec<Vec<T>>,
+    ) -> Result<Vec<Vec<T>>, CommError> {
+        self.tick();
+        assert_eq!(outgoing.len(), self.size());
         let tag = self.next_coll_tag();
         let mut mine = Some(std::mem::take(&mut outgoing[self.rank]));
         for (dest, data) in outgoing.into_iter().enumerate() {
             if dest != self.rank {
-                self.send_raw(dest, tag, data);
+                self.send_impl(dest, tag, Box::new(data))?;
             }
         }
-        (0..self.size)
+        (0..self.size())
             .map(|src| {
                 if src == self.rank {
-                    mine.take().expect("self slot consumed once")
+                    Ok(mine.take().expect("self slot consumed once"))
                 } else {
-                    self.recv_raw::<Vec<T>>(src, tag)
+                    self.recv_impl::<Vec<T>>(src, tag)
                 }
             })
             .collect()
     }
 }
 
+impl Drop for Comm {
+    fn drop(&mut self) {
+        // a rank program may end with sends still held back by the
+        // fault plan; release them so peers can finish
+        self.flush_held();
+    }
+}
+
+/// Unwind an infallible-API call with `e`. Collateral aborts (another
+/// rank failed first) unwind via `resume_unwind`, skipping the global
+/// panic hook: the origin failure is the one worth printing, not the
+/// P-1 echoes of it. Every other error panics normally.
+fn comm_panic(e: CommError) -> ! {
+    match &e {
+        CommError::Aborted { .. } => std::panic::resume_unwind(Box::new(e.to_string())),
+        _ => panic!("{e}"),
+    }
+}
+
+fn downcast_msg<T: Send + 'static>(msg: Msg) -> Result<T, CommError> {
+    let (src, tag) = (msg.src, msg.tag);
+    msg.payload
+        .downcast::<T>()
+        .map(|b| *b)
+        .map_err(|_| CommError::TypeMismatch {
+            src,
+            tag,
+            expected: std::any::type_name::<T>(),
+        })
+}
+
+/// Options for [`try_run_with`]: receive timeout and fault injection.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// How long a blocking receive may wait before declaring the world
+    /// deadlocked, dumping a diagnostic and aborting. Default: 60 s —
+    /// far above any legitimate collective on one machine, so it only
+    /// fires on genuine hangs.
+    pub recv_timeout: Duration,
+    /// Deterministic fault plan to inject, if any.
+    pub faults: Option<FaultPlan>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            recv_timeout: Duration::from_secs(60),
+            faults: None,
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 /// Execute `f` once per rank on `size` threads and collect the per-rank
-/// results in rank order. Panics in any rank propagate to the caller.
+/// results in rank order, with full control over timeout and fault
+/// injection. This is the core runner; [`run`], [`try_run`] and
+/// [`run_with_faults`] are wrappers.
+///
+/// The first rank to panic, return `Err`, or time out aborts the world:
+/// every peer blocked in a communication call wakes and unwinds with
+/// [`CommError::Aborted`], and the returned [`WorldError`] names the
+/// origin rank, its reason, and every collateral failure.
+pub fn try_run_with<F, R>(size: usize, opts: RunOptions, f: F) -> Result<Vec<R>, WorldError>
+where
+    F: Fn(Comm) -> Result<R, CommError> + Send + Sync,
+    R: Send,
+{
+    assert!(size > 0);
+    let world = Arc::new(World::new(size, opts.recv_timeout));
+    let mut outcomes: Vec<Option<Result<R, RankError>>> = (0..size).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(size);
+        for rank in 0..size {
+            let comm = Comm {
+                rank,
+                world: Arc::clone(&world),
+                parked: RefCell::new(VecDeque::new()),
+                coll_seq: Cell::new(0),
+                faults: opts.faults.as_ref().map(|p| p.compile(rank)),
+            };
+            let f = &f;
+            let world = Arc::clone(&world);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .stack_size(2 << 20)
+                    .spawn_scoped(scope, move || {
+                        match catch_unwind(AssertUnwindSafe(|| f(comm))) {
+                            Ok(Ok(value)) => {
+                                world.set_status(rank, RankState::Finished);
+                                Ok(value)
+                            }
+                            Ok(Err(e)) => {
+                                world.set_status(rank, RankState::Failed(e.kind().to_string()));
+                                world.abort(rank, e.to_string());
+                                Err(RankError::Failed(e))
+                            }
+                            Err(payload) => {
+                                let msg = panic_message(payload);
+                                world.set_status(rank, RankState::Failed(format!("panic: {msg}")));
+                                world.abort(rank, format!("panicked: {msg}"));
+                                Err(RankError::Panicked(msg))
+                            }
+                        }
+                    })
+                    .expect("spawn rank thread"),
+            );
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            outcomes[rank] = Some(h.join().expect("rank outcome is always caught"));
+        }
+    });
+    let mut values = Vec::with_capacity(size);
+    let mut failures = Vec::new();
+    for (rank, outcome) in outcomes.into_iter().enumerate() {
+        match outcome.expect("every rank joined") {
+            Ok(v) => values.push(v),
+            Err(error) => failures.push(RankFailure { rank, error }),
+        }
+    }
+    if failures.is_empty() {
+        Ok(values)
+    } else {
+        let (origin, reason) = world.abort_info().unwrap_or_else(|| {
+            let f = &failures[0];
+            (f.rank, f.error.to_string())
+        });
+        Err(WorldError {
+            size,
+            origin,
+            reason,
+            failures,
+        })
+    }
+}
+
+/// Fallible rank runner with default options: like [`run`], but a rank
+/// failure (panic, error return, or recv timeout) yields a
+/// [`WorldError`] identifying the failing rank instead of propagating a
+/// panic — and, crucially, instead of deadlocking the surviving ranks.
+pub fn try_run<F, R>(size: usize, f: F) -> Result<Vec<R>, WorldError>
+where
+    F: Fn(Comm) -> Result<R, CommError> + Send + Sync,
+    R: Send,
+{
+    try_run_with(size, RunOptions::default(), f)
+}
+
+/// Execute `f` once per rank on `size` threads and collect the per-rank
+/// results in rank order. Panics in any rank propagate to the caller
+/// (as a panic carrying the [`WorldError`] report).
 pub fn run<F, R>(size: usize, f: F) -> Vec<R>
 where
     F: Fn(Comm) -> R + Send + Sync,
     R: Send,
 {
-    assert!(size > 0);
-    let mut senders = Vec::with_capacity(size);
-    let mut inboxes = Vec::with_capacity(size);
-    for _ in 0..size {
-        let (tx, rx) = unbounded();
-        senders.push(tx);
-        inboxes.push(rx);
-    }
-    let mut results: Vec<Option<R>> = (0..size).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(size);
-        for (rank, inbox) in inboxes.into_iter().enumerate() {
-            let comm = Comm {
-                rank,
-                size,
-                senders: senders.clone(),
-                inbox,
-                parked: RefCell::new(VecDeque::new()),
-                coll_seq: Cell::new(0),
-            };
-            let f = &f;
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("rank-{rank}"))
-                    .stack_size(2 << 20)
-                    .spawn_scoped(scope, move || f(comm))
-                    .expect("spawn rank thread"),
-            );
-        }
-        for (rank, h) in handles.into_iter().enumerate() {
-            results[rank] = Some(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
-        }
-    });
-    results.into_iter().map(|r| r.unwrap()).collect()
+    try_run(size, |c| Ok(f(c))).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Run a rank program under a deterministic [`FaultPlan`]: delivery
+/// delays, cross-stream reordering, scheduled rank panics. Same
+/// plan + size ⇒ same injected faults, so failures replay from the
+/// seed alone. See the crate docs for an example.
+pub fn run_with_faults<F, R>(size: usize, plan: FaultPlan, f: F) -> Result<Vec<R>, WorldError>
+where
+    F: Fn(Comm) -> R + Send + Sync,
+    R: Send,
+{
+    try_run_with(
+        size,
+        RunOptions {
+            faults: Some(plan),
+            ..RunOptions::default()
+        },
+        |c| Ok(f(c)),
+    )
 }
 
 #[cfg(test)]
@@ -504,5 +1110,164 @@ mod tests {
         // The strong-scaling harness simulates up to 512 ranks.
         let r = run(512, |c| c.allreduce_sum(1));
         assert!(r.iter().all(|&s| s == 512));
+    }
+
+    // ------------------------------------------------------------------
+    // failure semantics
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn try_run_happy_path_matches_run() {
+        let a = try_run(4, |c| c.try_allreduce_sum(c.rank() as u64)).unwrap();
+        let b = run(4, |c| c.allreduce_sum(c.rank() as u64));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rank_panic_unblocks_peers_and_names_origin() {
+        // every other rank blocks in a barrier rank 1 never joins
+        let err = try_run(4, |c| {
+            if c.rank() == 1 {
+                panic!("deliberate failure");
+            }
+            c.try_barrier()?;
+            Ok(c.rank())
+        })
+        .unwrap_err();
+        assert_eq!(err.origin, 1);
+        assert!(err.origin_panicked());
+        assert!(err.reason.contains("deliberate failure"));
+        // the three survivors unwound as collateral
+        assert_eq!(err.failures.len(), 4);
+        for f in err.failures.iter().filter(|f| f.rank != 1) {
+            assert!(matches!(
+                f.error,
+                RankError::Failed(CommError::Aborted { origin: 1, .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn error_return_aborts_world() {
+        let err = try_run(3, |c| {
+            if c.rank() == 2 {
+                return Err(CommError::TypeMismatch {
+                    src: 0,
+                    tag: 9,
+                    expected: "u32",
+                });
+            }
+            c.try_barrier()?;
+            Ok(())
+        })
+        .unwrap_err();
+        assert_eq!(err.origin, 2);
+        assert!(!err.origin_panicked());
+    }
+
+    #[test]
+    fn recv_timeout_produces_diagnostic_and_aborts() {
+        let opts = RunOptions {
+            recv_timeout: Duration::from_millis(100),
+            faults: None,
+        };
+        let err = try_run_with(2, opts, |c| {
+            if c.rank() == 1 {
+                // waiting on a message nobody sends: a genuine deadlock
+                let _: u32 = c.try_recv(0, 7)?;
+            }
+            // rank 0 also blocks (on the barrier), exercising the dump;
+            // it enters late so rank 1's deadline expires first and the
+            // abort origin is deterministic
+            std::thread::sleep(Duration::from_millis(50));
+            c.try_barrier()?;
+            Ok(())
+        })
+        .unwrap_err();
+        assert_eq!(err.origin, 1);
+        let timeout = err
+            .failures
+            .iter()
+            .find_map(|f| match &f.error {
+                RankError::Failed(e @ CommError::Timeout { .. }) => Some(e.clone()),
+                _ => None,
+            })
+            .expect("rank 1 reports the timeout");
+        if let CommError::Timeout {
+            rank,
+            src,
+            tag,
+            diagnostic,
+            ..
+        } = timeout
+        {
+            assert_eq!((rank, src, tag), (1, 0, 7));
+            assert!(diagnostic.contains("rank 1: waiting on src=0 tag=user:7"));
+            assert!(diagnostic.contains("deadlock diagnostic"));
+        }
+    }
+
+    #[test]
+    fn type_mismatch_is_typed_not_a_hang() {
+        let err = try_run(2, |c| {
+            if c.rank() == 0 {
+                c.try_send(1, 3, 5u32)?;
+                Ok(0u64)
+            } else {
+                c.try_recv::<u64>(0, 3) // wrong type on purpose
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.origin, 1);
+        let f = err.origin_failure().unwrap();
+        assert!(matches!(
+            f.error,
+            RankError::Failed(CommError::TypeMismatch { src: 0, tag: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn fault_free_plan_changes_nothing() {
+        let base = run(4, |c| c.allgather(c.rank()));
+        let faulty = run_with_faults(4, FaultPlan::new(123), |c| c.allgather(c.rank())).unwrap();
+        assert_eq!(base, faulty);
+    }
+
+    #[test]
+    fn delays_and_reordering_keep_results_identical() {
+        let base = run(4, |c| {
+            let g = c.allgather(c.rank() as u64 * 7);
+            let s = c.exscan_sum(c.rank() as u64 + 1);
+            c.barrier();
+            (g, s)
+        });
+        for seed in [1u64, 2, 3, 0xDEAD_BEEF] {
+            let plan = FaultPlan::new(seed)
+                .with_delays(0.3, Duration::from_micros(150))
+                .with_reordering(0.3);
+            let faulty = run_with_faults(4, plan, |c| {
+                let g = c.allgather(c.rank() as u64 * 7);
+                let s = c.exscan_sum(c.rank() as u64 + 1);
+                c.barrier();
+                (g, s)
+            })
+            .unwrap();
+            assert_eq!(base, faulty, "seed {seed} changed a collective result");
+        }
+    }
+
+    #[test]
+    fn scheduled_panic_is_reported_not_hung() {
+        let start = Instant::now();
+        let err = run_with_faults(4, FaultPlan::new(5).with_panic_at(3, 1), |c| {
+            c.barrier(); // op 0
+            c.barrier(); // op 1: rank 3 dies here
+            c.rank()
+        })
+        .unwrap_err();
+        assert_eq!(err.origin, 3);
+        assert!(err.origin_panicked());
+        assert!(err.reason.contains("scheduled panic"));
+        assert!(start.elapsed() < Duration::from_secs(5), "must not hang");
     }
 }

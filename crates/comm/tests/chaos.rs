@@ -1,0 +1,229 @@
+//! Chaos tests of the comm layer: rank failures must surface as typed
+//! [`WorldError`]s promptly (no deadlocks), and deterministic fault
+//! injection (delays, reordering) must never change the result of a
+//! correct program.
+
+use proptest::prelude::*;
+use quadforest_comm::{
+    run, run_with_faults, try_run, try_run_with, CommError, FaultPlan, RankError, RunOptions,
+};
+use std::time::{Duration, Instant};
+
+/// The regression test for the old silent-hang hazard: before the
+/// fault-tolerant rewrite, a rank panic left every peer blocked forever
+/// inside `recv` ("all peers hung up" at best, a deadlock at worst).
+/// Now the panic aborts the world: `try_run` returns within the 5 s
+/// acceptance bound and names the failing rank.
+#[test]
+fn rank_panic_mid_barrier_reports_within_deadline() {
+    let start = Instant::now();
+    let err = try_run(4, |c| {
+        c.try_barrier()?; // everyone passes the first barrier
+        if c.rank() == 2 {
+            panic!("chaos: rank 2 dies mid-collective");
+        }
+        c.try_barrier()?; // peers block here until the abort wakes them
+        Ok(c.rank())
+    })
+    .unwrap_err();
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "abort must propagate promptly, not by timeout"
+    );
+    assert_eq!(err.origin, 2, "the report must identify the failing rank");
+    assert!(err.origin_panicked());
+    assert!(err.reason.contains("rank 2 dies"));
+    for f in err.failures.iter().filter(|f| f.rank != 2) {
+        assert!(
+            matches!(
+                f.error,
+                RankError::Failed(CommError::Aborted { origin: 2, .. })
+            ),
+            "peers unwind as collateral of rank 2, got {:?}",
+            f.error
+        );
+    }
+}
+
+/// The same panic propagation at every acceptance-criteria world size.
+#[test]
+fn rank_panic_is_reported_at_all_sizes() {
+    for p in [2usize, 4, 8] {
+        let victim = p / 2;
+        let start = Instant::now();
+        let err = try_run(p, move |c| {
+            if c.rank() == victim {
+                panic!("chaos: scheduled death");
+            }
+            c.try_barrier()?;
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(start.elapsed() < Duration::from_secs(5), "P={p} hung");
+        assert_eq!(err.origin, victim, "P={p} misreported the origin");
+    }
+}
+
+/// A genuine deadlock (missing sender) is broken by the recv timeout,
+/// and the diagnostic names what each rank was blocked on.
+#[test]
+fn deadlock_is_diagnosed_not_eternal() {
+    let opts = RunOptions {
+        recv_timeout: Duration::from_millis(200),
+        faults: None,
+    };
+    let start = Instant::now();
+    let err = try_run_with(3, opts, |c| {
+        if c.rank() == 0 {
+            // rank 0 waits for a message rank 1 never sends
+            let _: u64 = c.try_recv(1, 42)?;
+        }
+        c.try_barrier()?;
+        Ok(())
+    })
+    .unwrap_err();
+    assert!(start.elapsed() < Duration::from_secs(5));
+    let timeout = err
+        .failures
+        .iter()
+        .find_map(|f| match &f.error {
+            RankError::Failed(CommError::Timeout { diagnostic, .. }) => Some(diagnostic.clone()),
+            _ => None,
+        })
+        .expect("one rank must report the timeout with a diagnostic");
+    assert!(timeout.contains("deadlock diagnostic"));
+    assert!(timeout.contains("waiting on src=1 tag=user:42"));
+}
+
+/// Every collective, all acceptance world sizes, a sweep of fault
+/// seeds: delay/reorder plans must be invisible in the results.
+#[test]
+fn collectives_survive_fault_sweep() {
+    for p in [1usize, 2, 3, 4, 7, 8] {
+        let baseline = run(p, collective_workout);
+        for seed in [1u64, 2, 3, 5, 8, 13, 21, 34] {
+            let plan = FaultPlan::new(seed)
+                .with_delays(0.2, Duration::from_micros(120))
+                .with_reordering(0.25);
+            let faulty = run_with_faults(p, plan, collective_workout)
+                .unwrap_or_else(|e| panic!("P={p} seed={seed}: {e}"));
+            assert_eq!(baseline, faulty, "P={p} seed={seed} changed a result");
+        }
+    }
+}
+
+/// One round through every collective the forest algorithms use,
+/// returning everything observable.
+#[allow(clippy::type_complexity)]
+fn collective_workout(
+    c: quadforest_comm::Comm,
+) -> (
+    Vec<u64>,
+    u64,
+    u64,
+    u64,
+    String,
+    Option<Vec<u64>>,
+    Vec<Vec<u64>>,
+) {
+    let me = c.rank() as u64;
+    let p = c.size();
+    // point-to-point ring warm-up
+    if p > 1 {
+        c.send((c.rank() + 1) % p, 9, me * 3 + 1);
+        let from_prev: u64 = c.recv((c.rank() + p - 1) % p, 9);
+        assert_eq!(from_prev, (((c.rank() + p - 1) % p) as u64) * 3 + 1);
+    }
+    let gathered = c.allgather(me * 7);
+    let sum = c.allreduce_sum(me + 1);
+    let scan = c.exscan_sum(me + 1);
+    let max = c.allreduce(me, |a, b| *a.max(b));
+    let word = c.bcast(0, (c.rank() == 0).then(|| "broadcast payload".to_string()));
+    let rooted = c.gather(p - 1, me * me);
+    c.barrier();
+    let table = c.alltoallv((0..p).map(|d| vec![me, d as u64]).collect());
+    (gathered, sum, scan, max, word, rooted, table)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random fault plans (random seed, probabilities, delay ceilings)
+    /// never change collective results at a random world size.
+    #[test]
+    fn random_fault_plans_are_invisible(
+        seed in any::<u64>(),
+        p in 1usize..=8,
+        delay_pct in 0u32..=40,
+        reorder_pct in 0u32..=40,
+    ) {
+        let plan = FaultPlan::new(seed)
+            .with_delays(delay_pct as f64 / 100.0, Duration::from_micros(80))
+            .with_reordering(reorder_pct as f64 / 100.0);
+        let baseline = run(p, collective_workout);
+        let faulty = run_with_faults(p, plan, collective_workout);
+        let faulty = match faulty {
+            Ok(v) => v,
+            Err(e) => return Err(TestCaseError::Fail(format!("world failed: {e}"))),
+        };
+        prop_assert_eq!(baseline, faulty);
+    }
+
+    /// A scheduled panic at a random operation index either fires (the
+    /// rank reaches that op) and is reported with the right origin, or
+    /// the run completes untouched — never a hang.
+    #[test]
+    fn scheduled_panics_never_hang(
+        seed in any::<u64>(),
+        victim in 0usize..4,
+        op in 0u64..6,
+    ) {
+        let start = Instant::now();
+        let plan = FaultPlan::new(seed).with_panic_at(victim, op);
+        let out = run_with_faults(4, plan, |c| {
+            for _ in 0..3 {
+                c.barrier();
+                let _ = c.allgather(c.rank());
+            }
+            c.rank()
+        });
+        prop_assert!(start.elapsed() < Duration::from_secs(10), "hang suspected");
+        match out {
+            Ok(v) => prop_assert_eq!(v, vec![0, 1, 2, 3]),
+            Err(e) => {
+                prop_assert_eq!(e.origin, victim);
+                prop_assert!(e.reason.contains("scheduled panic"));
+            }
+        }
+    }
+}
+
+/// Identical plans replay identical faults: the whole point of
+/// seed-driven injection is that a failure found in CI reproduces
+/// locally from the seed alone.
+#[test]
+fn fault_injection_is_replayable() {
+    let plan = || {
+        FaultPlan::new(0xC1A0_5EED)
+            .with_delays(0.3, Duration::from_micros(100))
+            .with_reordering(0.3)
+            .with_panic_at(1, 4)
+    };
+    let a = run_with_faults(4, plan(), chaos_victim_program);
+    let b = run_with_faults(4, plan(), chaos_victim_program);
+    match (a, b) {
+        (Ok(x), Ok(y)) => assert_eq!(x, y),
+        (Err(x), Err(y)) => {
+            assert_eq!(x.origin, y.origin);
+            assert_eq!(x.reason, y.reason);
+        }
+        (a, b) => panic!("replay diverged: {a:?} vs {b:?}"),
+    }
+}
+
+fn chaos_victim_program(c: quadforest_comm::Comm) -> Vec<usize> {
+    for _ in 0..4 {
+        c.barrier();
+    }
+    c.allgather(c.rank())
+}

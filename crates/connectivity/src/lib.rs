@@ -22,13 +22,12 @@ mod transform;
 pub use transform::FaceTransform;
 
 use quadforest_core::quadrant::Quadrant;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a tree within a connectivity.
 pub type TreeId = u32;
 
 /// One side of an inter-tree face connection.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct FaceConnection {
     /// The neighboring tree.
     pub tree: TreeId,
@@ -39,7 +38,7 @@ pub struct FaceConnection {
 }
 
 /// The macro-mesh: a graph of logically cubic trees glued along faces.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Connectivity {
     dim: u32,
     /// `faces[tree][face]` is `Some` when that tree face attaches to

@@ -1,7 +1,5 @@
 //! Coordinate transforms across inter-tree faces.
 
-use serde::{Deserialize, Serialize};
-
 /// Affine coordinate map between the frames of two face-connected trees.
 ///
 /// Applied to a quadrant's anchor coordinates `c` with side length `h`
@@ -16,7 +14,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// This is equivalent to p4est's `(face, orientation)` encoding plus its
 /// permutation tables, but stores the resolved map directly.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct FaceTransform {
     /// Output axis `i` reads source axis `perm[i]`.
     pub perm: [usize; 3],

@@ -90,9 +90,9 @@ impl DeepOctant {
     pub fn child_id(&self) -> u32 {
         debug_assert!(self.level > 0);
         let s = DEEP_MAX_LEVEL - self.level;
-        (((self.coords[0] >> s) & 1)
+        ((self.coords[0] >> s) & 1)
             | (((self.coords[1] >> s) & 1) << 1)
-            | (((self.coords[2] >> s) & 1) << 2)) as u32
+            | (((self.coords[2] >> s) & 1) << 2)
     }
 
     /// The 93-bit Morton index relative to level 31, as `u128`.

@@ -120,13 +120,13 @@ pub fn cover_range<Q: Quadrant>(start: u64, end: u64) -> Vec<Q> {
         let mut level = max;
         while level > 0 {
             let vol = 1u64 << (dim * (max - level + 1));
-            if p % vol == 0 && p + vol <= end {
+            if p.is_multiple_of(vol) && p + vol <= end {
                 level -= 1;
             } else {
                 break;
             }
         }
-        let shift = dim * (max - level as u32);
+        let shift = dim * (max - level);
         out.push(Q::from_morton(p >> shift, level as u8));
         p += 1u64 << shift;
     }

@@ -132,9 +132,9 @@ pub fn face_neighbor_all(soa: &QuadSoA, f: u32, max_level: u8, out: &mut QuadSoA
         1 => &mut out.y,
         _ => &mut out.z,
     };
-    for i in 0..n {
-        let h = 1i32 << (ml - soa.level[i]);
-        lane[i] += sign * h;
+    for (l, &lv) in lane.iter_mut().zip(&soa.level).take(n) {
+        let h = 1i32 << (ml - lv);
+        *l += sign * h;
     }
 }
 

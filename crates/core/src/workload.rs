@@ -6,8 +6,6 @@
 //! `Σ_{ℓ=0}^{7} 8^ℓ = (8^8 − 1) / 7 = 2,396,745` octants.
 
 use crate::quadrant::Quadrant;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 /// Number of quadrants in the complete tree with all levels `0..=max_level`.
 pub fn complete_tree_count(dim: u32, max_level: u8) -> u64 {
@@ -44,8 +42,20 @@ pub fn complete_tree<Q: Quadrant>(max_level: u8) -> Vec<Q> {
 /// stride-prediction advantage when benchmarking data-dependent kernels.
 pub fn complete_tree_shuffled<Q: Quadrant>(max_level: u8, seed: u64) -> Vec<Q> {
     let mut v = complete_tree::<Q>(max_level);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    v.shuffle(&mut rng);
+    // seeded Fisher–Yates over a splitmix64 stream: deterministic and
+    // dependency-free, so the workload is identical on every machine
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..v.len()).rev() {
+        let j = (((next() as u128) * ((i + 1) as u128)) >> 64) as usize;
+        v.swap(i, j);
+    }
     v
 }
 

@@ -367,6 +367,30 @@ mod tests {
     }
 
     #[test]
+    fn balance_is_fault_oblivious() {
+        use quadforest_comm::FaultPlan;
+        use std::time::Duration;
+        let program = |comm: quadforest_comm::Comm| {
+            let conn = Arc::new(Connectivity::unit(2));
+            let mut f = Forest::<Q2>::new_uniform(conn, &comm, 2);
+            f.refine(&comm, true, |_, q| {
+                q.coords()[0] == 0 && q.coords()[1] == 0 && q.level() < 6
+            });
+            f.balance(&comm, BalanceKind::Face);
+            assert_eq!(f.validate(), Ok(()));
+            f.checksum(&comm)
+        };
+        let baseline = quadforest_comm::run(3, program);
+        for seed in [2u64, 29] {
+            let plan = FaultPlan::new(seed)
+                .with_delays(0.25, Duration::from_micros(100))
+                .with_reordering(0.25);
+            let chaotic = quadforest_comm::run_with_faults(3, plan, program).unwrap();
+            assert_eq!(baseline, chaotic, "seed {seed} changed the balanced mesh");
+        }
+    }
+
+    #[test]
     fn already_balanced_uniform_is_untouched() {
         quadforest_comm::run(2, |comm| {
             let conn = Arc::new(Connectivity::unit(3));

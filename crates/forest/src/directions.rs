@@ -142,10 +142,10 @@ pub fn neighbor_domain<Q: Quadrant>(
     // which axes leave the root domain?
     let mut exit_face = None;
     let mut exits = 0;
-    for a in 0..dim as usize {
-        let f = if dom[a] < 0 {
+    for (a, &d) in dom.iter().enumerate().take(dim as usize) {
+        let f = if d < 0 {
             Some(2 * a as u32)
-        } else if dom[a] + h > root {
+        } else if d + h > root {
             Some(2 * a as u32 + 1)
         } else {
             None

@@ -399,6 +399,28 @@ mod tests {
     }
 
     #[test]
+    fn ghosts_are_fault_oblivious() {
+        use quadforest_comm::FaultPlan;
+        use std::time::Duration;
+        let program = |comm: quadforest_comm::Comm| {
+            let conn = Arc::new(Connectivity::unit(2));
+            let mut f = Forest::<Q2>::new_uniform(conn, &comm, 2);
+            f.refine(&comm, true, |_, q| q.coords()[0] == 0 && q.level() < 4);
+            f.balance(&comm, BalanceKind::Face);
+            f.partition(&comm);
+            ghost_as_tuples(&f.ghost(&comm, BalanceKind::Full))
+        };
+        let baseline = quadforest_comm::run(3, program);
+        for seed in [5u64, 23] {
+            let plan = FaultPlan::new(seed)
+                .with_delays(0.25, Duration::from_micros(100))
+                .with_reordering(0.25);
+            let chaotic = quadforest_comm::run_with_faults(3, plan, program).unwrap();
+            assert_eq!(baseline, chaotic, "seed {seed} changed the ghost layer");
+        }
+    }
+
+    #[test]
     fn ghost_lookup_helpers() {
         quadforest_comm::run(2, |comm| {
             let conn = Arc::new(Connectivity::unit(2));

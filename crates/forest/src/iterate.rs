@@ -55,13 +55,13 @@ pub enum Interface<Q: Quadrant> {
 /// transform's axis mapping — derived here geometrically by comparing
 /// contact-box position within the domain.
 fn opposite_face(dim: u32, dom_coords: [i32; 3], dom_h: i32, contact: &Box3) -> u32 {
-    for a in 0..dim as usize {
+    for (a, &dc) in dom_coords.iter().enumerate().take(dim as usize) {
         if contact.lo[a] == contact.hi[a] {
             // degenerate axis: the contact plane
-            return if contact.lo[a] == dom_coords[a] {
+            return if contact.lo[a] == dc {
                 2 * a as u32
             } else {
-                debug_assert_eq!(contact.lo[a], dom_coords[a] + dom_h);
+                debug_assert_eq!(contact.lo[a], dc + dom_h);
                 2 * a as u32 + 1
             };
         }

@@ -466,6 +466,24 @@ mod tests {
     }
 
     #[test]
+    fn rank_death_during_construction_is_typed() {
+        // a rank that dies inside the collective construction sequence
+        // must yield a WorldError naming it, not hang the other ranks
+        let err = quadforest_comm::try_run(4, |comm| {
+            if comm.rank() == 3 {
+                panic!("chaos: construction casualty");
+            }
+            let conn = Arc::new(Connectivity::unit(3));
+            let f = Forest::<Q3>::new_uniform(conn, &comm, 2);
+            Ok(f.checksum(&comm))
+        })
+        .unwrap_err();
+        assert_eq!(err.origin, 3);
+        assert!(err.origin_panicked());
+        assert!(err.reason.contains("construction casualty"));
+    }
+
+    #[test]
     fn empty_ranks_are_tolerated() {
         // more ranks than leaves
         quadforest_comm::run(16, |comm| {

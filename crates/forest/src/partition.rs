@@ -49,7 +49,7 @@ impl<Q: Quadrant> Forest<Q> {
             let mut lo = 0u64;
             let mut hi = p - 1;
             while lo < hi {
-                let mid = (lo + hi + 1) / 2;
+                let mid = (lo + hi).div_ceil(2);
                 if cut(mid) <= a {
                     lo = mid;
                 } else {
@@ -203,6 +203,28 @@ mod tests {
             assert_eq!(f.validate(), Ok(()));
             assert_eq!(comm.allreduce_sum(f.local_count() as u64), 4);
         });
+    }
+
+    #[test]
+    fn partition_is_fault_oblivious() {
+        use quadforest_comm::FaultPlan;
+        use std::time::Duration;
+        let program = |comm: quadforest_comm::Comm| {
+            let conn = Arc::new(Connectivity::unit(2));
+            let mut f = Forest::<Q2>::new_uniform(conn, &comm, 1);
+            f.refine(&comm, true, |_, q| q.coords() == [0, 0, 0] && q.level() < 5);
+            f.partition(&comm);
+            assert_eq!(f.validate(), Ok(()));
+            (f.markers().to_vec(), f.checksum(&comm))
+        };
+        let baseline = quadforest_comm::run(4, program);
+        for seed in [3u64, 17] {
+            let plan = FaultPlan::new(seed)
+                .with_delays(0.25, Duration::from_micros(100))
+                .with_reordering(0.25);
+            let chaotic = quadforest_comm::run_with_faults(4, plan, program).unwrap();
+            assert_eq!(baseline, chaotic, "seed {seed} changed the partition");
+        }
     }
 
     #[test]

@@ -43,9 +43,9 @@ impl<Q: Quadrant> Forest<Q> {
         for (t, leaves) in completed.into_iter().enumerate() {
             for q in leaves {
                 // record the partition marker of whichever rank starts here
-                for r in 0..size {
+                for (r, first) in firsts.iter_mut().enumerate() {
                     if total * r as u64 / size as u64 == g {
-                        firsts[r].get_or_insert((
+                        first.get_or_insert((
                             t as u32,
                             q.first_descendant(Q::MAX_LEVEL).morton_abs(),
                         ));

@@ -23,15 +23,18 @@ use std::io::{self, Write};
 /// unit cube in physical space.
 pub type TreeEmbedding = dyn Fn(TreeId) -> [f64; 3];
 
+/// A named per-cell scalar field evaluated by
+/// `(tree, index within the tree's local leaves)`.
+pub type CellField<'a> = (&'a str, &'a dyn Fn(TreeId, usize) -> f64);
+
 /// Writer options.
 pub struct VtkOptions<'a> {
     /// Dataset title (second header line).
     pub title: &'a str,
     /// Tree embedding; defaults to unit spacing along x.
     pub embedding: Option<&'a TreeEmbedding>,
-    /// Extra per-cell scalar fields: name and per-leaf evaluation by
-    /// `(tree, index within the tree's local leaves)`.
-    pub cell_fields: Vec<(&'a str, &'a dyn Fn(TreeId, usize) -> f64)>,
+    /// Extra per-cell scalar fields; see [`CellField`].
+    pub cell_fields: Vec<CellField<'a>>,
 }
 
 impl Default for VtkOptions<'_> {

@@ -195,7 +195,7 @@ fn main() {
             });
         }
         forest.balance(&comm, BalanceKind::Face);
-        let u: Vec<f64> = forest.leaves().map(|(t, q)| initial(t, &q)).collect();
+        let u: Vec<f64> = forest.leaves().map(|(t, q)| initial(t, q)).collect();
         let mut sim = Sim { forest, u };
 
         let mass0 = comm.allreduce(sim.local_mass(), |a, b| a + b);

@@ -1,0 +1,295 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! This workspace builds in fully offline environments, so the external
+//! `criterion` dependency is replaced by this local timing harness
+//! implementing the subset the workspace's benches use: benchmark
+//! groups, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `Throughput::Elements`, `BenchmarkId` and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark runs one untimed warmup iteration,
+//! then `sample_size` timed iterations, and reports the median and best
+//! per-iteration time (plus element throughput when declared). There is
+//! no statistical analysis, HTML report, or baseline comparison.
+//! Benchmark name filters passed on the command line (`cargo bench --
+//! substring`) are honored.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle, passed to every benchmark function.
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // honor `cargo bench -- <filter>`; flags (--bench etc.) are not
+        // name filters
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion {
+            filter,
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            harness: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let sample_size = self.default_sample_size;
+        self.run_one(&id.to_string(), sample_size, None, f);
+        self
+    }
+
+    fn run_one<F>(
+        &self,
+        full_name: &str,
+        sample_size: usize,
+        throughput: Option<&Throughput>,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            return;
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let best = samples[0];
+        match throughput {
+            Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
+                let rate = *n as f64 / median.as_secs_f64();
+                println!(
+                    "{full_name:<60} median {median:>12?}  best {best:>12?}  {rate:>14.0} elem/s"
+                );
+            }
+            Some(Throughput::Bytes(n)) if median.as_nanos() > 0 => {
+                let rate = *n as f64 / median.as_secs_f64() / (1024.0 * 1024.0);
+                println!(
+                    "{full_name:<60} median {median:>12?}  best {best:>12?}  {rate:>11.1} MiB/s"
+                );
+            }
+            _ => println!("{full_name:<60} median {median:>12?}  best {best:>12?}"),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    harness: &'a Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declare work-per-iteration so a rate is reported.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Ignored (kept for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let n = self.sample_size.unwrap_or(self.harness.default_sample_size);
+        self.harness.run_one(&full, n, self.throughput.as_ref(), f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input (the input is simply
+    /// passed through to the closure).
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Collects timed iterations of one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run `routine` once untimed (warmup), then `sample_size` timed
+    /// times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A benchmark name, optionally parameterized (`name/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A parameterized id, displayed `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.parameter {
+            Some(p) => write!(f, "{}/{}", self.name, p),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// Declared work per iteration, for rate reporting.
+#[derive(Clone, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Bundle benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            default_sample_size: 3,
+        };
+        let mut ran = 0usize;
+        {
+            let mut g = c.benchmark_group("smoke");
+            g.sample_size(2).throughput(Throughput::Elements(10));
+            g.bench_function("a", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::new("b", 7), &3u32, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            g.finish();
+        }
+        // warmup + 2 samples
+        assert_eq!(ran, 3);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let c = Criterion {
+            filter: Some("match-me".into()),
+            default_sample_size: 3,
+        };
+        let mut ran = false;
+        c.run_one("other-name", 3, None, |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.run_one("has-match-me-inside", 3, None, |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+}
