@@ -46,16 +46,17 @@ fn codec_variants(c: &mut Criterion) {
             black_box(acc)
         })
     });
-    #[cfg(all(target_arch = "x86_64", target_feature = "bmi2"))]
-    g.bench_function("bmi2_pdep", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for &(x, y, z) in &inputs {
-                acc = acc.wrapping_add(morton::bmi2::encode3(x, y, z));
-            }
-            black_box(acc)
-        })
-    });
+    if quadforest_core::simd::has_bmi2() {
+        g.bench_function("bmi2_pdep", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &(x, y, z) in &inputs {
+                    acc = acc.wrapping_add(morton::encode3_rt(x, y, z));
+                }
+                black_box(acc)
+            })
+        });
+    }
     g.bench_function("lut", |b| {
         b.iter(|| {
             let mut acc = 0u64;
@@ -84,17 +85,18 @@ fn codec_variants(c: &mut Criterion) {
             black_box(acc)
         })
     });
-    #[cfg(all(target_arch = "x86_64", target_feature = "bmi2"))]
-    g.bench_function("bmi2_pext", |b| {
-        b.iter(|| {
-            let mut acc = 0u32;
-            for &m in &codes {
-                let (x, y, z) = morton::bmi2::decode3(m);
-                acc = acc.wrapping_add(x ^ y ^ z);
-            }
-            black_box(acc)
-        })
-    });
+    if quadforest_core::simd::has_bmi2() {
+        g.bench_function("bmi2_pext", |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for &m in &codes {
+                    let (x, y, z) = morton::decode3_rt(m);
+                    acc = acc.wrapping_add(x ^ y ^ z);
+                }
+                black_box(acc)
+            })
+        });
+    }
     g.finish();
 }
 

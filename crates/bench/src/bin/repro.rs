@@ -6,11 +6,17 @@
 //! repro --mem --level 8       # Section 3.2 memory experiment
 //! repro --autovec             # contribution 5
 //! repro --chaos               # fault-injected forest pipeline
+//! repro --json                # machine-readable perf baseline
 //! repro --iters 5 --ranks 1,4,64,512
 //! ```
 //!
 //! Output is a set of markdown tables (paper-style), suitable for
-//! pasting into EXPERIMENTS.md.
+//! pasting into EXPERIMENTS.md. `--json` additionally writes
+//! `BENCH_batch.json` (scalar vs runtime-dispatched SIMD for every SoA
+//! batch kernel) and `BENCH_highlevel.json` (keyed vs comparator
+//! linearize, batched vs per-quadrant neighbor enumeration, forest
+//! pipeline wall times) to the current directory — the repo's benchmark
+//! trajectory points and regression gate.
 
 use quadforest_bench::*;
 use quadforest_core::batch;
@@ -68,6 +74,7 @@ struct Opts {
     autovec: bool,
     dim2: bool,
     chaos: bool,
+    json: bool,
     iters: usize,
     ranks: Vec<usize>,
 }
@@ -80,6 +87,7 @@ fn parse_args() -> Opts {
         autovec: false,
         dim2: false,
         chaos: false,
+        json: false,
         iters: 3,
         ranks: RANKS.to_vec(),
     };
@@ -110,6 +118,10 @@ fn parse_args() -> Opts {
             }
             "--chaos" => {
                 opts.chaos = true;
+                any = true;
+            }
+            "--json" => {
+                opts.json = true;
                 any = true;
             }
             "--dim2" => {
@@ -573,6 +585,398 @@ fn run_chaos(opts: &Opts) {
     let _ = opts;
 }
 
+// ---------------------------------------------------------------------------
+// --json: machine-readable perf baseline (BENCH_batch / BENCH_highlevel)
+// ---------------------------------------------------------------------------
+
+/// One scalar-vs-dispatched measurement rendered as a JSON object.
+struct JsonRecord {
+    op: &'static str,
+    representation: &'static str,
+    n: usize,
+    /// (variant name, ns per element) pairs.
+    variants: Vec<(&'static str, f64)>,
+    /// first variant time / last variant time; `None` for wall-only rows.
+    speedup: Option<f64>,
+}
+
+impl JsonRecord {
+    fn two(
+        op: &'static str,
+        representation: &'static str,
+        n: usize,
+        names: [&'static str; 2],
+        scalar: Duration,
+        simd: Duration,
+    ) -> JsonRecord {
+        let per = |d: Duration| d.as_secs_f64() * 1e9 / n as f64;
+        JsonRecord {
+            op,
+            representation,
+            n,
+            variants: vec![(names[0], per(scalar)), (names[1], per(simd))],
+            speedup: Some(scalar.as_secs_f64() / simd.as_secs_f64()),
+        }
+    }
+
+    /// Three-way record: per-quadrant AoS baseline, scalar SoA tier,
+    /// runtime-dispatched SIMD tier. The headline speedup is the batched
+    /// SIMD kernel against the per-quadrant path it replaced; the scalar
+    /// SoA time is also recorded so the file still separates the layout
+    /// win from the vectorization win.
+    fn three(
+        op: &'static str,
+        representation: &'static str,
+        n: usize,
+        per_quadrant: Duration,
+        scalar: Duration,
+        simd: Duration,
+    ) -> JsonRecord {
+        let per = |d: Duration| d.as_secs_f64() * 1e9 / n as f64;
+        JsonRecord {
+            op,
+            representation,
+            n,
+            variants: vec![
+                ("per_quadrant", per(per_quadrant)),
+                ("scalar", per(scalar)),
+                ("simd", per(simd)),
+            ],
+            speedup: Some(per_quadrant.as_secs_f64() / simd.as_secs_f64()),
+        }
+    }
+
+    fn wall(op: &'static str, representation: &'static str, n: usize, d: Duration) -> JsonRecord {
+        JsonRecord {
+            op,
+            representation,
+            n,
+            variants: vec![("wall", d.as_secs_f64() * 1e9 / n as f64)],
+            speedup: None,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let vars = self
+            .variants
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v:.4}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let speedup = match self.speedup {
+            Some(s) => format!("{s:.4}"),
+            None => "null".to_string(),
+        };
+        format!(
+            "    {{\"op\": \"{}\", \"representation\": \"{}\", \"n\": {}, \"ns_per_elem\": {{{vars}}}, \"speedup\": {speedup}}}",
+            self.op, self.representation, self.n
+        )
+    }
+}
+
+fn write_json(path: &str, bench: &'static str, records: &[JsonRecord]) {
+    let body = records
+        .iter()
+        .map(JsonRecord::to_json)
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"{bench}\",\n  \"features\": \"{}\",\n  \"results\": [\n{body}\n  ]\n}}\n",
+        quadforest_core::simd::active_features()
+    );
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path}");
+}
+
+/// The pre-keyed `linearize`: comparator sort + per-quadrant reverse
+/// ancestor sweep — the baseline the keyed path is gated against.
+fn linearize_comparator<Q: Quadrant>(mut quads: Vec<Q>) -> Vec<Q> {
+    quads.sort_by(|a, b| a.compare_sfc(b));
+    quads.dedup();
+    let mut kept: Vec<Q> = Vec::with_capacity(quads.len());
+    for q in quads.into_iter().rev() {
+        if let Some(last) = kept.last() {
+            if q.is_ancestor_of(last) || q == *last {
+                continue;
+            }
+        }
+        kept.push(q);
+    }
+    kept.reverse();
+    kept
+}
+
+fn time_best_of(iters: usize, mut f: impl FnMut()) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..iters.max(3) {
+        let t = std::time::Instant::now();
+        f();
+        best = best.min(t.elapsed());
+    }
+    best
+}
+
+fn run_json_batch(opts: &Opts) {
+    const L: u8 = StandardQuad::<3>::MAX_LEVEL;
+    // L1-resident block (complete tree to level 3, 584 quadrants,
+    // ~19 KiB of SoA lanes in+out): measures kernel throughput rather
+    // than memory-system bandwidth, which is what per-op ns/elem is
+    // meant to compare. Each timed sample repeats the kernel so a
+    // sample is hundreds of microseconds.
+    const REPS: usize = 1024;
+    let quads = nonroot(workload::complete_tree::<StandardQuad<3>>(3));
+    let soa = QuadSoA::from_quads(&quads);
+    let mut out = QuadSoA::with_len(soa.len());
+    let n = soa.len();
+    let names = ["scalar", "simd"];
+    let mut records = Vec::new();
+    macro_rules! pair {
+        ($op:literal, $scalar:expr, $simd:expr) => {{
+            let s = {
+                let mut f = $scalar;
+                time_best_of(opts.iters, || {
+                    for _ in 0..REPS {
+                        f();
+                    }
+                })
+            };
+            let v = {
+                let mut f = $simd;
+                time_best_of(opts.iters, || {
+                    for _ in 0..REPS {
+                        f();
+                    }
+                })
+            };
+            records.push(JsonRecord::two($op, "soa", n * REPS, names, s, v));
+        }};
+    }
+    let mut aos_out: Vec<StandardQuad<3>> = quads.clone();
+    macro_rules! trio {
+        ($op:literal, $aos:expr, $scalar:expr, $simd:expr) => {{
+            let a = {
+                let mut f = $aos;
+                time_best_of(opts.iters, || {
+                    for _ in 0..REPS {
+                        f();
+                    }
+                })
+            };
+            let s = {
+                let mut f = $scalar;
+                time_best_of(opts.iters, || {
+                    for _ in 0..REPS {
+                        f();
+                    }
+                })
+            };
+            let v = {
+                let mut f = $simd;
+                time_best_of(opts.iters, || {
+                    for _ in 0..REPS {
+                        f();
+                    }
+                })
+            };
+            records.push(JsonRecord::three($op, "soa", n * REPS, a, s, v));
+        }};
+    }
+    trio!(
+        "child_all",
+        || {
+            for (o, q) in aos_out.iter_mut().zip(&quads) {
+                *o = q.child(5);
+            }
+            std::hint::black_box(&aos_out);
+        },
+        || scalar_ref::child_all(&soa, 5, L, &mut out),
+        || batch::child_all(&soa, 5, L, &mut out)
+    );
+    trio!(
+        "parent_all",
+        || {
+            for (o, q) in aos_out.iter_mut().zip(&quads) {
+                *o = q.parent();
+            }
+            std::hint::black_box(&aos_out);
+        },
+        || scalar_ref::parent_all(&soa, L, &mut out),
+        || batch::parent_all(&soa, L, &mut out)
+    );
+    trio!(
+        "sibling_all",
+        || {
+            for (o, q) in aos_out.iter_mut().zip(&quads) {
+                *o = q.sibling(3);
+            }
+            std::hint::black_box(&aos_out);
+        },
+        || scalar_ref::sibling_all(&soa, 3, L, &mut out),
+        || batch::sibling_all(&soa, 3, L, &mut out)
+    );
+    trio!(
+        "face_neighbor_all",
+        || {
+            for (o, q) in aos_out.iter_mut().zip(&quads) {
+                *o = q.face_neighbor(2);
+            }
+            std::hint::black_box(&aos_out);
+        },
+        || scalar_ref::face_neighbor_all(&soa, 2, L, &mut out),
+        || batch::face_neighbor_all(&soa, 2, L, &mut out)
+    );
+    pair!(
+        "offset_neighbor_all",
+        || scalar_ref::offset_neighbor_all(&soa, [1, -1, 1], L, &mut out),
+        || batch::offset_neighbor_all(&soa, [1, -1, 1], L, &mut out)
+    );
+    {
+        let (mut fx, mut fy, mut fz) = (vec![0; n], vec![0; n], vec![0; n]);
+        trio!(
+            "tree_boundaries_all",
+            || {
+                for (i, q) in quads.iter().enumerate() {
+                    let b = q.tree_boundaries();
+                    fx[i] = b[0];
+                    fy[i] = b[1];
+                    fz[i] = b[2];
+                }
+                std::hint::black_box((&fx, &fy, &fz));
+            },
+            || scalar_ref::tree_boundaries_all(&soa, 3, L, [&mut fx, &mut fy, &mut fz]),
+            || batch::tree_boundaries_all(&soa, 3, L, [&mut fx, &mut fy, &mut fz])
+        );
+    }
+    {
+        let mut keys = vec![0u64; n];
+        trio!(
+            "sfc_keys_all",
+            || {
+                for (k, q) in keys.iter_mut().zip(&quads) {
+                    *k = q.sfc_key();
+                }
+                std::hint::black_box(&keys);
+            },
+            || scalar_ref::sfc_keys_all(&soa, 3, &mut keys),
+            || batch::sfc_keys_all(&soa, 3, &mut keys)
+        );
+    }
+    write_json("BENCH_batch.json", "batch", &records);
+}
+
+fn run_json_highlevel(opts: &Opts) {
+    use quadforest_connectivity::Connectivity;
+    use quadforest_forest::{
+        directions::{
+            for_each_neighbor_domain, for_each_neighbor_domain_scalar, offsets, Adjacency,
+            NeighborScratch,
+        },
+        BalanceKind, Forest,
+    };
+    use std::sync::Arc;
+
+    let mut records = Vec::new();
+
+    // linearize on 1M random (shuffled) octants: comparator-sort
+    // baseline vs keyed sort_unstable_by_key
+    const N_LIN: usize = 1_000_000;
+    {
+        let mut base: Vec<StandardQuad<3>> = workload::complete_tree_shuffled(6, 0x5EED);
+        base.truncate(N_LIN);
+        let a = time_best_of(opts.iters, || {
+            std::hint::black_box(linearize_comparator(base.clone()));
+        });
+        let b = time_best_of(opts.iters, || {
+            std::hint::black_box(quadforest_core::linear::linearize(base.clone()));
+        });
+        records.push(JsonRecord::two(
+            "linearize",
+            "standard",
+            N_LIN,
+            ["comparator", "keyed"],
+            a,
+            b,
+        ));
+    }
+    {
+        let mut base: Vec<MortonQuad<3>> = workload::complete_tree_shuffled(6, 0x5EED);
+        base.truncate(N_LIN);
+        let a = time_best_of(opts.iters, || {
+            std::hint::black_box(linearize_comparator(base.clone()));
+        });
+        let b = time_best_of(opts.iters, || {
+            std::hint::black_box(quadforest_core::linear::linearize(base.clone()));
+        });
+        records.push(JsonRecord::two(
+            "linearize",
+            "morton",
+            N_LIN,
+            ["comparator", "keyed"],
+            a,
+            b,
+        ));
+    }
+
+    // neighbor-domain enumeration (the balance/ghost hot loop):
+    // per-quadrant oracle vs batched SoA sweep
+    {
+        let conn = Connectivity::unit(3);
+        let leaves = workload::uniform_level::<StandardQuad<3>>(5);
+        let offs = offsets(3, Adjacency::Full);
+        let mut count = 0usize;
+        let a = time_best_of(opts.iters, || {
+            count = 0;
+            for_each_neighbor_domain_scalar(&conn, 0, &leaves, &offs, 0, |_, _, _| count += 1);
+            std::hint::black_box(count);
+        });
+        let mut scratch = NeighborScratch::new();
+        let mut count_b = 0usize;
+        let b = time_best_of(opts.iters, || {
+            count_b = 0;
+            for_each_neighbor_domain(&conn, 0, &leaves, &offs, 0, &mut scratch, |_, _, _| {
+                count_b += 1
+            });
+            std::hint::black_box(count_b);
+        });
+        assert_eq!(count, count_b, "batched enumeration lost domains");
+        records.push(JsonRecord::two(
+            "neighbor_enum",
+            "standard",
+            leaves.len(),
+            ["per_quadrant", "batched"],
+            a,
+            b,
+        ));
+    }
+
+    // end-to-end pipeline wall times at P = 2 (batched production path)
+    {
+        let t = std::time::Instant::now();
+        let counts = quadforest_comm::run(2, |comm| {
+            let conn = Arc::new(Connectivity::unit(2));
+            let mut f = Forest::<MortonQuad<2>>::new_uniform(conn, &comm, 2);
+            f.refine(&comm, true, |_, q| {
+                let c = q.coords();
+                q.level() < 7 && c[0] == 0 && c[1] == 0
+            });
+            f.balance(&comm, BalanceKind::Face);
+            f.partition(&comm);
+            let g = f.ghost(&comm, BalanceKind::Face);
+            (f.global_count(), g.len())
+        });
+        let wall = t.elapsed();
+        let n = counts[0].0 as usize;
+        records.push(JsonRecord::wall(
+            "refine_balance_ghost_p2",
+            "morton",
+            n,
+            wall,
+        ));
+    }
+
+    write_json("BENCH_highlevel.json", "highlevel", &records);
+}
+
 fn main() {
     let opts = parse_args();
     println!("# quadforest repro — paper evaluation on this machine");
@@ -582,6 +986,10 @@ fn main() {
         WORKLOAD_MAX_LEVEL,
         opts.ranks,
         opts.iters
+    );
+    println!(
+        "kernel tier: {} (runtime-dispatched)",
+        quadforest_core::simd::active_features()
     );
     for fig in &opts.figures {
         run_figure(*fig, &opts);
@@ -597,5 +1005,10 @@ fn main() {
     }
     if opts.chaos {
         run_chaos(&opts);
+    }
+    if opts.json {
+        println!("\n## Machine-readable perf baseline");
+        run_json_batch(&opts);
+        run_json_highlevel(&opts);
     }
 }

@@ -5,79 +5,127 @@
 //! Each kernel processes eight quadrants per iteration from the shared
 //! [`QuadSoA`] layout using explicit AVX2 intrinsics, including the
 //! per-lane variable shifts (`vpsllvd`) that encode each quadrant's own
-//! level-dependent length. On targets without AVX2 the functions fall
-//! back to the scalar reference kernels, so results are identical
-//! everywhere.
+//! level-dependent length.
+//!
+//! # Runtime dispatch
+//!
+//! The AVX2 kernels are compiled unconditionally on x86_64 (marked
+//! `#[target_feature(enable = "avx2")]`, so the compiler may use AVX2
+//! instructions regardless of the build's baseline) and selected at
+//! runtime through a function table cached in a [`OnceLock`]: the first
+//! batch call consults [`crate::simd::features`] once and installs
+//! either the AVX2 table or the scalar-reference table. A stock
+//! `cargo build --release` therefore runs the vectorized kernels on any
+//! AVX2 machine — no `RUSTFLAGS` required — while non-x86_64 targets and
+//! CPUs without AVX2 get the scalar reference with identical results
+//! (the property tests in `tests/prop_batch_dispatch.rs` hold the two
+//! paths equal on the same binary).
 
 pub use crate::scalar_ref::QuadSoA;
 
+use crate::scalar_ref;
+use std::sync::OnceLock;
+
+/// The dispatchable batch-kernel set: one entry per public SoA kernel.
+struct Kernels {
+    child_all: fn(&QuadSoA, u32, u8, &mut QuadSoA),
+    parent_all: fn(&QuadSoA, u8, &mut QuadSoA),
+    sibling_all: fn(&QuadSoA, u32, u8, &mut QuadSoA),
+    face_neighbor_all: fn(&QuadSoA, u32, u8, &mut QuadSoA),
+    offset_neighbor_all: fn(&QuadSoA, [i32; 3], u8, &mut QuadSoA),
+    tree_boundaries_all: fn(&QuadSoA, u32, u8, [&mut [i32]; 3]),
+}
+
+static SCALAR_KERNELS: Kernels = Kernels {
+    child_all: scalar_ref::child_all,
+    parent_all: scalar_ref::parent_all,
+    sibling_all: scalar_ref::sibling_all,
+    face_neighbor_all: scalar_ref::face_neighbor_all,
+    offset_neighbor_all: scalar_ref::offset_neighbor_all,
+    tree_boundaries_all: scalar_ref::tree_boundaries_all,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX2_KERNELS: Kernels = Kernels {
+    child_all: avx2::child_all_rt,
+    parent_all: avx2::parent_all_rt,
+    sibling_all: avx2::sibling_all_rt,
+    face_neighbor_all: avx2::face_neighbor_all_rt,
+    offset_neighbor_all: avx2::offset_neighbor_all_rt,
+    tree_boundaries_all: avx2::tree_boundaries_all_rt,
+};
+
+/// The active kernel table, chosen once per process from the detected
+/// CPU features.
+fn kernels() -> &'static Kernels {
+    static ACTIVE: OnceLock<&'static Kernels> = OnceLock::new();
+    ACTIVE.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::has_avx2() {
+            return &AVX2_KERNELS;
+        }
+        &SCALAR_KERNELS
+    })
+}
+
 /// `child` over the SoA array, eight quadrants per step.
 pub fn child_all(soa: &QuadSoA, c: u32, max_level: u8, out: &mut QuadSoA) {
-    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
-    {
-        avx2::child_all(soa, c, max_level, out);
-    }
-    #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
-    {
-        crate::scalar_ref::child_all(soa, c, max_level, out);
-    }
+    (kernels().child_all)(soa, c, max_level, out)
 }
 
 /// `parent` over the SoA array, eight quadrants per step.
 pub fn parent_all(soa: &QuadSoA, max_level: u8, out: &mut QuadSoA) {
-    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
-    {
-        avx2::parent_all(soa, max_level, out);
-    }
-    #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
-    {
-        crate::scalar_ref::parent_all(soa, max_level, out);
-    }
+    (kernels().parent_all)(soa, max_level, out)
 }
 
 /// `sibling` over the SoA array, eight quadrants per step.
 pub fn sibling_all(soa: &QuadSoA, s: u32, max_level: u8, out: &mut QuadSoA) {
-    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
-    {
-        avx2::sibling_all(soa, s, max_level, out);
-    }
-    #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
-    {
-        crate::scalar_ref::sibling_all(soa, s, max_level, out);
-    }
+    (kernels().sibling_all)(soa, s, max_level, out)
 }
 
 /// `face_neighbor` over the SoA array for fixed face `f`, eight per step.
 pub fn face_neighbor_all(soa: &QuadSoA, f: u32, max_level: u8, out: &mut QuadSoA) {
-    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
-    {
-        avx2::face_neighbor_all(soa, f, max_level, out);
-    }
-    #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
-    {
-        crate::scalar_ref::face_neighbor_all(soa, f, max_level, out);
-    }
+    (kernels().face_neighbor_all)(soa, f, max_level, out)
+}
+
+/// Same-size neighbor anchors for a fixed unit offset `{-1,0,1}^3`
+/// (the general direction the balance/ghost enumerations walk), eight
+/// quadrants per step.
+pub fn offset_neighbor_all(soa: &QuadSoA, offset: [i32; 3], max_level: u8, out: &mut QuadSoA) {
+    (kernels().offset_neighbor_all)(soa, offset, max_level, out)
 }
 
 /// `tree_boundaries` over the SoA array, eight quadrants per step.
+/// All three out slices must hold at least `soa.len()` lanes (asserted
+/// identically by every dispatch target).
 pub fn tree_boundaries_all(soa: &QuadSoA, dim: u32, max_level: u8, out: [&mut [i32]; 3]) {
-    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
-    {
-        avx2::tree_boundaries_all(soa, dim, max_level, out);
-    }
-    #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
-    {
-        crate::scalar_ref::tree_boundaries_all(soa, dim, max_level, out);
-    }
+    (kernels().tree_boundaries_all)(soa, dim, max_level, out)
 }
 
-#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+/// Space-filling-curve sort keys `(morton_abs << 6) | level` over the
+/// SoA array — the batch key extractor behind `linear::linearize`'s
+/// `sort_unstable_by_key`. Dispatches to the BMI2 `pdep` interleave when
+/// the CPU has it, independent of the AVX2 tier.
+pub fn sfc_keys_all(soa: &QuadSoA, dim: u32, out: &mut [u64]) {
+    static ACTIVE: OnceLock<fn(&QuadSoA, u32, &mut [u64])> = OnceLock::new();
+    (ACTIVE.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::has_bmi2() {
+            return bmi2_keys::sfc_keys_all_rt;
+        }
+        scalar_ref::sfc_keys_all
+    }))(soa, dim, out)
+}
+
+#[cfg(target_arch = "x86_64")]
 mod avx2 {
     use super::QuadSoA;
     use core::arch::x86_64::*;
 
-    /// Load 8 lanes from `src[i..]`; caller guarantees `i + 8 <= len`.
+    /// Load 8 lanes from `src[i..]`; caller guarantees `i + 8 <= len`
+    /// (AVX2 availability is carried by the `target_feature` contract).
     #[inline]
+    #[target_feature(enable = "avx2")]
     unsafe fn load(src: &[i32], i: usize) -> __m256i {
         debug_assert!(i + 8 <= src.len());
         // SAFETY: bounds asserted above; loadu has no alignment demands.
@@ -86,18 +134,20 @@ mod avx2 {
 
     /// Store 8 lanes to `dst[i..]`; caller guarantees `i + 8 <= len`.
     #[inline]
+    #[target_feature(enable = "avx2")]
     unsafe fn store(dst: &mut [i32], i: usize, v: __m256i) {
         debug_assert!(i + 8 <= dst.len());
         // SAFETY: bounds asserted above.
         unsafe { _mm256_storeu_si256(dst.as_mut_ptr().add(i) as *mut __m256i, v) }
     }
 
+    #[target_feature(enable = "avx2")]
     pub fn child_all(soa: &QuadSoA, c: u32, max_level: u8, out: &mut QuadSoA) {
         let n = soa.len();
         assert!(out.len() >= n);
         let main = n - n % 8;
         let ml = max_level as i32;
-        // SAFETY: avx2 statically enabled; all loads/stores bounds-checked.
+        // SAFETY: all loads/stores bounds-checked.
         unsafe {
             let one = _mm256_set1_epi32(1);
             let mlv = _mm256_set1_epi32(ml - 1);
@@ -133,12 +183,13 @@ mod avx2 {
         }
     }
 
+    #[target_feature(enable = "avx2")]
     pub fn parent_all(soa: &QuadSoA, max_level: u8, out: &mut QuadSoA) {
         let n = soa.len();
         assert!(out.len() >= n);
         let main = n - n % 8;
         let ml = max_level as i32;
-        // SAFETY: avx2 statically enabled; all loads/stores bounds-checked.
+        // SAFETY: all loads/stores bounds-checked.
         unsafe {
             let one = _mm256_set1_epi32(1);
             let mlv = _mm256_set1_epi32(ml);
@@ -162,12 +213,13 @@ mod avx2 {
         }
     }
 
+    #[target_feature(enable = "avx2")]
     pub fn sibling_all(soa: &QuadSoA, s: u32, max_level: u8, out: &mut QuadSoA) {
         let n = soa.len();
         assert!(out.len() >= n);
         let main = n - n % 8;
         let ml = max_level as i32;
-        // SAFETY: avx2 statically enabled; all loads/stores bounds-checked.
+        // SAFETY: all loads/stores bounds-checked.
         unsafe {
             let one = _mm256_set1_epi32(1);
             let mlv = _mm256_set1_epi32(ml);
@@ -197,55 +249,67 @@ mod avx2 {
         }
     }
 
+    #[target_feature(enable = "avx2")]
     pub fn face_neighbor_all(soa: &QuadSoA, f: u32, max_level: u8, out: &mut QuadSoA) {
+        let n = soa.len();
+        assert!(out.len() >= n);
+        let sign = if f & 1 == 1 { 1 } else { -1 };
+        let axis = f / 2;
+        let mut offset = [0i32; 3];
+        offset[axis as usize] = sign;
+        // same AVX2 context — delegation keeps one code path
+        offset_neighbor_all(soa, offset, max_level, out)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn offset_neighbor_all(soa: &QuadSoA, offset: [i32; 3], max_level: u8, out: &mut QuadSoA) {
         let n = soa.len();
         assert!(out.len() >= n);
         let main = n - n % 8;
         let ml = max_level as i32;
-        let sign = if f & 1 == 1 { 1 } else { -1 };
-        let axis = f / 2;
-        out.x.copy_from_slice(&soa.x);
-        out.y.copy_from_slice(&soa.y);
-        out.z.copy_from_slice(&soa.z);
         out.level.copy_from_slice(&soa.level);
-        // SAFETY: avx2 statically enabled; all loads/stores bounds-checked.
-        unsafe {
-            let one = _mm256_set1_epi32(1);
-            let mlv = _mm256_set1_epi32(ml);
-            for i in (0..main).step_by(8) {
-                let l = load(&soa.level, i);
-                let h = _mm256_sllv_epi32(one, _mm256_sub_epi32(mlv, l));
-                let step = if sign == 1 {
-                    h
-                } else {
-                    _mm256_sub_epi32(_mm256_setzero_si256(), h)
-                };
-                let lane: &mut [i32] = match axis {
-                    0 => &mut out.x,
-                    1 => &mut out.y,
-                    _ => &mut out.z,
-                };
-                let v = _mm256_add_epi32(load(lane, i), step);
-                store(lane, i, v);
+        for (a, (src, dst)) in [
+            (&soa.x, &mut out.x),
+            (&soa.y, &mut out.y),
+            (&soa.z, &mut out.z),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let d = offset[a];
+            if d == 0 {
+                dst.copy_from_slice(src);
+                continue;
             }
-        }
-        for i in main..n {
-            let h = 1i32 << (ml - soa.level[i]);
-            match axis {
-                0 => out.x[i] += sign * h,
-                1 => out.y[i] += sign * h,
-                _ => out.z[i] += sign * h,
+            // SAFETY: all loads/stores bounds-checked.
+            unsafe {
+                let one = _mm256_set1_epi32(1);
+                let mlv = _mm256_set1_epi32(ml);
+                for i in (0..main).step_by(8) {
+                    let l = load(&soa.level, i);
+                    let h = _mm256_sllv_epi32(one, _mm256_sub_epi32(mlv, l));
+                    let step = if d == 1 {
+                        h
+                    } else {
+                        _mm256_sub_epi32(_mm256_setzero_si256(), h)
+                    };
+                    store(dst, i, _mm256_add_epi32(load(src, i), step));
+                }
+            }
+            for i in main..n {
+                dst[i] = src[i] + d * (1i32 << (ml - soa.level[i]));
             }
         }
     }
 
+    #[target_feature(enable = "avx2")]
     pub fn tree_boundaries_all(soa: &QuadSoA, dim: u32, max_level: u8, out: [&mut [i32]; 3]) {
         let n = soa.len();
         let ml = max_level as i32;
         let [fx, fy, fz] = out;
-        assert!(fx.len() >= n && fy.len() >= n && fz.len() >= n);
+        crate::scalar_ref::assert_boundary_lanes(n, fx, fy, fz);
         let main = n - n % 8;
-        // SAFETY: avx2 statically enabled; all loads/stores bounds-checked.
+        // SAFETY: all loads/stores bounds-checked.
         unsafe {
             let one = _mm256_set1_epi32(1);
             let mlv = _mm256_set1_epi32(ml);
@@ -289,6 +353,68 @@ mod avx2 {
             fy[i] = t(soa.y[i], 3, 4);
             fz[i] = if dim == 3 { t(soa.z[i], 5, 6) } else { -1 };
         }
+    }
+
+    // Safe trampolines for the dispatch table. SAFETY (all): the table
+    // in `super::kernels` installs these entries only after
+    // `crate::simd::has_avx2()` confirmed AVX2 on the running CPU.
+
+    pub fn child_all_rt(soa: &QuadSoA, c: u32, max_level: u8, out: &mut QuadSoA) {
+        unsafe { child_all(soa, c, max_level, out) }
+    }
+
+    pub fn parent_all_rt(soa: &QuadSoA, max_level: u8, out: &mut QuadSoA) {
+        unsafe { parent_all(soa, max_level, out) }
+    }
+
+    pub fn sibling_all_rt(soa: &QuadSoA, s: u32, max_level: u8, out: &mut QuadSoA) {
+        unsafe { sibling_all(soa, s, max_level, out) }
+    }
+
+    pub fn face_neighbor_all_rt(soa: &QuadSoA, f: u32, max_level: u8, out: &mut QuadSoA) {
+        unsafe { face_neighbor_all(soa, f, max_level, out) }
+    }
+
+    pub fn offset_neighbor_all_rt(
+        soa: &QuadSoA,
+        offset: [i32; 3],
+        max_level: u8,
+        out: &mut QuadSoA,
+    ) {
+        unsafe { offset_neighbor_all(soa, offset, max_level, out) }
+    }
+
+    pub fn tree_boundaries_all_rt(soa: &QuadSoA, dim: u32, max_level: u8, out: [&mut [i32]; 3]) {
+        unsafe { tree_boundaries_all(soa, dim, max_level, out) }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod bmi2_keys {
+    use super::QuadSoA;
+
+    #[target_feature(enable = "bmi2")]
+    fn sfc_keys_all(soa: &QuadSoA, dim: u32, out: &mut [u64]) {
+        let n = soa.len();
+        assert!(out.len() >= n, "sfc_keys_all: out must hold >= {n} keys");
+        if dim == 2 {
+            for (i, key) in out.iter_mut().enumerate().take(n) {
+                let abs = crate::morton::bmi2::encode2(soa.x[i] as u32, soa.y[i] as u32);
+                *key = (abs << 6) | soa.level[i] as u64;
+            }
+        } else {
+            for (i, key) in out.iter_mut().enumerate().take(n) {
+                let abs =
+                    crate::morton::bmi2::encode3(soa.x[i] as u32, soa.y[i] as u32, soa.z[i] as u32);
+                *key = (abs << 6) | soa.level[i] as u64;
+            }
+        }
+    }
+
+    /// Safe trampoline. SAFETY: installed by `super::sfc_keys_all` only
+    /// after `crate::simd::has_bmi2()` confirmed BMI2 on this CPU.
+    pub fn sfc_keys_all_rt(soa: &QuadSoA, dim: u32, out: &mut [u64]) {
+        unsafe { sfc_keys_all(soa, dim, out) }
     }
 }
 
@@ -355,6 +481,23 @@ mod tests {
     }
 
     #[test]
+    fn batch_offset_neighbor_matches_reference() {
+        let s = soa();
+        let mut a = QuadSoA::with_len(s.len());
+        let mut b = QuadSoA::with_len(s.len());
+        for dz in -1..=1 {
+            for dy in -1..=1 {
+                for dx in -1..=1 {
+                    let off = [dx, dy, dz];
+                    offset_neighbor_all(&s, off, L, &mut a);
+                    scalar_ref::offset_neighbor_all(&s, off, L, &mut b);
+                    assert_eq!(a, b, "offset {off:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn batch_tree_boundaries_matches_reference() {
         let s = soa();
         let n = s.len();
@@ -378,5 +521,46 @@ mod tests {
         for (i, q) in quads.iter().enumerate() {
             assert_eq!([ax[i], ay[i], az[i]], q.tree_boundaries(), "index {i}");
         }
+    }
+
+    #[test]
+    fn batch_sfc_keys_match_trait_keys() {
+        let quads = workload::complete_tree::<StandardQuad<3>>(4);
+        let s = QuadSoA::from_quads(&quads);
+        let mut keys = vec![0u64; s.len()];
+        sfc_keys_all(&s, 3, &mut keys);
+        for (i, q) in quads.iter().enumerate() {
+            assert_eq!(
+                keys[i],
+                (q.morton_abs() << 6) | q.level() as u64,
+                "index {i}"
+            );
+        }
+        let quads2 = workload::complete_tree::<StandardQuad<2>>(5);
+        let s2 = QuadSoA::from_quads(&quads2);
+        let mut keys2 = vec![0u64; s2.len()];
+        sfc_keys_all(&s2, 2, &mut keys2);
+        for (i, q) in quads2.iter().enumerate() {
+            assert_eq!(keys2[i], (q.morton_abs() << 6) | q.level() as u64);
+        }
+    }
+
+    #[test]
+    fn dispatch_tier_is_consistent_with_detection() {
+        // force table initialization, then check which path got installed
+        let s = soa();
+        let mut out = QuadSoA::with_len(s.len());
+        child_all(&s, 0, L, &mut out);
+        #[cfg(target_arch = "x86_64")]
+        {
+            let expect: *const Kernels = if crate::simd::has_avx2() {
+                &AVX2_KERNELS
+            } else {
+                &SCALAR_KERNELS
+            };
+            assert!(std::ptr::eq(kernels(), expect));
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        assert!(std::ptr::eq(kernels(), &SCALAR_KERNELS));
     }
 }

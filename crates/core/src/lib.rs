@@ -48,6 +48,7 @@ pub mod linear;
 pub mod morton;
 pub mod quadrant;
 pub mod scalar_ref;
+pub mod simd;
 pub mod workload;
 
 pub use quadrant::Quadrant;

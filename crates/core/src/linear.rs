@@ -49,25 +49,41 @@ pub fn is_complete<Q: Quadrant>(quads: &[Q]) -> bool {
 /// Sort into SFC order and drop every quadrant that has a descendant in
 /// the set (keep the finest, as p4est's `p4est_linearize` does), also
 /// dropping duplicates.
-pub fn linearize<Q: Quadrant>(mut quads: Vec<Q>) -> Vec<Q> {
-    quads.sort_by(|a, b| a.compare_sfc(b));
-    quads.dedup();
+///
+/// Implementation: extract the `(morton_abs << 6) | level` key of every
+/// quadrant once (batched through the runtime-dispatched SoA kernel for
+/// coordinate representations) and `sort_unstable_by_key` on the keys —
+/// integer key order is exactly `compare_sfc` order, and dedup plus the
+/// ancestor sweep run on the keys alone without touching the quadrants
+/// again.
+pub fn linearize<Q: Quadrant>(quads: Vec<Q>) -> Vec<Q> {
+    let keys = Q::sfc_keys(&quads);
+    let mut order: Vec<(u64, Q)> = keys.into_iter().zip(quads).collect();
+    order.sort_unstable_by_key(|&(k, _)| k);
     // In SFC order an ancestor immediately precedes its descendants, but
     // several nested ancestors may chain; sweep backwards keeping the
-    // last (deepest-first-corner) of each nesting chain... sweeping
-    // forward and checking against the *next kept* element is simplest
-    // done in reverse:
-    let mut kept: Vec<Q> = Vec::with_capacity(quads.len());
-    for q in quads.into_iter().rev() {
-        if let Some(last) = kept.last() {
-            if q.is_ancestor_of(last) || q == *last {
-                continue; // drop the coarser copy
+    // last (deepest-first-corner) of each nesting chain. Equal keys are
+    // equal quadrants (the key packs the full curve position and level),
+    // and `ka` is an ancestor-or-equal of `kb` exactly when its level is
+    // <= and its absolute index matches `kb`'s on the ancestor's aligned
+    // prefix — both checks run on the keys.
+    let dim = Q::DIM;
+    let max_level = Q::MAX_LEVEL as u64;
+    let covered_by = |ka: u64, kb: u64| -> bool {
+        let (la, lb) = (ka & 63, kb & 63);
+        la <= lb && (ka >> 6) == (kb >> 6) & !((1u64 << (dim as u64 * (max_level - la))) - 1)
+    };
+    let mut kept: Vec<(u64, Q)> = Vec::with_capacity(order.len());
+    for (k, q) in order.into_iter().rev() {
+        if let Some((lk, _)) = kept.last() {
+            if covered_by(k, *lk) {
+                continue; // drop the duplicate or coarser copy
             }
         }
-        kept.push(q);
+        kept.push((k, q));
     }
     kept.reverse();
-    kept
+    kept.into_iter().map(|(_, q)| q).collect()
 }
 
 /// The minimal linear sequence of quadrants filling the space strictly

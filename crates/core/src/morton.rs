@@ -11,8 +11,10 @@
 //!
 //! * **magic** — branch-free shift/mask "magic number" spreading, the
 //!   portable default,
-//! * **bmi2** — `pdep`/`pext` hardware bit deposit/extract (x86_64 + BMI2),
-//!   selected statically when the target feature is enabled,
+//! * **bmi2** — `pdep`/`pext` hardware bit deposit/extract, compiled on
+//!   every x86_64 build and selected at *runtime* through the
+//!   [`encode2_rt`]-style dispatch wrappers when [`crate::simd`] detects
+//!   BMI2 on the running CPU,
 //! * **lut** — byte-wise lookup tables, kept as a comparison point for the
 //!   vectorization study (some compilers auto-vectorize the LUT gather
 //!   poorly, which is part of the paper's motivation for intrinsics).
@@ -137,14 +139,17 @@ pub const fn decode3(m: u64) -> (u32, u32, u32) {
 // BMI2 pdep/pext implementation (x86_64 only)
 // ---------------------------------------------------------------------------
 
-/// BMI2 `pdep`/`pext` codec. Only compiled in when the `bmi2` target
-/// feature is statically enabled (see `.cargo/config.toml`, which sets
-/// `target-cpu=native`); the public [`encode2`]-style entry points keep
-/// using the magic-number path so that results are identical across
-/// builds, while [`bmi2`] is exposed for the vectorization benchmarks.
-#[cfg(all(target_arch = "x86_64", target_feature = "bmi2"))]
+/// BMI2 `pdep`/`pext` codec. Compiled on every x86_64 build (each
+/// function carries `#[target_feature(enable = "bmi2")]`, so the
+/// compiler emits `pdep`/`pext` regardless of the build's baseline
+/// features) and reached through runtime dispatch: callers must either
+/// run inside another `bmi2`-enabled function or check
+/// [`crate::simd::has_bmi2`] first — see the [`encode3_rt`]-style safe
+/// wrappers below. The public [`encode2`]-style entry points keep using
+/// the magic-number path so that `const` evaluation and cross-platform
+/// results stay identical.
+#[cfg(target_arch = "x86_64")]
 pub mod bmi2 {
-    #[cfg(target_arch = "x86_64")]
     use core::arch::x86_64::{_pdep_u64, _pext_u64};
 
     const MASK_X2: u64 = 0x5555_5555_5555_5555;
@@ -154,42 +159,115 @@ pub mod bmi2 {
     const MASK_Z3: u64 = MASK_X3 << 2;
 
     /// 2D interleave via two `pdep` instructions.
+    ///
+    /// # Safety
+    ///
+    /// Calling from a context without the `bmi2` target feature is
+    /// `unsafe`; the caller must have verified [`crate::simd::has_bmi2`].
     #[inline]
+    #[target_feature(enable = "bmi2")]
     pub fn encode2(x: u32, y: u32) -> u64 {
-        // SAFETY: bmi2 is statically enabled for this cfg.
-        unsafe { _pdep_u64(x as u64, MASK_X2) | _pdep_u64(y as u64, MASK_Y2) }
+        _pdep_u64(x as u64, MASK_X2) | _pdep_u64(y as u64, MASK_Y2)
     }
 
     /// 2D deinterleave via two `pext` instructions.
+    ///
+    /// # Safety
+    ///
+    /// Same calling contract as [`encode2`].
     #[inline]
+    #[target_feature(enable = "bmi2")]
     pub fn decode2(m: u64) -> (u32, u32) {
-        // SAFETY: bmi2 is statically enabled for this cfg.
-        unsafe { (_pext_u64(m, MASK_X2) as u32, _pext_u64(m, MASK_Y2) as u32) }
+        (_pext_u64(m, MASK_X2) as u32, _pext_u64(m, MASK_Y2) as u32)
     }
 
     /// 3D interleave via three `pdep` instructions.
+    ///
+    /// # Safety
+    ///
+    /// Same calling contract as [`encode2`].
     #[inline]
+    #[target_feature(enable = "bmi2")]
     pub fn encode3(x: u32, y: u32, z: u32) -> u64 {
-        // SAFETY: bmi2 is statically enabled for this cfg.
-        unsafe {
-            _pdep_u64(x as u64, MASK_X3)
-                | _pdep_u64(y as u64, MASK_Y3)
-                | _pdep_u64(z as u64, MASK_Z3)
-        }
+        _pdep_u64(x as u64, MASK_X3) | _pdep_u64(y as u64, MASK_Y3) | _pdep_u64(z as u64, MASK_Z3)
     }
 
     /// 3D deinterleave via three `pext` instructions.
+    ///
+    /// # Safety
+    ///
+    /// Same calling contract as [`encode2`].
     #[inline]
+    #[target_feature(enable = "bmi2")]
     pub fn decode3(m: u64) -> (u32, u32, u32) {
-        // SAFETY: bmi2 is statically enabled for this cfg.
-        unsafe {
-            (
-                _pext_u64(m, MASK_X3) as u32,
-                _pext_u64(m, MASK_Y3) as u32,
-                _pext_u64(m, MASK_Z3) as u32,
-            )
-        }
+        (
+            _pext_u64(m, MASK_X3) as u32,
+            _pext_u64(m, MASK_Y3) as u32,
+            _pext_u64(m, MASK_Z3) as u32,
+        )
     }
+}
+
+/// Runtime-dispatched 2D interleave: `pdep` when the CPU has BMI2,
+/// the magic-number path otherwise. Selected once via
+/// [`crate::simd::features`] and cached in a function pointer.
+#[inline]
+pub fn encode2_rt(x: u32, y: u32) -> u64 {
+    static ACTIVE: std::sync::OnceLock<fn(u32, u32) -> u64> = std::sync::OnceLock::new();
+    (ACTIVE.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::has_bmi2() {
+            // SAFETY: BMI2 confirmed on this CPU; the pointer is only
+            // installed (and thus callable) in this branch.
+            return |x, y| unsafe { bmi2::encode2(x, y) };
+        }
+        encode2
+    }))(x, y)
+}
+
+/// Runtime-dispatched 2D deinterleave (see [`encode2_rt`]).
+#[inline]
+pub fn decode2_rt(m: u64) -> (u32, u32) {
+    static ACTIVE: std::sync::OnceLock<fn(u64) -> (u32, u32)> = std::sync::OnceLock::new();
+    (ACTIVE.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::has_bmi2() {
+            // SAFETY: BMI2 confirmed on this CPU (see encode2_rt).
+            return |m| unsafe { bmi2::decode2(m) };
+        }
+        decode2
+    }))(m)
+}
+
+/// Runtime-dispatched 3D interleave (see [`encode2_rt`]).
+#[inline]
+pub fn encode3_rt(x: u32, y: u32, z: u32) -> u64 {
+    static ACTIVE: std::sync::OnceLock<fn(u32, u32, u32) -> u64> = std::sync::OnceLock::new();
+    (ACTIVE.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::has_bmi2() {
+            // SAFETY: BMI2 confirmed on this CPU (see encode2_rt).
+            return |x, y, z| unsafe { bmi2::encode3(x, y, z) };
+        }
+        encode3
+    }))(x, y, z)
+}
+
+/// The deinterleave fn-pointer shape shared by the 3D decode tiers.
+type Decode3Fn = fn(u64) -> (u32, u32, u32);
+
+/// Runtime-dispatched 3D deinterleave (see [`encode2_rt`]).
+#[inline]
+pub fn decode3_rt(m: u64) -> (u32, u32, u32) {
+    static ACTIVE: std::sync::OnceLock<Decode3Fn> = std::sync::OnceLock::new();
+    (ACTIVE.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::has_bmi2() {
+            // SAFETY: BMI2 confirmed on this CPU (see encode2_rt).
+            return |m| unsafe { bmi2::decode3(m) };
+        }
+        decode3
+    }))(m)
 }
 
 // ---------------------------------------------------------------------------
@@ -407,7 +485,9 @@ mod tests {
         assert_eq!((DIR_PATTERN_3D << 2).count_ones(), MORTON_BITS_3D);
     }
 
-    #[cfg(all(target_arch = "x86_64", target_feature = "bmi2"))]
+    /// Differential check of the BMI2 path on the same binary: skipped
+    /// (trivially passing through the magic-number path) only when the
+    /// running CPU lacks BMI2 or the scalar tier is forced.
     #[test]
     fn bmi2_agrees_with_magic() {
         let mut state = 0xABCD_EF01_2345_6789u64;
@@ -416,12 +496,20 @@ mod tests {
             let x = (state >> 10) as u32 & 0x3_FFFF;
             let y = (state >> 28) as u32 & 0x3_FFFF;
             let z = (state >> 46) as u32 & 0x3_FFFF;
-            assert_eq!(bmi2::encode3(x, y, z), encode3(x, y, z));
-            assert_eq!(bmi2::decode3(encode3(x, y, z)), (x, y, z));
+            assert_eq!(encode3_rt(x, y, z), encode3(x, y, z));
+            assert_eq!(decode3_rt(encode3(x, y, z)), (x, y, z));
             let x2 = (state >> 5) as u32 & 0x0FFF_FFFF;
             let y2 = (state >> 33) as u32 & 0x0FFF_FFFF;
-            assert_eq!(bmi2::encode2(x2, y2), encode2(x2, y2));
-            assert_eq!(bmi2::decode2(encode2(x2, y2)), (x2, y2));
+            assert_eq!(encode2_rt(x2, y2), encode2(x2, y2));
+            assert_eq!(decode2_rt(encode2(x2, y2)), (x2, y2));
+        }
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::has_bmi2() {
+            // SAFETY: BMI2 confirmed on this CPU.
+            unsafe {
+                assert_eq!(bmi2::encode3(1, 2, 3), encode3(1, 2, 3));
+                assert_eq!(bmi2::encode2(5, 9), encode2(5, 9));
+            }
         }
     }
 

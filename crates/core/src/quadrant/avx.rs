@@ -16,11 +16,14 @@
 //! and the representation could refine to level 31
 //! ([`Quadrant::REPR_MAX_LEVEL`]).
 //!
-//! On targets without SSE4.1 the same type is backed by a plain
-//! `[i32; 4]` with bit-identical semantics (every algorithm is
-//! implemented twice and cross-checked by the test suite), so the crate
-//! remains portable while the x86_64 build — the configuration the paper
-//! measures — runs entirely on vector registers.
+//! On x86_64 the implementation uses only SSE2 intrinsics — part of the
+//! x86_64 baseline, so *every* build of this crate (no `RUSTFLAGS`
+//! needed) runs the vector path; the one former SSE4.1 dependence
+//! (`_mm_extract_epi32`/`_mm_insert_epi32`) is expressed with
+//! shuffle/unpack equivalents. The 256-bit ablation variant dispatches
+//! at runtime via [`crate::simd`]. On non-x86_64 targets the same type
+//! is backed by a plain `[i32; 4]` with bit-identical semantics (every
+//! algorithm is implemented twice and cross-checked by the test suite).
 
 use super::common::shared_max_level;
 use super::Quadrant;
@@ -131,6 +134,15 @@ impl<const D: usize> Quadrant for AvxQuad<D> {
         }
     }
 
+    /// Coordinate-interleave shortcut (see `StandardQuad::sfc_keys`):
+    /// batch key extraction through the runtime-dispatched SoA kernel.
+    fn sfc_keys(quads: &[Self]) -> Vec<u64> {
+        let soa = crate::scalar_ref::QuadSoA::from_quads(quads);
+        let mut keys = vec![0u64; quads.len()];
+        crate::batch::sfc_keys_all(&soa, Self::DIM, &mut keys);
+        keys
+    }
+
     /// Algorithm 9 (`AVX_Child`): broadcast the child number, test its
     /// direction bits against `(1, 2, 4)` per lane, OR the half-length
     /// shift into the selected lanes, bump the level lane — 7 vector
@@ -213,7 +225,7 @@ impl<const D: usize> Quadrant for AvxQuad<D> {
 // ===========================================================================
 // x86_64 SIMD implementation
 // ===========================================================================
-#[cfg(all(target_arch = "x86_64", target_feature = "sse4.1"))]
+#[cfg(target_arch = "x86_64")]
 mod imp {
     use core::arch::x86_64::*;
 
@@ -250,14 +262,16 @@ mod imp {
 
     #[inline]
     pub fn level(v: Reg) -> i32 {
-        // SAFETY: sse4.1 is statically enabled.
-        unsafe { _mm_extract_epi32(v, 3) }
+        // Broadcast lane 3 and read lane 0 — the SSE2 spelling of
+        // SSE4.1's `_mm_extract_epi32(v, 3)`.
+        // SAFETY: sse2 is the x86_64 baseline.
+        unsafe { _mm_cvtsi128_si32(_mm_shuffle_epi32(v, 0b11_11_11_11)) }
     }
 
     /// Algorithm 9.
     #[inline]
     pub fn child(q: Reg, c: i32, shift: i32) -> Reg {
-        // SAFETY: sse2/sse4.1 statically enabled; all ops lane-local.
+        // SAFETY: sse2 is the x86_64 baseline; all ops lane-local.
         unsafe {
             let sel = dir_selector();
             let cbits = _mm_and_si128(_mm_set1_epi32(c), sel);
@@ -347,7 +361,7 @@ mod imp {
     /// slower), z scalar, then shuffle into the `(x, y, z, level)` layout.
     #[inline]
     pub fn from_morton3(index: u64, level: u8, up: u32) -> Reg {
-        // SAFETY: sse2/sse4.1 statically enabled.
+        // SAFETY: sse2 is the x86_64 baseline.
         unsafe {
             // low half: x bits of I; high half: y bits (I >> 1)
             let mut v = _mm_set_epi64x((index >> 1) as i64, index as i64);
@@ -366,10 +380,11 @@ mod imp {
             // align both coordinates to the maximum level at once
             v = _mm_sll_epi64(v, _mm_cvtsi64_si128(up as i64));
             let z = (crate::morton::compact3(index >> 2) << up) as i32;
-            // dword0 = x, dword2 = y -> lanes (x, y, _, _)
+            // dword0 = x, dword2 = y -> lanes (x, y, _, _); then splice
+            // in (z, level) as the high 64 bits via unpacklo — the SSE2
+            // spelling of two SSE4.1 `_mm_insert_epi32`s.
             let xy = _mm_shuffle_epi32(v, 0b11_11_10_00);
-            let r = _mm_insert_epi32(xy, z, 2);
-            _mm_insert_epi32(r, level as i32, 3)
+            _mm_unpacklo_epi64(xy, _mm_set_epi32(0, 0, level as i32, z))
         }
     }
 
@@ -383,7 +398,7 @@ mod imp {
     /// 2D variant of Algorithm 11: both coordinates in one register.
     #[inline]
     pub fn from_morton2(index: u64, level: u8, up: u32) -> Reg {
-        // SAFETY: sse2/sse4.1 statically enabled.
+        // SAFETY: sse2 is the x86_64 baseline.
         unsafe {
             let mut v = _mm_set_epi64x((index >> 1) as i64, index as i64);
             v = _mm_and_si128(v, _mm_set1_epi64x(M2_A));
@@ -397,8 +412,9 @@ mod imp {
             );
             v = _mm_sll_epi64(v, _mm_cvtsi64_si128(up as i64));
             let xy = _mm_shuffle_epi32(v, 0b11_11_10_00);
-            let r = _mm_insert_epi32(xy, 0, 2);
-            _mm_insert_epi32(r, level as i32, 3)
+            // splice in (z = 0, level) as the high 64 bits (see
+            // from_morton3).
+            _mm_unpacklo_epi64(xy, _mm_set_epi32(0, 0, level as i32, 0))
         }
     }
 }
@@ -406,7 +422,7 @@ mod imp {
 // ===========================================================================
 // Portable scalar fallback (bit-identical semantics)
 // ===========================================================================
-#[cfg(not(all(target_arch = "x86_64", target_feature = "sse4.1")))]
+#[cfg(not(target_arch = "x86_64"))]
 mod imp {
     use crate::morton;
 
@@ -501,9 +517,20 @@ pub mod ablation {
     /// than the two-coordinates-per-128-bit compromise ("mixing register
     /// lengths leads to a significant slowdown, even though the task
     /// appears to be parallelized better") — the ablation bench checks
-    /// that observation on this machine.
-    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+    /// that observation on this machine. Falls back to the production
+    /// path when the running CPU lacks AVX2.
     pub fn from_morton3_mixed256(index: u64, level: u8) -> AvxQuad<3> {
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::has_avx2() {
+            // SAFETY: AVX2 confirmed on this CPU.
+            return unsafe { mixed256_avx2(index, level) };
+        }
+        AvxQuad::from_morton(index, level)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    fn mixed256_avx2(index: u64, level: u8) -> AvxQuad<3> {
         use core::arch::x86_64::*;
         let up = (AvxQuad::<3>::MAX_LEVEL - level) as u32;
         const A: i64 = 0x1249_2492_4924_9249u64 as i64;
@@ -512,7 +539,8 @@ pub mod ablation {
         const D: i64 = 0x001F_0000_FF00_00FFu64 as i64;
         const E: i64 = 0x001F_0000_0000_FFFFu64 as i64;
         const F: i64 = 0x0000_0000_001F_FFFFu64 as i64;
-        // SAFETY: avx2 statically enabled under this cfg.
+        // SAFETY: the only unsafe op left in AVX2 context is the
+        // unaligned store into the 32-byte `lanes` buffer below.
         unsafe {
             let mut v =
                 _mm256_set_epi64x(0, (index >> 2) as i64, (index >> 1) as i64, index as i64);
@@ -543,12 +571,6 @@ pub mod ablation {
             _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, v);
             AvxQuad::from_coords([lanes[0] as i32, lanes[1] as i32, lanes[2] as i32], level)
         }
-    }
-
-    /// Portable stand-in so the ablation bench compiles everywhere.
-    #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
-    pub fn from_morton3_mixed256(index: u64, level: u8) -> AvxQuad<3> {
-        AvxQuad::from_morton(index, level)
     }
 
     #[cfg(test)]

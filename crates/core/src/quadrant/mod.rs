@@ -253,6 +253,27 @@ pub trait Quadrant:
             .then_with(|| self.level().cmp(&other.level()))
     }
 
+    /// Total-order sort key `(morton_abs << 6) | level`: integer
+    /// comparison of keys is exactly [`compare_sfc`](Self::compare_sfc)
+    /// (`morton_abs` needs at most 56 bits, the level at most 6, so the
+    /// packing is lossless), and equal keys imply equal quadrants.
+    /// Extracting keys once and `sort_unstable_by_key`-ing beats a
+    /// comparator sort that re-derives the curve position `O(n log n)`
+    /// times — the keyed path behind `linear::linearize`.
+    #[inline]
+    fn sfc_key(&self) -> u64 {
+        (self.morton_abs() << 6) | self.level() as u64
+    }
+
+    /// Batch [`sfc_key`](Self::sfc_key) extraction. The default loops
+    /// per quadrant (correct for every hierarchical curve, including
+    /// Hilbert); coordinate-interleave representations override it to
+    /// route through the runtime-dispatched
+    /// [`crate::batch::sfc_keys_all`] SoA kernel.
+    fn sfc_keys(quads: &[Self]) -> Vec<u64> {
+        quads.iter().map(Self::sfc_key).collect()
+    }
+
     /// True when `self` is a strict ancestor of `other`.
     #[inline]
     fn is_ancestor_of(&self, other: &Self) -> bool {

@@ -69,6 +69,79 @@ impl QuadSoA {
             .map(|i| Q::from_coords([self.x[i], self.y[i], self.z[i]], self.level[i] as u8))
             .collect()
     }
+
+    /// Drop all quadrants, keeping the lane allocations for reuse.
+    pub fn clear(&mut self) {
+        self.x.clear();
+        self.y.clear();
+        self.z.clear();
+        self.level.clear();
+    }
+
+    /// Reserve capacity for `additional` more quadrants in every lane.
+    pub fn reserve(&mut self, additional: usize) {
+        self.x.reserve(additional);
+        self.y.reserve(additional);
+        self.z.reserve(additional);
+        self.level.reserve(additional);
+    }
+
+    /// Resize every lane to `n`, zero-filling new entries.
+    pub fn resize(&mut self, n: usize) {
+        self.x.resize(n, 0);
+        self.y.resize(n, 0);
+        self.z.resize(n, 0);
+        self.level.resize(n, 0);
+    }
+
+    /// Append one quadrant given as raw lanes.
+    #[inline]
+    pub fn push(&mut self, coords: [i32; 3], level: i32) {
+        self.x.push(coords[0]);
+        self.y.push(coords[1]);
+        self.z.push(coords[2]);
+        self.level.push(level);
+    }
+
+    /// Refill from a quadrant slice **in place**, reusing the existing
+    /// lane allocations (the allocation-free twin of
+    /// [`QuadSoA::from_quads`], for forest code that gathers leaves into
+    /// blocks once per tree).
+    pub fn from_quadrants<Q: Quadrant>(&mut self, quads: &[Q]) {
+        self.clear();
+        self.reserve(quads.len());
+        for q in quads {
+            self.push(q.coords(), q.level() as i32);
+        }
+    }
+
+    /// Scatter back into an existing quadrant vector **in place**
+    /// (clears `out` first), completing the round trip started by
+    /// [`QuadSoA::from_quadrants`] without a fresh allocation.
+    pub fn scatter_to<Q: Quadrant>(&self, out: &mut Vec<Q>) {
+        out.clear();
+        out.reserve(self.len());
+        for i in 0..self.len() {
+            out.push(Q::from_coords(
+                [self.x[i], self.y[i], self.z[i]],
+                self.level[i] as u8,
+            ));
+        }
+    }
+}
+
+/// The shared out-slice contract of `tree_boundaries_all`: each of the
+/// three classification slices must hold at least one lane per quadrant.
+/// Asserted identically by the scalar and the AVX2 path.
+#[inline]
+pub(crate) fn assert_boundary_lanes(n: usize, fx: &[i32], fy: &[i32], fz: &[i32]) {
+    assert!(
+        fx.len() >= n && fy.len() >= n && fz.len() >= n,
+        "tree_boundaries_all: out slices must hold >= {n} lanes (got {}, {}, {})",
+        fx.len(),
+        fy.len(),
+        fz.len()
+    );
 }
 
 /// `child` over a whole SoA array: every quadrant gets its `c`-th child
@@ -138,6 +211,57 @@ pub fn face_neighbor_all(soa: &QuadSoA, f: u32, max_level: u8, out: &mut QuadSoA
     }
 }
 
+/// Same-size neighbor anchor over a whole SoA array for a fixed unit
+/// offset `{-1,0,1}^3`: `out = coords + offset * h` per axis, level
+/// unchanged. Generalizes [`face_neighbor_all`] to the edge and corner
+/// directions the high-level balance/ghost enumerations walk.
+pub fn offset_neighbor_all(soa: &QuadSoA, offset: [i32; 3], max_level: u8, out: &mut QuadSoA) {
+    let n = soa.len();
+    assert!(out.len() >= n);
+    let ml = max_level as i32;
+    out.level.copy_from_slice(&soa.level);
+    for (a, (src, dst)) in [
+        (&soa.x, &mut out.x),
+        (&soa.y, &mut out.y),
+        (&soa.z, &mut out.z),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let d = offset[a];
+        if d == 0 {
+            dst.copy_from_slice(src);
+        } else {
+            for i in 0..n {
+                dst[i] = src[i] + d * (1i32 << (ml - soa.level[i]));
+            }
+        }
+    }
+}
+
+/// Pack each quadrant's space-filling-curve sort key — the Morton index
+/// relative to the maximum level in the high bits, the refinement level
+/// in the low 6 bits — into one `u64` per quadrant. Key order equals
+/// `Quadrant::compare_sfc` order for the Morton-curve representations
+/// (the coordinate interleave of unshifted anchors *is* the absolute
+/// index), which is what turns comparator-based SFC sorts into
+/// `sort_unstable_by_key` over plain integers.
+pub fn sfc_keys_all(soa: &QuadSoA, dim: u32, out: &mut [u64]) {
+    let n = soa.len();
+    assert!(out.len() >= n, "sfc_keys_all: out must hold >= {n} keys");
+    if dim == 2 {
+        for (i, key) in out.iter_mut().enumerate().take(n) {
+            let abs = crate::morton::encode2(soa.x[i] as u32, soa.y[i] as u32);
+            *key = (abs << 6) | soa.level[i] as u64;
+        }
+    } else {
+        for (i, key) in out.iter_mut().enumerate().take(n) {
+            let abs = crate::morton::encode3(soa.x[i] as u32, soa.y[i] as u32, soa.z[i] as u32);
+            *key = (abs << 6) | soa.level[i] as u64;
+        }
+    }
+}
+
 /// `tree_boundaries` over a whole SoA array; the three output slices
 /// receive the per-axis classification of Algorithm 12.
 pub fn tree_boundaries_all(soa: &QuadSoA, dim: u32, max_level: u8, out: [&mut [i32]; 3]) {
@@ -145,7 +269,7 @@ pub fn tree_boundaries_all(soa: &QuadSoA, dim: u32, max_level: u8, out: [&mut [i
     let ml = max_level as i32;
     let root = 1i32 << ml;
     let [fx, fy, fz] = out;
-    assert!(fx.len() >= n && fy.len() >= n && fz.len() >= n);
+    assert_boundary_lanes(n, fx, fy, fz);
     for i in 0..n {
         let l = soa.level[i];
         if l == 0 {
@@ -197,6 +321,32 @@ mod tests {
     fn soa_roundtrip() {
         let (quads, soa) = sample();
         assert_eq!(soa.to_quads::<StandardQuad<3>>(), quads);
+    }
+
+    #[test]
+    fn from_quadrants_scatter_to_roundtrip_reuses_allocations() {
+        let (quads, _) = sample();
+        let mut soa = QuadSoA::default();
+        let mut back: Vec<StandardQuad<3>> = Vec::new();
+
+        // first fill sizes the lanes; the round trip must be lossless
+        soa.from_quadrants(&quads);
+        soa.scatter_to(&mut back);
+        assert_eq!(back, quads);
+
+        // refill with a smaller slice: same contents, no reallocation
+        let lane_cap = soa.x.capacity();
+        let half = &quads[..quads.len() / 2];
+        soa.from_quadrants(half);
+        soa.scatter_to(&mut back);
+        assert_eq!(back, half);
+        assert_eq!(soa.x.capacity(), lane_cap, "refill must reuse lanes");
+
+        // clear keeps capacity and empties all four lanes uniformly
+        soa.clear();
+        assert!(soa.is_empty());
+        assert_eq!(soa.x.capacity(), lane_cap);
+        assert_eq!(soa.level.len(), 0);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Runtime CPU feature detection and kernel-tier selection.
+//!
+//! Historically every SIMD path in this crate sat behind a compile-time
+//! `#[cfg(target_feature = ...)]`, so a stock `cargo build --release`
+//! (no `RUSTFLAGS`) silently shipped the scalar fallbacks — the paper's
+//! headline AVX2 speedups never ran unless the user knew to pass
+//! `-C target-feature=+avx2,+bmi2`. This module replaces that footgun
+//! with `is_x86_feature_detected!`-based detection performed **once** per
+//! process and cached in a [`OnceLock`]; the batch kernels in
+//! [`crate::batch`] and the BMI2 Morton codec wrappers in
+//! [`crate::morton`] consult the cached tier to pick between inner
+//! kernels compiled with `#[target_feature(enable = ...)]` and the
+//! portable scalar reference.
+//!
+//! # Safety argument
+//!
+//! An `unsafe fn` annotated `#[target_feature(enable = "avx2")]` is
+//! compiled with AVX2 instructions regardless of the build's baseline
+//! target features; executing it on a CPU without AVX2 is undefined
+//! behavior (illegal instruction at best). Soundness therefore rests on
+//! a single invariant: *every* call site of such a function is reached
+//! only through a dispatch check of [`features()`], whose answer comes
+//! from `is_x86_feature_detected!` on the running CPU. The function
+//! tables in `batch.rs` install the AVX2 entry points only inside the
+//! detection branch, so the invariant is local and auditable.
+//!
+//! # Forcing the scalar tier
+//!
+//! Building with `RUSTFLAGS="--cfg quadforest_force_scalar"` makes
+//! detection report no features, forcing every dispatch onto the scalar
+//! reference path — CI uses this to keep the fallback tier tested on
+//! hardware that would otherwise always pick SIMD.
+
+use std::sync::OnceLock;
+
+/// The set of instruction-set extensions detected on the running CPU
+/// (restricted to the ones this crate dispatches on).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Features {
+    /// 256-bit integer SIMD — the batch kernels in [`crate::batch`].
+    pub avx2: bool,
+    /// `pdep`/`pext` bit deposit/extract — the Morton codec in
+    /// [`crate::morton::bmi2`].
+    pub bmi2: bool,
+}
+
+impl Features {
+    /// The empty feature set (the scalar tier).
+    pub const NONE: Features = Features {
+        avx2: false,
+        bmi2: false,
+    };
+}
+
+#[cfg(all(target_arch = "x86_64", not(quadforest_force_scalar)))]
+fn detect() -> Features {
+    Features {
+        avx2: std::arch::is_x86_feature_detected!("avx2"),
+        bmi2: std::arch::is_x86_feature_detected!("bmi2"),
+    }
+}
+
+#[cfg(not(all(target_arch = "x86_64", not(quadforest_force_scalar))))]
+fn detect() -> Features {
+    Features::NONE
+}
+
+/// The detected feature set, computed once per process and cached.
+#[inline]
+pub fn features() -> Features {
+    static FEATURES: OnceLock<Features> = OnceLock::new();
+    *FEATURES.get_or_init(detect)
+}
+
+/// True when the AVX2 batch kernels are active.
+#[inline]
+pub fn has_avx2() -> bool {
+    features().avx2
+}
+
+/// True when the BMI2 `pdep`/`pext` Morton codec is active.
+#[inline]
+pub fn has_bmi2() -> bool {
+    features().bmi2
+}
+
+/// Human-readable summary of the active kernel tier, for benchmark
+/// table headers and logs: `"avx2+bmi2"`, `"avx2"`, `"bmi2"` or
+/// `"scalar"`.
+pub fn active_features() -> &'static str {
+    match (has_avx2(), has_bmi2()) {
+        (true, true) => "avx2+bmi2",
+        (true, false) => "avx2",
+        (false, true) => "bmi2",
+        (false, false) => "scalar",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_is_stable() {
+        assert_eq!(features(), features());
+        assert_eq!(has_avx2(), features().avx2);
+        assert_eq!(has_bmi2(), features().bmi2);
+    }
+
+    #[test]
+    fn active_features_summarizes_tier() {
+        let s = active_features();
+        assert_eq!(s.contains("avx2"), has_avx2());
+        assert_eq!(s.contains("bmi2"), has_bmi2());
+        if !has_avx2() && !has_bmi2() {
+            assert_eq!(s, "scalar");
+        }
+    }
+
+    #[cfg(quadforest_force_scalar)]
+    #[test]
+    fn forced_scalar_reports_no_features() {
+        assert_eq!(features(), Features::NONE);
+        assert_eq!(active_features(), "scalar");
+    }
+}

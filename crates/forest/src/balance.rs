@@ -18,7 +18,9 @@
 //! edge/corner offsets that exit through a single tree face); tree-edge
 //! and tree-corner connections are not modeled (see DESIGN.md).
 
-use crate::directions::{neighbor_domain, offsets, Adjacency};
+use crate::directions::{
+    for_each_neighbor_domain, neighbor_domain, offsets, Adjacency, NeighborScratch,
+};
 use crate::Forest;
 use quadforest_comm::Comm;
 use quadforest_core::quadrant::Quadrant;
@@ -50,28 +52,34 @@ impl<Q: Quadrant> Forest<Q> {
     /// refined on this rank.
     pub fn balance(&mut self, comm: &Comm, kind: BalanceKind) -> usize {
         let adjacency = kind.adjacency();
+        let offs = offsets(Q::DIM, adjacency);
+        let mut scratch = NeighborScratch::new();
         let mut refined_total = 0;
         loop {
             // local fixed point
             refined_total += self.balance_local(adjacency);
 
-            // emit constraints whose target range is (partly) remote
+            // emit constraints whose target range is (partly) remote;
+            // leaves below level 2 cannot constrain anyone below level 1
+            // and are skipped by the enumeration's level floor
             let mut outgoing: Vec<Vec<Constraint>> = (0..self.size).map(|_| Vec::new()).collect();
-            for (t, q) in self.leaves() {
-                if q.level() < 2 {
-                    continue; // cannot constrain anyone below level 1
-                }
-                for off in offsets(Q::DIM, adjacency) {
-                    let Some(dom) = neighbor_domain(self.connectivity(), t, q, off) else {
-                        continue;
-                    };
-                    let probe = Q::from_coords(dom.coords, dom.level);
-                    for r in self.owners_of_subtree(dom.tree, &probe) {
-                        if r != self.rank {
-                            outgoing[r].push((dom.tree, dom.coords, dom.level));
+            for t in 0..self.trees.len() {
+                for_each_neighbor_domain(
+                    self.connectivity(),
+                    t as u32,
+                    &self.trees[t],
+                    &offs,
+                    2,
+                    &mut scratch,
+                    |_, _, dom| {
+                        let probe = Q::from_coords(dom.coords, dom.level);
+                        for r in self.owners_of_subtree(dom.tree, &probe) {
+                            if r != self.rank {
+                                outgoing[r].push((dom.tree, dom.coords, dom.level));
+                            }
                         }
-                    }
-                }
+                    },
+                );
             }
             let incoming = comm.alltoallv(outgoing);
 
@@ -102,19 +110,23 @@ impl<Q: Quadrant> Forest<Q> {
     /// splits them in one rebuild per tree (one level per round; rounds
     /// repeat to the fixed point). Returns the number of leaves refined.
     fn balance_local(&mut self, adjacency: Adjacency) -> usize {
+        let offs = offsets(Q::DIM, adjacency);
+        let mut scratch = NeighborScratch::new();
         let mut refined = 0;
         loop {
-            // collect constraints from all local leaves
+            // collect constraints from all local leaves of level ≥ 2,
+            // one batched SoA sweep per tree
             let mut constraints: Vec<Constraint> = Vec::new();
-            for (t, q) in self.leaves() {
-                if q.level() < 2 {
-                    continue;
-                }
-                for off in offsets(Q::DIM, adjacency) {
-                    if let Some(dom) = neighbor_domain(self.connectivity(), t, q, off) {
-                        constraints.push((dom.tree, dom.coords, dom.level));
-                    }
-                }
+            for t in 0..self.trees.len() {
+                for_each_neighbor_domain(
+                    self.connectivity(),
+                    t as u32,
+                    &self.trees[t],
+                    &offs,
+                    2,
+                    &mut scratch,
+                    |_, _, dom| constraints.push((dom.tree, dom.coords, dom.level)),
+                );
             }
             let changed = self.apply_constraints(&constraints);
             refined += changed;

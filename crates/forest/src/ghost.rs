@@ -16,7 +16,7 @@
 //! algorithm is identical for every quadrant representation, including
 //! the sign-free raw-Morton layouts.
 
-use crate::directions::{neighbor_domain, offsets, Adjacency, Box3};
+use crate::directions::{for_each_neighbor_domain, offsets, Adjacency, Box3, NeighborScratch};
 use crate::Forest;
 use quadforest_comm::Comm;
 use quadforest_core::quadrant::Quadrant;
@@ -88,20 +88,29 @@ impl<Q: Quadrant> Forest<Q> {
             crate::BalanceKind::Full => Adjacency::Full,
         };
 
-        // round 1: requests
+        // round 1: requests — batched SoA enumeration per tree (requests
+        // are sorted and deduplicated below, so enumeration order does
+        // not matter)
+        let offs = offsets(Q::DIM, adjacency);
+        let mut scratch = NeighborScratch::new();
         let mut outgoing: Vec<Vec<Request>> = (0..self.size).map(|_| Vec::new()).collect();
-        for (t, q) in self.leaves() {
-            for off in offsets(Q::DIM, adjacency) {
-                let Some(dom) = neighbor_domain(self.connectivity(), t, q, off) else {
-                    continue;
-                };
-                let probe = Q::from_coords(dom.coords, dom.level);
-                for r in self.owners_of_subtree(dom.tree, &probe) {
-                    if r != self.rank {
-                        outgoing[r].push((dom.tree, dom.coords, dom.level, dom.contact));
+        for t in 0..self.trees.len() {
+            for_each_neighbor_domain(
+                self.connectivity(),
+                t as u32,
+                &self.trees[t],
+                &offs,
+                0,
+                &mut scratch,
+                |_, _, dom| {
+                    let probe = Q::from_coords(dom.coords, dom.level);
+                    for r in self.owners_of_subtree(dom.tree, &probe) {
+                        if r != self.rank {
+                            outgoing[r].push((dom.tree, dom.coords, dom.level, dom.contact));
+                        }
                     }
-                }
-            }
+                },
+            );
         }
         for reqs in &mut outgoing {
             reqs.sort_by_key(|(t, c, l, _)| (*t, *l, c[0], c[1], c[2]));
@@ -195,6 +204,7 @@ impl<Q: Quadrant> GhostLayer<Q> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::directions::neighbor_domain;
     use crate::BalanceKind;
     use quadforest_connectivity::Connectivity;
     use quadforest_core::quadrant::{MortonQuad, StandardQuad};

@@ -1,0 +1,179 @@
+//! Differential tests for the batched balance/ghost hot paths.
+//!
+//! `balance` and `ghost` now enumerate neighbor domains through the
+//! SoA-batched [`for_each_neighbor_domain`] sweep. These properties pin
+//! the observable results to what the per-quadrant path produced: the
+//! balanced forest is leaf-for-leaf identical at P ∈ {1, 2, 4}, and the
+//! ghost layer at every P equals a per-quadrant oracle recomputed with
+//! the scalar [`neighbor_domain`] walk.
+
+use proptest::prelude::*;
+use quadforest_comm::Comm;
+use quadforest_connectivity::Connectivity;
+use quadforest_core::quadrant::{MortonQuad, Quadrant, StandardQuad};
+use quadforest_forest::directions::{neighbor_domain, offsets, Adjacency, Box3};
+use quadforest_forest::{BalanceKind, Forest, GhostLayer};
+use std::sync::Arc;
+
+/// Rank-independent refine selector (callbacks must not depend on the
+/// rank, as in MPI practice).
+fn mix(seed: u64, t: u32, q_pos: u64, level: u8) -> u64 {
+    let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
+    for w in [t as u64, q_pos, level as u64] {
+        h ^= w;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+    }
+    h
+}
+
+/// Refine twice from a random seed, balance, partition. The shared
+/// opening sequence of every property below.
+fn build_forest<Q: Quadrant>(
+    comm: &Comm,
+    conn: Arc<Connectivity>,
+    seed: u64,
+    max_level: u8,
+    kind: BalanceKind,
+) -> Forest<Q> {
+    let mut f = Forest::<Q>::new_uniform(conn, comm, 1);
+    f.refine(comm, false, |t, q| {
+        q.level() < max_level && mix(seed, t, q.morton_abs(), q.level()) % 3 == 0
+    });
+    f.refine(comm, false, |t, q| {
+        q.level() < max_level && mix(seed ^ 0xABCD, t, q.morton_abs(), q.level()) % 4 == 0
+    });
+    f.balance(comm, kind);
+    f.partition(comm);
+    f
+}
+
+/// The global leaf set, independent of how it is split across ranks.
+fn global_leaves(views: Vec<Vec<(u32, [i32; 3], u8)>>) -> Vec<(u32, [i32; 3], u8)> {
+    let mut all: Vec<_> = views.into_iter().flatten().collect();
+    all.sort();
+    all
+}
+
+/// Per-quadrant ghost oracle: a remote leaf is a ghost iff some local
+/// leaf's scalar neighbor domain overlaps it (same formulation as the
+/// in-crate reference the ghost unit tests use, rebuilt here on the
+/// public API only).
+fn oracle_ghosts<Q: Quadrant>(
+    f: &Forest<Q>,
+    comm: &Comm,
+    adjacency: Adjacency,
+) -> Vec<(u32, [i32; 3], u8)> {
+    let all: Vec<(usize, u32, Q)> = comm
+        .allgather(
+            f.leaves()
+                .map(|(t, q)| (comm.rank(), t, *q))
+                .collect::<Vec<_>>(),
+        )
+        .into_iter()
+        .flatten()
+        .collect();
+    let offs = offsets(Q::DIM, adjacency);
+    let mut out = Vec::new();
+    for (owner, gt, g) in &all {
+        if *owner == comm.rank() {
+            continue;
+        }
+        let gb = Box3::of_quad(g);
+        let mut adjacent = false;
+        'outer: for (t, q) in f.leaves() {
+            for off in &offs {
+                if let Some(dom) = neighbor_domain(f.connectivity(), t, q, *off) {
+                    if dom.tree == *gt {
+                        let probe = Q::from_coords(dom.coords, dom.level);
+                        if (probe.is_ancestor_of(g) || g.is_ancestor_of(&probe) || probe == *g)
+                            && gb.intersects(&dom.contact, Q::DIM)
+                        {
+                            adjacent = true;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        if adjacent {
+            out.push((*gt, g.coords(), g.level()));
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn ghost_tuples<Q: Quadrant>(g: &GhostLayer<Q>) -> Vec<(u32, [i32; 3], u8)> {
+    let mut v: Vec<_> = g
+        .ghosts
+        .iter()
+        .map(|g| (g.tree, g.quad.coords(), g.quad.level()))
+        .collect();
+    v.sort();
+    v
+}
+
+fn adjacency_of(kind: BalanceKind) -> Adjacency {
+    match kind {
+        BalanceKind::Face => Adjacency::Face,
+        _ => Adjacency::Full,
+    }
+}
+
+/// Balanced leaf sets are identical at P = 1, 2 and 4, and every rank's
+/// ghost layer matches the per-quadrant oracle.
+fn check_equivalence<Q: Quadrant>(conn: Connectivity, seed: u64, max_level: u8, kind: BalanceKind) {
+    let conn = Arc::new(conn);
+    let mut per_p = Vec::new();
+    for p in [1usize, 2, 4] {
+        let conn = Arc::clone(&conn);
+        let views = quadforest_comm::run(p, move |comm| {
+            let f = build_forest::<Q>(&comm, Arc::clone(&conn), seed, max_level, kind);
+            f.validate().expect("balanced forest must validate");
+            let ghost = f.ghost(&comm, kind);
+            let oracle = oracle_ghosts(&f, &comm, adjacency_of(kind));
+            assert_eq!(
+                ghost_tuples(&ghost),
+                oracle,
+                "P={p}: batched ghost layer diverges from per-quadrant oracle"
+            );
+            f.leaves()
+                .map(|(t, q)| (t, q.coords(), q.level()))
+                .collect::<Vec<_>>()
+        });
+        per_p.push((p, global_leaves(views)));
+    }
+    let (_, base) = &per_p[0];
+    for (p, leaves) in &per_p[1..] {
+        assert_eq!(
+            leaves, base,
+            "P={p}: balanced forest is not leaf-for-leaf identical to P=1"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn balance_and_ghost_equivalent_2d(seed in any::<u64>()) {
+        check_equivalence::<MortonQuad<2>>(Connectivity::unit(2), seed, 5, BalanceKind::Face);
+    }
+
+    #[test]
+    fn balance_and_ghost_equivalent_2d_full(seed in any::<u64>()) {
+        check_equivalence::<StandardQuad<2>>(Connectivity::unit(2), seed, 4, BalanceKind::Full);
+    }
+
+    #[test]
+    fn balance_and_ghost_equivalent_3d(seed in any::<u64>()) {
+        check_equivalence::<StandardQuad<3>>(Connectivity::unit(3), seed, 3, BalanceKind::Face);
+    }
+
+    #[test]
+    fn balance_and_ghost_equivalent_periodic(seed in any::<u64>()) {
+        check_equivalence::<MortonQuad<2>>(Connectivity::periodic(2), seed, 4, BalanceKind::Face);
+    }
+}
