@@ -192,11 +192,64 @@ fn curve_tradeoff(c: &mut Criterion) {
     g.finish();
 }
 
+/// Guard bench for the telemetry layer's disabled-cost contract: with no
+/// recorder installed, a `telemetry::span` call site must cost under 2 ns
+/// (one relaxed atomic load plus an inert guard). The guard is a hard
+/// assertion, not just a reported number — instrumenting the forest hot
+/// paths is only acceptable while this holds.
+fn span_overhead(c: &mut Criterion) {
+    use quadforest_telemetry as telemetry;
+    assert!(
+        telemetry::disabled(),
+        "no recorder may be installed when the guard bench runs"
+    );
+    // Differential measurement: the same loop with and without the span
+    // call site, so the loop/black_box scaffolding cancels out and only
+    // the span's own cost (atomic load + branch + inert guard drop) is
+    // attributed to the site.
+    const N: u64 = 20_000_000;
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = std::time::Instant::now();
+        for i in 0..N {
+            black_box(i);
+        }
+        let base = t.elapsed();
+        let t = std::time::Instant::now();
+        for i in 0..N {
+            let s = telemetry::span("guard.disabled");
+            black_box(&s);
+            black_box(i);
+        }
+        let with_span = t.elapsed();
+        best = best.min(with_span.saturating_sub(base).as_secs_f64() * 1e9 / N as f64);
+    }
+    println!("disabled span site: {best:.3} ns (contract: < 2 ns)");
+    assert!(
+        best < 2.0,
+        "disabled span costs {best:.3} ns per site, breaking the 2 ns contract"
+    );
+
+    let mut g = c.benchmark_group("ablation_span_overhead");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(1_000_000));
+    g.bench_function("disabled", |b| {
+        b.iter(|| {
+            for _ in 0..1_000_000u64 {
+                let s = telemetry::span("guard.disabled");
+                black_box(&s);
+            }
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     ablation_suite,
     codec_variants,
     sfc_compare_key,
     register_mixing,
-    curve_tradeoff
+    curve_tradeoff,
+    span_overhead
 );
 criterion_main!(ablation_suite);

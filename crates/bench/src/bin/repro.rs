@@ -7,6 +7,7 @@
 //! repro --autovec             # contribution 5
 //! repro --chaos               # fault-injected forest pipeline
 //! repro --json                # machine-readable perf baseline
+//! repro --trace trace.json    # traced 4-rank pipeline (Chrome trace)
 //! repro --iters 5 --ranks 1,4,64,512
 //! ```
 //!
@@ -75,6 +76,7 @@ struct Opts {
     dim2: bool,
     chaos: bool,
     json: bool,
+    trace: Option<String>,
     iters: usize,
     ranks: Vec<usize>,
 }
@@ -88,6 +90,7 @@ fn parse_args() -> Opts {
         dim2: false,
         chaos: false,
         json: false,
+        trace: None,
         iters: 3,
         ranks: RANKS.to_vec(),
     };
@@ -122,6 +125,11 @@ fn parse_args() -> Opts {
             }
             "--json" => {
                 opts.json = true;
+                any = true;
+            }
+            "--trace" => {
+                i += 1;
+                opts.trace = Some(args[i].clone());
                 any = true;
             }
             "--dim2" => {
@@ -586,6 +594,80 @@ fn run_chaos(opts: &Opts) {
 }
 
 // ---------------------------------------------------------------------------
+// --trace: telemetry-instrumented pipeline with Chrome-trace export
+// ---------------------------------------------------------------------------
+
+/// Sum all `"dur"` values (µs with 3 decimals) out of a Chrome trace,
+/// returned in nanoseconds — the machine-side half of the trace/table
+/// agreement check.
+fn sum_trace_dur_ns(json: &str) -> u64 {
+    let mut total = 0f64;
+    let mut rest = json;
+    while let Some(i) = rest.find("\"dur\":") {
+        rest = &rest[i + 6..];
+        let end = rest.find(',').unwrap_or(rest.len());
+        total += rest[..end].parse::<f64>().unwrap_or(0.0) * 1000.0;
+    }
+    total.round() as u64
+}
+
+/// Run the full refine→balance→partition→ghost pipeline at P = 4 with the
+/// telemetry layer armed on every rank, write the Chrome trace to `path`,
+/// and print the per-rank/per-phase summary and the cross-rank metrics
+/// aggregate. The printed totals and the exported trace come from the same
+/// span records; the run cross-checks them against each other.
+fn run_trace(path: &str, opts: &Opts) {
+    use quadforest_connectivity::Connectivity;
+    use quadforest_core::quadrant::MortonQuad;
+    use quadforest_forest::{BalanceKind, Forest};
+    use quadforest_telemetry as telemetry;
+    use std::sync::Arc;
+
+    const P: usize = 4;
+    println!("\n## Telemetry: traced refine→balance→partition→ghost pipeline (P = {P})");
+    let results = quadforest_comm::run(P, |comm| {
+        telemetry::begin_rank(comm.rank());
+        let conn = Arc::new(Connectivity::unit(2));
+        let mut f = Forest::<MortonQuad<2>>::new_uniform(conn, &comm, 2);
+        f.refine(&comm, true, |_, q| {
+            let c = q.coords();
+            q.level() < 7 && c[0] == 0 && c[1] == 0
+        });
+        f.balance(&comm, BalanceKind::Face);
+        f.partition(&comm);
+        let g = f.ghost(&comm, BalanceKind::Face);
+        let stats = f.stats(&comm);
+        std::hint::black_box((g.len(), stats.global_count));
+        let rows = comm.aggregate_metrics();
+        let report = telemetry::finish_rank().expect("recorder was installed");
+        (report, rows)
+    });
+    let (reports, rows): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+    let json = telemetry::chrome_trace(&reports);
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path} (load in Perfetto or chrome://tracing)\n");
+    print!("{}", telemetry::summary_table(&reports));
+    println!();
+    print!("{}", telemetry::metrics_table(&rows[0]));
+
+    let table_ns: u64 = telemetry::summary_totals(&reports)
+        .iter()
+        .map(|(_, ns)| ns)
+        .sum();
+    let trace_ns = sum_trace_dur_ns(&json);
+    let drift = (table_ns as f64 - trace_ns as f64).abs() / table_ns.max(1) as f64;
+    println!(
+        "\ntrace/table agreement: table {table_ns} ns vs trace {trace_ns} ns ({:.2}% drift)",
+        drift * 100.0
+    );
+    assert!(
+        drift <= 0.05,
+        "summary table and exported trace disagree by more than 5%"
+    );
+    let _ = opts;
+}
+
+// ---------------------------------------------------------------------------
 // --json: machine-readable perf baseline (BENCH_batch / BENCH_highlevel)
 // ---------------------------------------------------------------------------
 
@@ -680,8 +762,15 @@ fn write_json(path: &str, bench: &'static str, records: &[JsonRecord]) {
         .map(JsonRecord::to_json)
         .collect::<Vec<_>>()
         .join(",\n");
+    // dispatched invocation counts per kernel tier: proves which tier
+    // actually ran the measurements above (detection alone cannot)
+    let invocations = quadforest_core::simd::kernel_invocations()
+        .iter()
+        .map(|(tier, count)| format!("\"{tier}\": {count}"))
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
-        "{{\n  \"bench\": \"{bench}\",\n  \"features\": \"{}\",\n  \"results\": [\n{body}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"{bench}\",\n  \"features\": \"{}\",\n  \"kernel_invocations\": {{{invocations}}},\n  \"results\": [\n{body}\n  ]\n}}\n",
         quadforest_core::simd::active_features()
     );
     std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
@@ -1005,6 +1094,9 @@ fn main() {
     }
     if opts.chaos {
         run_chaos(&opts);
+    }
+    if let Some(path) = opts.trace.clone() {
+        run_trace(&path, &opts);
     }
     if opts.json {
         println!("\n## Machine-readable perf baseline");

@@ -82,9 +82,10 @@ pub use fault::FaultPlan;
 
 use error::tag_display;
 use fault::RankFaults;
+use quadforest_telemetry as telemetry;
 use std::any::Any;
 use std::cell::{Cell, RefCell};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -95,6 +96,10 @@ pub(crate) struct Msg {
     src: usize,
     tag: u64,
     payload: Box<dyn Any + Send>,
+    /// Best-effort payload size estimate for telemetry, computed where
+    /// the concrete type was still visible (deep for the `Vec` bulk
+    /// paths, shallow `size_of_val` elsewhere).
+    bytes: u64,
 }
 
 /// User tags live below this bound; collective-internal tags above it.
@@ -127,6 +132,10 @@ enum RankState {
         parked: Vec<(usize, u64)>,
         /// Collective sequence number (how many collectives completed).
         coll_seq: u64,
+        /// Innermost telemetry span open on the rank when it blocked
+        /// (`None` when telemetry is off), so the deadlock diagnostic
+        /// can name the phase each rank is stuck in.
+        phase: Option<&'static str>,
     },
     /// Rank program returned successfully.
     Finished,
@@ -151,6 +160,11 @@ struct World {
     /// First failure wins; later aborts keep the original origin.
     abort: Mutex<Option<AbortInfo>>,
     status: Vec<Mutex<RankState>>,
+    /// Collective sequence number → telemetry span name open when that
+    /// collective was issued. Populated only while telemetry records, and
+    /// read by [`World::tag_label`] so diagnostics print
+    /// `coll:5(balance)` instead of a bare tag number.
+    tag_names: Mutex<HashMap<u64, &'static str>>,
 }
 
 impl World {
@@ -167,7 +181,27 @@ impl World {
             aborted: AtomicBool::new(false),
             abort: Mutex::new(None),
             status: (0..size).map(|_| Mutex::new(RankState::Running)).collect(),
+            tag_names: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Remember which telemetry span issued collective `seq` (first rank
+    /// to issue it wins; all ranks agree on call order anyway).
+    fn name_collective(&self, seq: u64, phase: &'static str) {
+        plock(&self.tag_names).entry(seq).or_insert(phase);
+    }
+
+    /// [`tag_display`] plus the registered span name, when one is known:
+    /// `coll:5(balance)` / `coll:5#2(balance)` / `user:7`.
+    fn tag_label(&self, tag: u64) -> String {
+        let base = tag_display(tag);
+        if tag >= COLL_TAG_BASE {
+            let seq = (tag - COLL_TAG_BASE) & 0xFFFF_FFFF;
+            if let Some(name) = plock(&self.tag_names).get(&seq) {
+                return format!("{base}({name})");
+            }
+        }
+        base
     }
 
     fn is_aborted(&self) -> bool {
@@ -233,19 +267,21 @@ impl World {
                     tag,
                     parked,
                     coll_seq,
+                    phase,
                 } => {
                     let parked_s = if parked.is_empty() {
                         "-".to_string()
                     } else {
                         parked
                             .iter()
-                            .map(|(ps, pt)| format!("{}@src{}", tag_display(*pt), ps))
+                            .map(|(ps, pt)| format!("{}@src{}", self.tag_label(*pt), ps))
                             .collect::<Vec<_>>()
                             .join(", ")
                     };
+                    let phase_s = phase.map(|p| format!(" phase='{p}'")).unwrap_or_default();
                     s.push_str(&format!(
-                        "  rank {rank}: waiting on src={src} tag={} coll_seq={coll_seq} parked=[{parked_s}]\n",
-                        tag_display(tag)
+                        "  rank {rank}: waiting on src={src} tag={} coll_seq={coll_seq} parked=[{parked_s}]{phase_s}\n",
+                        self.tag_label(tag)
                     ));
                 }
                 RankState::Finished => {
@@ -341,7 +377,8 @@ impl Comm {
     ) -> Result<(), CommError> {
         assert!(tag < COLL_TAG_BASE, "user tags must be < 2^48");
         self.tick();
-        self.send_impl(dest, tag, Box::new(data))
+        let bytes = std::mem::size_of_val(&data) as u64;
+        self.send_impl(dest, tag, Box::new(data), bytes)
     }
 
     fn send_impl(
@@ -349,14 +386,18 @@ impl Comm {
         dest: usize,
         tag: u64,
         payload: Box<dyn Any + Send>,
+        bytes: u64,
     ) -> Result<(), CommError> {
         if self.world.is_aborted() {
             return Err(self.world.abort_error());
         }
+        telemetry::counter_add("comm.msgs_sent", 1);
+        telemetry::counter_add("comm.bytes_sent", bytes);
         let msg = Msg {
             src: self.rank,
             tag,
             payload,
+            bytes,
         };
         match &self.faults {
             Some(f) => {
@@ -436,18 +477,22 @@ impl Comm {
                         .map(|m| (m.src, m.tag))
                         .collect(),
                     coll_seq: self.coll_seq.get(),
+                    phase: telemetry::current_span(),
                 },
             );
             let now = Instant::now();
             if now >= deadline {
                 drop(queue);
                 let diagnostic = world.diagnostic();
+                let phase = telemetry::current_span()
+                    .map(|p| format!(" in phase '{p}'"))
+                    .unwrap_or_default();
                 world.abort(
                     self.rank,
                     format!(
-                        "recv timeout after {:?} waiting on src={src} tag={}",
+                        "recv timeout after {:?} waiting on src={src} tag={}{phase}",
                         started.elapsed(),
-                        tag_display(tag)
+                        world.tag_label(tag)
                     ),
                 );
                 return Err(CommError::Timeout {
@@ -472,7 +517,17 @@ impl Comm {
     fn next_coll_tag(&self) -> u64 {
         let seq = self.coll_seq.get();
         self.coll_seq.set(seq + 1);
+        telemetry::counter_add("comm.collectives", 1);
+        if let Some(phase) = telemetry::current_span() {
+            self.world.name_collective(seq, phase);
+        }
         COLL_TAG_BASE + seq
+    }
+
+    /// Latency timer shared by every collective entry point (histogram of
+    /// nanoseconds; inert when telemetry is off).
+    fn coll_timer(&self) -> telemetry::Timer {
+        telemetry::timer("comm.collective_ns")
     }
 
     /// Synchronize all ranks (dissemination barrier). Panics on world
@@ -484,13 +539,14 @@ impl Comm {
     /// Fallible [`Comm::barrier`].
     pub fn try_barrier(&self) -> Result<(), CommError> {
         self.tick();
+        let _t = self.coll_timer();
         let tag = self.next_coll_tag();
         let mut round = 1usize;
         let mut round_no = 0u64;
         while round < self.size() {
             let dest = (self.rank + round) % self.size();
             let src = (self.rank + self.size() - round) % self.size();
-            self.send_impl(dest, tag + (round_no << 32), Box::new(()))?;
+            self.send_impl(dest, tag + (round_no << 32), Box::new(()), 0)?;
             self.recv_impl::<()>(src, tag + (round_no << 32))?;
             round <<= 1;
             round_no += 1;
@@ -511,10 +567,12 @@ impl Comm {
     }
 
     fn allgather_impl<T: Clone + Send + 'static>(&self, value: T) -> Result<Vec<T>, CommError> {
+        let _t = self.coll_timer();
         let tag = self.next_coll_tag();
+        let bytes = std::mem::size_of_val(&value) as u64;
         for dest in 0..self.size() {
             if dest != self.rank {
-                self.send_impl(dest, tag, Box::new(value.clone()))?;
+                self.send_impl(dest, tag, Box::new(value.clone()), bytes)?;
             }
         }
         (0..self.size())
@@ -610,12 +668,14 @@ impl Comm {
         value: Option<T>,
     ) -> Result<T, CommError> {
         self.tick();
+        let _t = self.coll_timer();
         let tag = self.next_coll_tag();
         if self.rank == root {
             let v = value.expect("root must supply the value");
+            let bytes = std::mem::size_of_val(&v) as u64;
             for dest in 0..self.size() {
                 if dest != root {
-                    self.send_impl(dest, tag, Box::new(v.clone()))?;
+                    self.send_impl(dest, tag, Box::new(v.clone()), bytes)?;
                 }
             }
             Ok(v)
@@ -639,6 +699,7 @@ impl Comm {
         value: T,
     ) -> Result<Option<Vec<T>>, CommError> {
         self.tick();
+        let _t = self.coll_timer();
         let tag = self.next_coll_tag();
         if self.rank == root {
             let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
@@ -650,7 +711,8 @@ impl Comm {
             }
             Ok(Some(out.into_iter().map(|v| v.unwrap()).collect()))
         } else {
-            self.send_impl(root, tag, Box::new(value))?;
+            let bytes = std::mem::size_of_val(&value) as u64;
+            self.send_impl(root, tag, Box::new(value), bytes)?;
             Ok(None)
         }
     }
@@ -670,6 +732,7 @@ impl Comm {
         values: Option<Vec<T>>,
     ) -> Result<T, CommError> {
         self.tick();
+        let _t = self.coll_timer();
         let tag = self.next_coll_tag();
         if self.rank == root {
             let values = values.expect("root must supply one value per rank");
@@ -679,7 +742,8 @@ impl Comm {
                 if dest == root {
                     mine = Some(v);
                 } else {
-                    self.send_impl(dest, tag, Box::new(v))?;
+                    let bytes = std::mem::size_of_val(&v) as u64;
+                    self.send_impl(dest, tag, Box::new(v), bytes)?;
                 }
             }
             Ok(mine.expect("root slot present"))
@@ -702,12 +766,17 @@ impl Comm {
         mut outgoing: Vec<Vec<T>>,
     ) -> Result<Vec<Vec<T>>, CommError> {
         self.tick();
+        let _t = self.coll_timer();
         assert_eq!(outgoing.len(), self.size());
         let tag = self.next_coll_tag();
         let mut mine = Some(std::mem::take(&mut outgoing[self.rank]));
         for (dest, data) in outgoing.into_iter().enumerate() {
             if dest != self.rank {
-                self.send_impl(dest, tag, Box::new(data))?;
+                // the bulk-data path: count the heap contents, not just
+                // the Vec header
+                let bytes =
+                    (std::mem::size_of::<Vec<T>>() + data.len() * std::mem::size_of::<T>()) as u64;
+                self.send_impl(dest, tag, Box::new(data), bytes)?;
             }
         }
         (0..self.size())
@@ -719,6 +788,28 @@ impl Comm {
                 }
             })
             .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // telemetry
+    // ------------------------------------------------------------------
+
+    /// Snapshot this rank's telemetry metric registry, allgather the
+    /// per-rank snapshots, and merge them into one
+    /// [`AggregateRow`](telemetry::AggregateRow) per metric (rank-indexed
+    /// values, totals, min/max, summed histogram buckets). Every rank
+    /// gets the same rows. Ranks without a recorder contribute an empty
+    /// snapshot. Panics on world failure; see
+    /// [`Comm::try_aggregate_metrics`].
+    pub fn aggregate_metrics(&self) -> Vec<telemetry::AggregateRow> {
+        self.try_aggregate_metrics()
+            .unwrap_or_else(|e| comm_panic(e))
+    }
+
+    /// Fallible [`Comm::aggregate_metrics`].
+    pub fn try_aggregate_metrics(&self) -> Result<Vec<telemetry::AggregateRow>, CommError> {
+        let snaps = self.try_allgather(telemetry::rank_snapshot())?;
+        Ok(telemetry::aggregate(&snaps))
     }
 }
 
@@ -742,6 +833,8 @@ fn comm_panic(e: CommError) -> ! {
 }
 
 fn downcast_msg<T: Send + 'static>(msg: Msg) -> Result<T, CommError> {
+    telemetry::counter_add("comm.msgs_recv", 1);
+    telemetry::counter_add("comm.bytes_recv", msg.bytes);
     let (src, tag) = (msg.src, msg.tag);
     msg.payload
         .downcast::<T>()
@@ -818,20 +911,37 @@ where
                     .name(format!("rank-{rank}"))
                     .stack_size(2 << 20)
                     .spawn_scoped(scope, move || {
+                        // Runs on the rank thread, so `telemetry::failure_phase`
+                        // sees this rank's recorder: abort reports name the
+                        // phase the rank died in even though the unwind
+                        // already closed its spans.
+                        let died_in = || {
+                            telemetry::failure_phase()
+                                .map(|p| format!(" (in phase '{p}')"))
+                                .unwrap_or_default()
+                        };
                         match catch_unwind(AssertUnwindSafe(|| f(comm))) {
                             Ok(Ok(value)) => {
                                 world.set_status(rank, RankState::Finished);
                                 Ok(value)
                             }
                             Ok(Err(e)) => {
-                                world.set_status(rank, RankState::Failed(e.kind().to_string()));
-                                world.abort(rank, e.to_string());
+                                let phase = died_in();
+                                world.set_status(
+                                    rank,
+                                    RankState::Failed(format!("{}{phase}", e.kind())),
+                                );
+                                world.abort(rank, format!("{e}{phase}"));
                                 Err(RankError::Failed(e))
                             }
                             Err(payload) => {
                                 let msg = panic_message(payload);
-                                world.set_status(rank, RankState::Failed(format!("panic: {msg}")));
-                                world.abort(rank, format!("panicked: {msg}"));
+                                let phase = died_in();
+                                world.set_status(
+                                    rank,
+                                    RankState::Failed(format!("panic{phase}: {msg}")),
+                                );
+                                world.abort(rank, format!("panicked{phase}: {msg}"));
                                 Err(RankError::Panicked(msg))
                             }
                         }

@@ -1,0 +1,167 @@
+//! Cross-rank telemetry properties: metric aggregation over the
+//! communicator must be exact (the aggregate of per-rank snapshots equals
+//! the per-rank sums, for any recording pattern and world size), span
+//! records must stay well-nested even under fault injection, and failures
+//! inside an instrumented phase must be reported with that phase's name.
+
+use proptest::prelude::*;
+use quadforest_comm::{run, run_with_faults, try_run, try_run_with, FaultPlan, RunOptions};
+use quadforest_telemetry as telemetry;
+use std::time::Duration;
+
+/// The metric names the property tests record under (per-rank counters).
+const METRICS: [&str; 3] = ["prop.alpha", "prop.beta", "prop.gamma"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For P ∈ {1, 2, 4}: every rank applies its share of a random list
+    /// of counter increments; `Comm::aggregate_metrics` must report, for
+    /// every metric, exactly the per-rank sums and their total/min/max.
+    #[test]
+    fn aggregate_equals_per_rank_sums(
+        p_sel in 0usize..3,
+        ops in proptest::collection::vec((0usize..4, 0usize..3, 0u64..1_000), 0..64),
+    ) {
+        let p = [1usize, 2, 4][p_sel];
+        // expected[r][m]: what rank r should have recorded for metric m
+        let mut expected = vec![[0u64; 3]; p];
+        for &(rank_sel, metric, delta) in &ops {
+            expected[rank_sel % p][metric] += delta;
+        }
+        let ops_shared = ops.clone();
+        let rows_per_rank = run(p, move |comm| {
+            telemetry::begin_rank(comm.rank());
+            for &(rank_sel, metric, delta) in &ops_shared {
+                if rank_sel % comm.size() == comm.rank() {
+                    telemetry::counter_add(METRICS[metric], delta);
+                }
+            }
+            let rows = comm.aggregate_metrics();
+            let _ = telemetry::finish_rank();
+            rows
+        });
+        // every rank computes the identical aggregate
+        for rows in &rows_per_rank {
+            for (m, name) in METRICS.iter().enumerate() {
+                let per_rank: Vec<u64> = (0..p).map(|r| expected[r][m]).collect();
+                let total: u64 = per_rank.iter().sum();
+                let row = rows.iter().find(|row| row.name == *name);
+                match row {
+                    Some(row) => {
+                        prop_assert_eq!(&row.per_rank, &per_rank, "metric {}", name);
+                        prop_assert_eq!(row.total, total);
+                        prop_assert_eq!(row.min, *per_rank.iter().min().unwrap());
+                        prop_assert_eq!(row.max, *per_rank.iter().max().unwrap());
+                    }
+                    // a metric no rank ever touched may be absent entirely
+                    None => prop_assert_eq!(total, 0, "recorded metric {} missing", name),
+                }
+            }
+        }
+    }
+
+    /// Spans stay well-nested on every rank even when the messages the
+    /// instrumented collectives ride on are delayed and reordered by a
+    /// random fault plan.
+    #[test]
+    fn span_nesting_survives_chaos(
+        seed in any::<u64>(),
+        p in 1usize..=4,
+        depth in 1usize..=4,
+    ) {
+        const NAMES: [&str; 4] = ["chaos.a", "chaos.b", "chaos.c", "chaos.d"];
+        let plan = FaultPlan::new(seed)
+            .with_delays(0.3, Duration::from_micros(80))
+            .with_reordering(0.3);
+        let reports = run_with_faults(p, plan, move |comm| {
+            telemetry::begin_rank(comm.rank());
+            fn nest(comm: &quadforest_comm::Comm, level: usize, depth: usize) {
+                if level == depth {
+                    return;
+                }
+                let _span = telemetry::span(NAMES[level]);
+                comm.barrier();
+                let _ = comm.allgather(comm.rank());
+                nest(comm, level + 1, depth);
+            }
+            nest(&comm, 0, depth);
+            telemetry::finish_rank().expect("recorder was installed")
+        });
+        let reports = match reports {
+            Ok(r) => r,
+            Err(e) => return Err(TestCaseError::Fail(format!("world failed: {e}"))),
+        };
+        for rep in &reports {
+            prop_assert!(rep.spans_well_nested(), "rank {} mis-nested", rep.rank);
+            prop_assert_eq!(rep.nesting_errors, 0);
+            prop_assert_eq!(
+                rep.spans.len(),
+                depth,
+                "rank {} must record one span per nesting level",
+                rep.rank
+            );
+            for (i, name) in NAMES[..depth].iter().enumerate() {
+                prop_assert!(rep.spans.iter().any(|s| s.name == *name && s.depth == i as u16));
+            }
+        }
+    }
+}
+
+/// A rank that dies inside an instrumented phase must be reported with
+/// that phase's name — both in the world-level reason and in the
+/// per-rank failure status.
+#[test]
+fn world_error_names_the_failing_phase() {
+    let err = try_run(3, |comm| {
+        telemetry::begin_rank(comm.rank());
+        let _outer = telemetry::span("pipeline");
+        if comm.rank() == 1 {
+            let _inner = telemetry::span("doomed.phase");
+            panic!("chaos: casualty inside a span");
+        }
+        comm.try_barrier()?;
+        let _ = telemetry::finish_rank();
+        Ok(comm.rank())
+    })
+    .unwrap_err();
+    assert_eq!(err.origin, 1);
+    assert!(
+        err.reason.contains("in phase 'doomed.phase'"),
+        "reason must name the innermost open span, got: {}",
+        err.reason
+    );
+    let failure = err.failures.iter().find(|f| f.rank == 1).unwrap();
+    assert!(
+        format!("{}", failure.error).contains("casualty"),
+        "origin failure must carry the panic message"
+    );
+}
+
+/// The deadlock diagnostic maps raw collective tag numbers back to the
+/// phase (span) that issued the collective, so a stuck run names the
+/// algorithm it is stuck in rather than an opaque sequence number.
+#[test]
+fn deadlock_diagnostic_names_the_stuck_phase() {
+    let opts = RunOptions {
+        recv_timeout: Duration::from_millis(200),
+        faults: None,
+    };
+    let err = try_run_with(2, opts, |comm| {
+        telemetry::begin_rank(comm.rank());
+        if comm.rank() == 0 {
+            // rank 0 enters the collective inside a named span;
+            // rank 1 never joins, so rank 0 times out
+            let _span = telemetry::span("stuck.phase");
+            comm.try_barrier()?;
+        }
+        let _ = telemetry::finish_rank();
+        Ok(comm.rank())
+    })
+    .unwrap_err();
+    assert!(
+        err.reason.contains("stuck.phase"),
+        "timeout reason must name the stuck phase, got: {}",
+        err.reason
+    );
+}

@@ -68,23 +68,39 @@ fn kernels() -> &'static Kernels {
     })
 }
 
+/// The tier [`kernels`] resolves to, for dispatch accounting: each public
+/// wrapper notes one invocation on it (per batch call, not per element),
+/// so `simd::kernel_invocations()` can prove which path actually ran.
+#[inline]
+fn batch_tier() -> crate::simd::Tier {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::has_avx2() {
+        return crate::simd::Tier::Avx2;
+    }
+    crate::simd::Tier::Scalar
+}
+
 /// `child` over the SoA array, eight quadrants per step.
 pub fn child_all(soa: &QuadSoA, c: u32, max_level: u8, out: &mut QuadSoA) {
+    crate::simd::note_dispatch(batch_tier());
     (kernels().child_all)(soa, c, max_level, out)
 }
 
 /// `parent` over the SoA array, eight quadrants per step.
 pub fn parent_all(soa: &QuadSoA, max_level: u8, out: &mut QuadSoA) {
+    crate::simd::note_dispatch(batch_tier());
     (kernels().parent_all)(soa, max_level, out)
 }
 
 /// `sibling` over the SoA array, eight quadrants per step.
 pub fn sibling_all(soa: &QuadSoA, s: u32, max_level: u8, out: &mut QuadSoA) {
+    crate::simd::note_dispatch(batch_tier());
     (kernels().sibling_all)(soa, s, max_level, out)
 }
 
 /// `face_neighbor` over the SoA array for fixed face `f`, eight per step.
 pub fn face_neighbor_all(soa: &QuadSoA, f: u32, max_level: u8, out: &mut QuadSoA) {
+    crate::simd::note_dispatch(batch_tier());
     (kernels().face_neighbor_all)(soa, f, max_level, out)
 }
 
@@ -92,6 +108,7 @@ pub fn face_neighbor_all(soa: &QuadSoA, f: u32, max_level: u8, out: &mut QuadSoA
 /// (the general direction the balance/ghost enumerations walk), eight
 /// quadrants per step.
 pub fn offset_neighbor_all(soa: &QuadSoA, offset: [i32; 3], max_level: u8, out: &mut QuadSoA) {
+    crate::simd::note_dispatch(batch_tier());
     (kernels().offset_neighbor_all)(soa, offset, max_level, out)
 }
 
@@ -99,6 +116,7 @@ pub fn offset_neighbor_all(soa: &QuadSoA, offset: [i32; 3], max_level: u8, out: 
 /// All three out slices must hold at least `soa.len()` lanes (asserted
 /// identically by every dispatch target).
 pub fn tree_boundaries_all(soa: &QuadSoA, dim: u32, max_level: u8, out: [&mut [i32]; 3]) {
+    crate::simd::note_dispatch(batch_tier());
     (kernels().tree_boundaries_all)(soa, dim, max_level, out)
 }
 
@@ -108,6 +126,11 @@ pub fn tree_boundaries_all(soa: &QuadSoA, dim: u32, max_level: u8, out: [&mut [i
 /// the CPU has it, independent of the AVX2 tier.
 pub fn sfc_keys_all(soa: &QuadSoA, dim: u32, out: &mut [u64]) {
     static ACTIVE: OnceLock<fn(&QuadSoA, u32, &mut [u64])> = OnceLock::new();
+    crate::simd::note_dispatch(if crate::simd::has_bmi2() {
+        crate::simd::Tier::Bmi2
+    } else {
+        crate::simd::Tier::Scalar
+    });
     (ACTIVE.get_or_init(|| {
         #[cfg(target_arch = "x86_64")]
         if crate::simd::has_bmi2() {
@@ -562,5 +585,36 @@ mod tests {
         }
         #[cfg(not(target_arch = "x86_64"))]
         assert!(std::ptr::eq(kernels(), &SCALAR_KERNELS));
+    }
+
+    #[test]
+    fn dispatch_is_counted_on_the_active_tier() {
+        let get = |t: &str| {
+            crate::simd::kernel_invocations()
+                .iter()
+                .find(|(n, _)| *n == t)
+                .unwrap()
+                .1
+        };
+        let batch_tier = if crate::simd::has_avx2() {
+            "avx2"
+        } else {
+            "scalar"
+        };
+        let key_tier = if crate::simd::has_bmi2() {
+            "bmi2"
+        } else {
+            "scalar"
+        };
+        let (b0, k0) = (get(batch_tier), get(key_tier));
+        let s = soa();
+        let mut out = QuadSoA::with_len(s.len());
+        child_all(&s, 0, L, &mut out);
+        parent_all(&s, L, &mut out);
+        let mut keys = vec![0u64; s.len()];
+        sfc_keys_all(&s, 3, &mut keys);
+        // >= because sibling tests may run concurrently on other threads.
+        assert!(get(batch_tier) >= b0 + 2, "batch dispatches not counted");
+        assert!(get(key_tier) > k0, "sfc-key dispatch not counted");
     }
 }

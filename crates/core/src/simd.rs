@@ -96,6 +96,73 @@ pub fn active_features() -> &'static str {
     }
 }
 
+/// The kernel tier a batch dispatch actually resolved to, for invocation
+/// accounting (detection says what the CPU *can* run; these counters prove
+/// what *did* run).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Tier {
+    /// Portable scalar reference kernels.
+    Scalar,
+    /// 256-bit AVX2 batch kernels.
+    Avx2,
+    /// BMI2 `pdep`/`pext` Morton codec.
+    Bmi2,
+}
+
+impl Tier {
+    /// The tier's bench/JSON label: `"scalar"`, `"avx2"`, or `"bmi2"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Scalar => "scalar",
+            Tier::Avx2 => "avx2",
+            Tier::Bmi2 => "bmi2",
+        }
+    }
+}
+
+struct TierCounters {
+    scalar: quadforest_telemetry::Counter,
+    avx2: quadforest_telemetry::Counter,
+    bmi2: quadforest_telemetry::Counter,
+}
+
+fn tier_counters() -> &'static TierCounters {
+    static COUNTERS: OnceLock<TierCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let g = quadforest_telemetry::global();
+        TierCounters {
+            scalar: g.counter("simd.dispatch.scalar"),
+            avx2: g.counter("simd.dispatch.avx2"),
+            bmi2: g.counter("simd.dispatch.bmi2"),
+        }
+    })
+}
+
+/// Record one batch-kernel dispatch on `tier`. Called by the dispatch
+/// wrappers in [`crate::batch`] — once per *batch* call, not per element,
+/// so the shared atomic stays out of per-quadrant hot loops.
+#[inline]
+pub fn note_dispatch(tier: Tier) {
+    let c = tier_counters();
+    match tier {
+        Tier::Scalar => c.scalar.incr(),
+        Tier::Avx2 => c.avx2.incr(),
+        Tier::Bmi2 => c.bmi2.incr(),
+    }
+}
+
+/// Dispatched batch-kernel invocation counts per tier since process start,
+/// as `(tier name, count)` pairs — embedded in the bench JSON so "the
+/// vector path ran" is machine-checkable, not inferred from detection.
+pub fn kernel_invocations() -> [(&'static str, u64); 3] {
+    let c = tier_counters();
+    [
+        ("scalar", c.scalar.get()),
+        ("avx2", c.avx2.get()),
+        ("bmi2", c.bmi2.get()),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +189,20 @@ mod tests {
     fn forced_scalar_reports_no_features() {
         assert_eq!(features(), Features::NONE);
         assert_eq!(active_features(), "scalar");
+    }
+
+    #[test]
+    fn dispatch_counters_accumulate_per_tier() {
+        let before: std::collections::HashMap<_, _> = kernel_invocations().into_iter().collect();
+        note_dispatch(Tier::Scalar);
+        note_dispatch(Tier::Avx2);
+        note_dispatch(Tier::Avx2);
+        note_dispatch(Tier::Bmi2);
+        let after: std::collections::HashMap<_, _> = kernel_invocations().into_iter().collect();
+        // >= because batch tests running in parallel also bump these.
+        assert!(after["scalar"] > before["scalar"]);
+        assert!(after["avx2"] >= before["avx2"] + 2);
+        assert!(after["bmi2"] > before["bmi2"]);
+        assert_eq!(Tier::Avx2.name(), "avx2");
     }
 }

@@ -51,11 +51,14 @@ impl<Q: Quadrant> Forest<Q> {
     /// 2:1-balance the forest (collective). Returns the number of leaves
     /// refined on this rank.
     pub fn balance(&mut self, comm: &Comm, kind: BalanceKind) -> usize {
+        let _span = quadforest_telemetry::span("balance");
         let adjacency = kind.adjacency();
         let offs = offsets(Q::DIM, adjacency);
         let mut scratch = NeighborScratch::new();
         let mut refined_total = 0;
         loop {
+            let _round = quadforest_telemetry::span("balance.round");
+            quadforest_telemetry::counter_add("forest.balance.rounds", 1);
             // local fixed point
             refined_total += self.balance_local(adjacency);
 
@@ -81,6 +84,10 @@ impl<Q: Quadrant> Forest<Q> {
                     },
                 );
             }
+            quadforest_telemetry::counter_add(
+                "forest.balance.constraints_sent",
+                outgoing.iter().map(|v| v.len() as u64).sum(),
+            );
             let incoming = comm.alltoallv(outgoing);
 
             // apply remote constraints in one batch

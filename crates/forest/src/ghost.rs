@@ -83,6 +83,7 @@ type Request = (u32, [i32; 3], u8, Box3);
 impl<Q: Quadrant> Forest<Q> {
     /// Build the ghost layer (collective).
     pub fn ghost(&self, comm: &Comm, kind: crate::BalanceKind) -> GhostLayer<Q> {
+        let _span = quadforest_telemetry::span("ghost");
         let adjacency = match kind {
             crate::BalanceKind::Face => Adjacency::Face,
             crate::BalanceKind::Full => Adjacency::Full,
@@ -116,6 +117,10 @@ impl<Q: Quadrant> Forest<Q> {
             reqs.sort_by_key(|(t, c, l, _)| (*t, *l, c[0], c[1], c[2]));
             reqs.dedup();
         }
+        quadforest_telemetry::counter_add(
+            "forest.ghost.requests",
+            outgoing.iter().map(|v| v.len() as u64).sum(),
+        );
         let incoming = comm.alltoallv(outgoing);
 
         // round 2: replies
@@ -145,6 +150,7 @@ impl<Q: Quadrant> Forest<Q> {
             ))
         });
         ghosts.dedup();
+        quadforest_telemetry::gauge_set("forest.ghost.size", ghosts.len() as u64);
         GhostLayer { ghosts }
     }
 }

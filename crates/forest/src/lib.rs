@@ -77,6 +77,7 @@ pub use search::SearchAction;
 use quadforest_comm::Comm;
 use quadforest_connectivity::{Connectivity, TreeId};
 use quadforest_core::quadrant::Quadrant;
+use quadforest_telemetry as telemetry;
 use std::sync::Arc;
 
 /// A global space-filling-curve position: `(tree, index at maximum
@@ -130,6 +131,7 @@ impl<Q: Quadrant> Forest<Q> {
     /// Create a forest holding the uniform refinement of every tree at
     /// `level`, partitioned equally in SFC order across the communicator.
     pub fn new_uniform(conn: Arc<Connectivity>, comm: &Comm, level: u8) -> Self {
+        let _span = telemetry::span("new_uniform");
         assert_eq!(conn.dim(), Q::DIM, "connectivity dimension mismatch");
         assert!(level <= Q::MAX_LEVEL);
         let k = conn.num_trees() as u64;
@@ -174,6 +176,7 @@ impl<Q: Quadrant> Forest<Q> {
             global_count: n,
             markers,
         };
+        telemetry::gauge_set("forest.local_leaves", f.local_count() as u64);
         debug_assert_eq!(f.validate(), Ok(()));
         f
     }
@@ -306,26 +309,46 @@ impl<Q: Quadrant> Forest<Q> {
         gathered.into_iter().flatten().collect()
     }
 
-    /// Global per-level leaf histogram (collective): entry `ℓ` counts
-    /// the leaves at refinement level `ℓ` across all ranks.
-    pub fn level_histogram(&self, comm: &Comm) -> Vec<u64> {
+    /// Per-level leaf counts on this rank only, indices `0..=MAX_LEVEL`
+    /// (no communication).
+    pub fn local_level_histogram(&self) -> Vec<u64> {
         let mut local = vec![0u64; Q::MAX_LEVEL as usize + 1];
         for (_, q) in self.leaves() {
             local[q.level() as usize] += 1;
         }
-        comm.allreduce(local, |a, b| a.iter().zip(b).map(|(x, y)| x + y).collect())
+        local
     }
 
-    /// Global mesh statistics (collective).
+    /// Global per-level leaf histogram (collective): entry `ℓ` counts
+    /// the leaves at refinement level `ℓ` across all ranks.
+    pub fn level_histogram(&self, comm: &Comm) -> Vec<u64> {
+        comm.allreduce(self.local_level_histogram(), |a, b| {
+            a.iter().zip(b).map(|(x, y)| x + y).collect()
+        })
+    }
+
+    /// Global mesh statistics (collective). A **single** allgather
+    /// carries both the per-rank leaf counts and the per-rank level
+    /// histograms; the stats and the global histogram are derived from
+    /// that one exchange rather than issuing separate collectives.
     pub fn stats(&self, comm: &Comm) -> ForestStats {
-        let counts = comm.allgather(self.local_count() as u64);
-        let hist = self.level_histogram(comm);
+        let _span = telemetry::span("stats");
+        let gathered = comm.allgather((self.local_count() as u64, self.local_level_histogram()));
+        let mut hist = vec![0u64; Q::MAX_LEVEL as usize + 1];
+        for (_, h) in &gathered {
+            for (dst, v) in hist.iter_mut().zip(h) {
+                *dst += v;
+            }
+        }
         let min_level = hist.iter().position(|&c| c > 0).unwrap_or(0) as u8;
         let max_level = hist.iter().rposition(|&c| c > 0).unwrap_or(0) as u8;
+        telemetry::gauge_set("forest.global_leaves", self.global_count);
+        telemetry::gauge_set("forest.local_leaves", self.local_count() as u64);
+        telemetry::gauge_set("forest.max_level", max_level as u64);
         ForestStats {
             global_count: self.global_count,
-            min_local: *counts.iter().min().unwrap(),
-            max_local: *counts.iter().max().unwrap(),
+            min_local: gathered.iter().map(|(c, _)| *c).min().unwrap(),
+            max_local: gathered.iter().map(|(c, _)| *c).max().unwrap(),
             min_level,
             max_level,
             level_histogram: hist,
@@ -481,6 +504,88 @@ mod tests {
         assert_eq!(err.origin, 3);
         assert!(err.origin_panicked());
         assert!(err.reason.contains("construction casualty"));
+    }
+
+    #[test]
+    fn stats_issues_a_single_collective() {
+        use quadforest_telemetry::MetricKind;
+        quadforest_comm::run(3, |comm| {
+            let conn = Arc::new(Connectivity::unit(3));
+            let mut f = Forest::<Q3>::new_uniform(conn, &comm, 2);
+            f.refine(&comm, false, |_, q| q.morton_index() % 3 == 0);
+            telemetry::begin_rank(comm.rank());
+            let colls = |snap: &quadforest_telemetry::MetricsSnapshot| {
+                snap.get("comm.collectives", MetricKind::Counter)
+                    .map(|e| e.scalar())
+                    .unwrap_or(0)
+            };
+            let before = colls(&telemetry::rank_snapshot());
+            let s = f.stats(&comm);
+            let after = colls(&telemetry::rank_snapshot());
+            let _ = telemetry::finish_rank();
+            assert_eq!(
+                after - before,
+                1,
+                "stats must derive everything from one allgather"
+            );
+            // and the derived numbers must match the dedicated paths
+            assert_eq!(s.level_histogram, f.level_histogram(&comm));
+            assert_eq!(s.global_count, f.global_count());
+            let counts = comm.allgather(f.local_count() as u64);
+            assert_eq!(s.min_local, *counts.iter().min().unwrap());
+            assert_eq!(s.max_local, *counts.iter().max().unwrap());
+            assert_eq!(s.max_level, 3);
+        });
+    }
+
+    #[test]
+    fn pipeline_phases_record_spans_on_every_rank() {
+        let reports = quadforest_comm::run(2, |comm| {
+            telemetry::begin_rank(comm.rank());
+            let conn = Arc::new(Connectivity::unit(2));
+            let mut f = Forest::<MortonQuad<2>>::new_uniform(conn, &comm, 2);
+            f.refine(&comm, true, |_, q| q.coords() == [0, 0, 0] && q.level() < 5);
+            f.balance(&comm, BalanceKind::Face);
+            f.partition(&comm);
+            let _g = f.ghost(&comm, BalanceKind::Face);
+            let _s = f.stats(&comm);
+            telemetry::finish_rank().expect("recorder was installed")
+        });
+        for rep in &reports {
+            assert!(rep.spans_well_nested(), "rank {}", rep.rank);
+            assert_eq!(rep.nesting_errors, 0);
+            for phase in [
+                "new_uniform",
+                "refine",
+                "balance",
+                "partition",
+                "ghost",
+                "stats",
+            ] {
+                assert!(
+                    rep.spans.iter().any(|s| s.name == phase),
+                    "rank {} missing span '{phase}'",
+                    rep.rank
+                );
+            }
+            // balance rounds nest inside the balance span
+            let round = rep
+                .spans
+                .iter()
+                .find(|s| s.name == "balance.round")
+                .expect("at least one balance round");
+            assert_eq!(round.depth, 1);
+            // phase gauges and counters landed in the per-rank registry
+            use quadforest_telemetry::MetricKind;
+            assert!(rep
+                .metrics
+                .get("forest.refined", MetricKind::Counter)
+                .is_some());
+            assert!(rep
+                .metrics
+                .get("forest.ghost.size", MetricKind::Gauge)
+                .is_some());
+        }
     }
 
     #[test]

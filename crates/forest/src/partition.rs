@@ -27,6 +27,7 @@ impl<Q: Quadrant> Forest<Q> {
         comm: &Comm,
         mut weight: impl FnMut(TreeId, &Q) -> u64,
     ) -> usize {
+        let _span = quadforest_telemetry::span("partition");
         let p = self.size as u64;
 
         // global weight prefix of this rank
@@ -103,6 +104,8 @@ impl<Q: Quadrant> Forest<Q> {
             markers[0] = (0, 0);
         }
         self.markers = markers;
+        quadforest_telemetry::counter_add("forest.partition.sent", moved as u64);
+        quadforest_telemetry::gauge_set("forest.local_leaves", self.local_count() as u64);
         debug_assert_eq!(self.validate(), Ok(()));
         moved
     }

@@ -89,6 +89,7 @@ impl<Q: Quadrant> Forest<Q> {
         recursive: bool,
         mut flag: impl FnMut(TreeId, &Q) -> bool,
     ) -> usize {
+        let _span = quadforest_telemetry::span("refine");
         let mut refined = 0;
         for t in 0..self.trees.len() {
             let tree = t as TreeId;
@@ -122,6 +123,7 @@ impl<Q: Quadrant> Forest<Q> {
             self.trees[t] = out;
         }
         self.refresh_global(comm);
+        quadforest_telemetry::counter_add("forest.refined", refined as u64);
         refined
     }
 
@@ -138,6 +140,7 @@ impl<Q: Quadrant> Forest<Q> {
         recursive: bool,
         mut flag: impl FnMut(TreeId, &[Q]) -> bool,
     ) -> usize {
+        let _span = quadforest_telemetry::span("coarsen");
         let nc = Q::NUM_CHILDREN as usize;
         let mut merged = 0;
         for t in 0..self.trees.len() {
@@ -171,6 +174,7 @@ impl<Q: Quadrant> Forest<Q> {
             }
         }
         self.refresh_global(comm);
+        quadforest_telemetry::counter_add("forest.coarsened", merged as u64);
         merged
     }
 }

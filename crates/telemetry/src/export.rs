@@ -1,0 +1,256 @@
+//! Exporters: Chrome trace-event JSON (Perfetto-loadable) and the
+//! human-readable per-rank/per-phase summary table.
+
+use crate::metrics::AggregateRow;
+use crate::span::RankReport;
+use std::fmt::Write as _;
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render per-rank reports as Chrome trace-event JSON (the `traceEvents`
+/// array format understood by Perfetto and `chrome://tracing`).
+///
+/// Schema: one process (`pid` 0, named "quadforest"), **one track per rank**
+/// (`tid` = rank, named "rank N" via `thread_name` metadata), and one
+/// complete event (`"ph": "X"`) per recorded span with microsecond `ts`/
+/// `dur` (3 decimal places preserves the nanosecond clock). Events within a
+/// track are emitted sorted by start time, so `ts` is monotonic per `tid`.
+pub fn chrome_trace(reports: &[RankReport]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(
+        "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"quadforest\"}}",
+    );
+    for rep in reports {
+        let _ = write!(
+            out,
+            ",\n{{\"ph\":\"M\",\"pid\":0,\"tid\":{rank},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"rank {rank}\"}}}}",
+            rank = rep.rank
+        );
+        let _ = write!(
+            out,
+            ",\n{{\"ph\":\"M\",\"pid\":0,\"tid\":{rank},\"name\":\"thread_sort_index\",\
+             \"args\":{{\"sort_index\":{rank}}}}}",
+            rank = rep.rank
+        );
+        let mut spans = rep.spans.clone();
+        spans.sort_by_key(|s| (s.start_ns, std::cmp::Reverse(s.dur_ns)));
+        for s in &spans {
+            out.push_str(",\n{\"ph\":\"X\",\"pid\":0,\"tid\":");
+            let _ = write!(out, "{}", rep.rank);
+            out.push_str(",\"cat\":\"phase\",\"name\":\"");
+            escape(s.name, &mut out);
+            let _ = write!(
+                out,
+                "\",\"ts\":{}.{:03},\"dur\":{}.{:03},\"args\":{{\"depth\":{}}}}}",
+                s.start_ns / 1000,
+                s.start_ns % 1000,
+                s.dur_ns / 1000,
+                s.dur_ns % 1000,
+                s.depth
+            );
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Phase names across all reports, ordered by earliest first occurrence.
+fn phase_order(reports: &[RankReport]) -> Vec<&'static str> {
+    let mut firsts: Vec<(&'static str, u64)> = Vec::new();
+    for rep in reports {
+        for s in &rep.spans {
+            match firsts.iter_mut().find(|(n, _)| *n == s.name) {
+                Some((_, t)) => *t = (*t).min(s.start_ns),
+                None => firsts.push((s.name, s.start_ns)),
+            }
+        }
+    }
+    firsts.sort_by_key(|&(_, t)| t);
+    firsts.into_iter().map(|(n, _)| n).collect()
+}
+
+/// Total recorded nanoseconds per phase, summed over every rank — the same
+/// numbers the summary table prints, exposed for machine cross-checking
+/// against the exported trace.
+pub fn summary_totals(reports: &[RankReport]) -> Vec<(&'static str, u64)> {
+    phase_order(reports)
+        .into_iter()
+        .map(|name| (name, reports.iter().map(|r| r.phase_total_ns(name)).sum()))
+        .collect()
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+/// Human-readable per-rank/per-phase table: one row per span name, one
+/// `calls`/`total ms` column pair per rank, plus an all-ranks total column.
+pub fn summary_table(reports: &[RankReport]) -> String {
+    let phases = phase_order(reports);
+    let mut out = String::new();
+    let mut header = format!("{:<16}", "phase");
+    for rep in reports {
+        header.push_str(&format!("  {:>14}", format!("rank {}", rep.rank)));
+    }
+    header.push_str(&format!("  {:>14}", "total ms"));
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{}", "-".repeat(header.len()));
+    for name in phases {
+        let _ = write!(out, "{name:<16}");
+        let mut total = 0u64;
+        for rep in reports {
+            let calls = rep.spans.iter().filter(|s| s.name == name).count();
+            let ns = rep.phase_total_ns(name);
+            total += ns;
+            let _ = write!(out, "  {:>14}", format!("{}x {}", calls, fmt_ms(ns)));
+        }
+        let _ = writeln!(out, "  {:>14}", fmt_ms(total));
+    }
+    let dropped: u64 = reports.iter().map(|r| r.dropped_spans).sum();
+    let errors: u64 = reports.iter().map(|r| r.nesting_errors).sum();
+    if dropped > 0 || errors > 0 {
+        let _ = writeln!(out, "(dropped spans: {dropped}, nesting errors: {errors})");
+    }
+    out
+}
+
+/// Render aggregated cross-rank metrics ([`crate::aggregate`]) as a table.
+pub fn metrics_table(rows: &[AggregateRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<32} {:>10} {:>14} {:>12} {:>12} {:>12}",
+        "metric", "kind", "total", "min/rank", "max/rank", "mean obs"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(98));
+    for r in rows {
+        let mean = match r.mean() {
+            Some(m) => format!("{m:.1}"),
+            None => "-".into(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<32} {:>10} {:>14} {:>12} {:>12} {:>12}",
+            r.name,
+            r.kind.to_string(),
+            r.total,
+            r.min,
+            r.max,
+            mean
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{aggregate, Registry};
+    use crate::span::SpanEvent;
+
+    fn report(rank: usize, spans: Vec<SpanEvent>) -> RankReport {
+        RankReport {
+            rank,
+            spans,
+            ..Default::default()
+        }
+    }
+
+    fn ev(name: &'static str, start: u64, dur: u64, depth: u16) -> SpanEvent {
+        SpanEvent {
+            name,
+            start_ns: start,
+            dur_ns: dur,
+            depth,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_has_one_track_per_rank() {
+        let reports = vec![
+            report(0, vec![ev("refine", 1000, 500, 0)]),
+            report(
+                1,
+                vec![ev("refine", 1100, 400, 0), ev("balance", 2000, 1, 0)],
+            ),
+        ];
+        let json = chrome_trace(&reports);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"name\":\"rank 0\""));
+        assert!(json.contains("\"name\":\"rank 1\""));
+        assert!(json.contains("\"ts\":1.000"));
+        assert!(json.contains("\"dur\":0.500"));
+        // exactly one X event per span
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 3);
+    }
+
+    #[test]
+    fn chrome_trace_escapes_names() {
+        let reports = vec![report(0, vec![ev("we\"ird\\name", 0, 1, 0)])];
+        let json = chrome_trace(&reports);
+        assert!(json.contains("we\\\"ird\\\\name"));
+    }
+
+    #[test]
+    fn chrome_trace_sorted_by_start_per_track() {
+        // recorded in exit order (inner first) — export must sort by start
+        let reports = vec![report(
+            0,
+            vec![ev("inner", 500, 100, 1), ev("outer", 0, 1000, 0)],
+        )];
+        let json = chrome_trace(&reports);
+        let outer_at = json.find("\"name\":\"outer\"").unwrap();
+        let inner_at = json.find("\"name\":\"inner\"").unwrap();
+        assert!(outer_at < inner_at);
+    }
+
+    #[test]
+    fn summary_table_and_totals_agree() {
+        let reports = vec![
+            report(
+                0,
+                vec![
+                    ev("refine", 0, 2_000_000, 0),
+                    ev("balance", 5000, 1_000_000, 0),
+                ],
+            ),
+            report(1, vec![ev("refine", 0, 4_000_000, 0)]),
+        ];
+        let totals = summary_totals(&reports);
+        assert_eq!(totals, vec![("refine", 6_000_000), ("balance", 1_000_000)]);
+        let table = summary_table(&reports);
+        assert!(table.contains("refine"));
+        assert!(table.contains("6.000")); // total ms column
+        assert!(table.contains("1x 2.000"));
+    }
+
+    #[test]
+    fn metrics_table_renders_rows() {
+        let reg = Registry::new();
+        reg.counter("comm.msgs").add(7);
+        reg.histogram("lat_ns").record(100);
+        let rows = aggregate(&[reg.snapshot()]);
+        let t = metrics_table(&rows);
+        assert!(t.contains("comm.msgs"));
+        assert!(t.contains("counter"));
+        assert!(t.contains("lat_ns"));
+        assert!(t.contains("100.0")); // mean of single observation
+    }
+}

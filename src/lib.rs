@@ -16,6 +16,8 @@
 //! * [`comm`] — the simulated-MPI communicator;
 //! * [`forest`] — the distributed AMR workflow (create, refine, coarsen,
 //!   2:1 balance, partition, ghost layers, iterate, search);
+//! * [`telemetry`] — the zero-dependency observability layer: phase
+//!   spans, per-rank metrics, and Chrome-trace/Perfetto export;
 //! * [`vtk`] — mesh output for ParaView/VisIt;
 //! * [`bench`] — the harness regenerating the paper's figures and tables.
 //!
@@ -42,6 +44,7 @@ pub use quadforest_comm as comm;
 pub use quadforest_connectivity as connectivity;
 pub use quadforest_core as core;
 pub use quadforest_forest as forest;
+pub use quadforest_telemetry as telemetry;
 pub use quadforest_vtk as vtk;
 
 /// The commonly used names in one import.
