@@ -6,6 +6,7 @@
 //! repro --mem --level 8       # Section 3.2 memory experiment
 //! repro --autovec             # contribution 5
 //! repro --chaos               # fault-injected forest pipeline
+//! repro --checkpoint ckpt/    # checkpoint-format smoke: write, corrupt, fall back
 //! repro --json                # machine-readable perf baseline
 //! repro --trace trace.json    # traced 4-rank pipeline (Chrome trace)
 //! repro --iters 5 --ranks 1,4,64,512
@@ -75,6 +76,7 @@ struct Opts {
     autovec: bool,
     dim2: bool,
     chaos: bool,
+    checkpoint: Option<String>,
     json: bool,
     trace: Option<String>,
     iters: usize,
@@ -89,6 +91,7 @@ fn parse_args() -> Opts {
         autovec: false,
         dim2: false,
         chaos: false,
+        checkpoint: None,
         json: false,
         trace: None,
         iters: 3,
@@ -121,6 +124,11 @@ fn parse_args() -> Opts {
             }
             "--chaos" => {
                 opts.chaos = true;
+                any = true;
+            }
+            "--checkpoint" => {
+                i += 1;
+                opts.checkpoint = Some(args[i].clone());
                 any = true;
             }
             "--json" => {
@@ -591,6 +599,138 @@ fn run_chaos(opts: &Opts) {
         ),
     }
     let _ = opts;
+}
+
+// ---------------------------------------------------------------------------
+// --checkpoint: on-disk checkpoint format smoke (write, corrupt, fall back)
+// ---------------------------------------------------------------------------
+
+/// Write two checkpoint generations at P = 4, bit-flip one shard of the
+/// newest, and prove the loader rejects it via CRC and falls back to the
+/// previous generation — then load the survivor at P = 2 to exercise
+/// repartition-on-load. This is the CI gate for the on-disk format.
+fn run_checkpoint(dir: &str) {
+    use quadforest_connectivity::Connectivity;
+    use quadforest_core::quadrant::MortonQuad;
+    use quadforest_forest::{list_generations, BalanceKind, Forest};
+    use quadforest_telemetry as telemetry;
+    use std::sync::Arc;
+
+    const P: usize = 4;
+    println!("\n## Checkpoint: on-disk format smoke (write → corrupt → fall back)");
+    println!("two generations at P = {P}; one shard of the newest is bit-flipped and");
+    println!("the loader must reject it (CRC) and restore the previous generation\n");
+
+    let dir = std::path::Path::new(dir).to_path_buf();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // two generations of a growing forest, checksummed at each save
+    let written = quadforest_comm::run(P, |comm| {
+        let conn = Arc::new(Connectivity::unit(2));
+        let mut f = Forest::<MortonQuad<2>>::new_uniform(conn, &comm, 2);
+        f.refine(&comm, true, |_, q| {
+            let c = q.coords();
+            q.level() < 5 && c[0] == 0 && c[1] == 0
+        });
+        f.balance(&comm, BalanceKind::Face);
+        let gen1 = f.save_checkpoint(&comm, &dir).expect("save generation 1");
+        let sum1 = f.checksum(&comm);
+        f.refine(&comm, true, |_, q| {
+            let c = q.coords();
+            q.level() < 6 && c[0] == 0
+        });
+        f.balance(&comm, BalanceKind::Face);
+        f.partition(&comm);
+        let gen2 = f.save_checkpoint(&comm, &dir).expect("save generation 2");
+        (gen1, sum1, gen2, f.checksum(&comm), f.global_count())
+    });
+    let (gen1, sum1, gen2, sum2, n2) = written[0];
+    println!("| step | generation | checksum | leaves |");
+    println!("|---|---|---|---|");
+    println!("| save (balanced) | {gen1} | {sum1:#018x} | |");
+    println!("| save (refined + partitioned) | {gen2} | {sum2:#018x} | {n2} |");
+    assert_eq!(list_generations(&dir), vec![gen1, gen2]);
+
+    // intact load must pick the newest generation
+    let intact = quadforest_comm::run(P, |comm| {
+        let conn = Arc::new(Connectivity::unit(2));
+        let (f, generation) =
+            Forest::<MortonQuad<2>>::load_checkpoint(conn, &comm, &dir).expect("intact load");
+        (generation, f.checksum(&comm))
+    });
+    println!(
+        "| load (intact) | {} | {:#018x} | |",
+        intact[0].0, intact[0].1
+    );
+    assert_eq!(
+        intact[0],
+        (gen2, sum2),
+        "intact load must restore the newest"
+    );
+
+    // flip one bit in the middle of one shard of the newest generation
+    let shard = dir
+        .join(format!("gen-{gen2:08}"))
+        .join(format!("shard-{:05}.qfs", P / 2));
+    let mut bytes = std::fs::read(&shard).expect("read shard");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&shard, &bytes).expect("rewrite shard");
+    println!(
+        "| corrupt | {gen2} | bit 4 of byte {mid} in {} | |",
+        shard.file_name().unwrap().to_string_lossy()
+    );
+
+    // the loader must skip the damaged generation and fall back
+    let recovered = quadforest_comm::run(P, |comm| {
+        telemetry::begin_rank(comm.rank());
+        let conn = Arc::new(Connectivity::unit(2));
+        let (f, generation) =
+            Forest::<MortonQuad<2>>::load_checkpoint(conn, &comm, &dir).expect("fallback load");
+        f.validate().expect("restored forest must be valid");
+        let report = telemetry::finish_rank().expect("recorder was installed");
+        (generation, f.checksum(&comm), report)
+    });
+    let fallbacks = recovered[0]
+        .2
+        .metrics
+        .get(
+            "forest.checkpoint.fallbacks",
+            telemetry::MetricKind::Counter,
+        )
+        .map(|e| e.scalar())
+        .unwrap_or(0);
+    println!(
+        "| load (fallback) | {} | {:#018x} | {fallbacks} generation(s) skipped |",
+        recovered[0].0, recovered[0].1
+    );
+    assert_eq!(
+        (recovered[0].0, recovered[0].1),
+        (gen1, sum1),
+        "corrupt shard must fall back to the previous generation"
+    );
+    assert!(fallbacks >= 1, "fallback must be counted");
+
+    // the survivor also restores into a different rank count
+    let half = quadforest_comm::run(P / 2, |comm| {
+        let conn = Arc::new(Connectivity::unit(2));
+        let (f, generation) =
+            Forest::<MortonQuad<2>>::load_checkpoint(conn, &comm, &dir).expect("P=2 load");
+        f.validate().expect("repartitioned forest must be valid");
+        (generation, f.checksum(&comm))
+    });
+    println!(
+        "| load (P = {}) | {} | {:#018x} | |",
+        P / 2,
+        half[0].0,
+        half[0].1
+    );
+    assert_eq!(
+        half[0],
+        (gen1, sum1),
+        "repartition-on-load changed the forest"
+    );
+    println!("\ncheckpoint smoke passed: CRC fallback and repartition-on-load verified");
 }
 
 // ---------------------------------------------------------------------------
@@ -1094,6 +1234,9 @@ fn main() {
     }
     if opts.chaos {
         run_chaos(&opts);
+    }
+    if let Some(dir) = opts.checkpoint.clone() {
+        run_checkpoint(&dir);
     }
     if let Some(path) = opts.trace.clone() {
         run_trace(&path, &opts);

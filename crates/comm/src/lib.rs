@@ -76,9 +76,11 @@
 
 mod error;
 mod fault;
+mod recovery;
 
 pub use error::{CommError, RankError, RankFailure, WorldError};
 pub use fault::FaultPlan;
+pub use recovery::{run_with_recovery, Attempt, RecoveryError, RecoveryOptions, RecoveryOutcome};
 
 use error::tag_display;
 use fault::RankFaults;

@@ -1,0 +1,259 @@
+//! The recovery supervisor: retry a collective program across world
+//! failures.
+//!
+//! [`run_with_recovery`] wraps [`try_run_with`](crate::try_run_with):
+//! when any rank dies (panic, typed failure, or receive timeout) the
+//! whole world unwinds into a [`WorldError`]; the supervisor tears the
+//! world down, waits out a bounded exponential backoff, rebuilds a
+//! fresh world, and invokes the program again with an incremented
+//! [`Attempt`]. The program is responsible for making attempts
+//! idempotent — typically by checkpointing progress
+//! (`Forest::save_checkpoint`) and restoring from the newest valid
+//! generation when `attempt.is_retry()`.
+//!
+//! Fault injection stays deterministic: [`RecoveryOptions::plans`]
+//! assigns one optional [`FaultPlan`] per attempt index, so a chaos
+//! test can kill a specific rank at a specific operation on attempt 0
+//! and let attempt 1 run clean — same outcome every run.
+
+use crate::{try_run_with, Comm, CommError, FaultPlan, RunOptions, WorldError};
+use quadforest_telemetry as telemetry;
+use std::fmt;
+use std::time::Duration;
+
+/// Policy knobs for [`run_with_recovery`].
+#[derive(Clone, Debug)]
+pub struct RecoveryOptions {
+    /// Total number of attempts (first try included). Must be ≥ 1.
+    pub max_attempts: usize,
+    /// Backoff before retry `k` is `backoff_base · 2^(k-1)`, capped at
+    /// [`RecoveryOptions::backoff_max`].
+    pub backoff_base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_max: Duration,
+    /// Receive timeout handed to every attempt's world (see
+    /// [`RunOptions::recv_timeout`]).
+    pub recv_timeout: Duration,
+    /// Deterministic fault plan per attempt index; attempts beyond the
+    /// end of the vector run fault-free.
+    pub plans: Vec<Option<FaultPlan>>,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> Self {
+        RecoveryOptions {
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_secs(2),
+            recv_timeout: Duration::from_secs(60),
+            plans: Vec::new(),
+        }
+    }
+}
+
+/// Which attempt a program invocation belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Attempt {
+    /// Zero-based attempt index.
+    pub index: usize,
+}
+
+impl Attempt {
+    /// True on every attempt after the first — the cue to restore from
+    /// the last checkpoint instead of starting fresh.
+    pub fn is_retry(&self) -> bool {
+        self.index > 0
+    }
+}
+
+/// A successful [`run_with_recovery`] outcome: the per-rank results
+/// plus the failure history it took to get there.
+#[derive(Debug)]
+pub struct RecoveryOutcome<R> {
+    /// Per-rank return values of the successful attempt, in rank order.
+    pub values: Vec<R>,
+    /// Number of attempts executed, including the successful one.
+    pub attempts: usize,
+    /// World errors of the failed attempts, oldest first.
+    pub failures: Vec<WorldError>,
+    /// Total time slept in backoff between attempts.
+    pub total_backoff: Duration,
+}
+
+/// All attempts exhausted without a successful run.
+#[derive(Debug)]
+pub struct RecoveryError {
+    /// Number of attempts executed.
+    pub attempts: usize,
+    /// World errors of every attempt, oldest first.
+    pub failures: Vec<WorldError>,
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "recovery gave up after {} attempts", self.attempts)?;
+        if let Some(last) = self.failures.last() {
+            write!(f, "; last failure: {last}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// Run `f` once per rank under the recovery supervisor: on world
+/// failure, back off exponentially and retry with a fresh world, up to
+/// [`RecoveryOptions::max_attempts`] attempts total.
+///
+/// Recovery activity lands in the process-global telemetry registry
+/// ([`telemetry::global`]) rather than any per-rank recorder, because
+/// the supervisor outlives every rank thread: counters
+/// `recovery.attempts` / `recovery.retries` / `recovery.giveups` and
+/// histogram `recovery.backoff_ns`.
+pub fn run_with_recovery<F, R>(
+    size: usize,
+    opts: RecoveryOptions,
+    f: F,
+) -> Result<RecoveryOutcome<R>, RecoveryError>
+where
+    F: Fn(Comm, Attempt) -> Result<R, CommError> + Send + Sync,
+    R: Send,
+{
+    assert!(opts.max_attempts >= 1, "need at least one attempt");
+    let global = telemetry::global();
+    let mut failures: Vec<WorldError> = Vec::new();
+    let mut total_backoff = Duration::ZERO;
+    for index in 0..opts.max_attempts {
+        global.counter("recovery.attempts").add(1);
+        let run_opts = RunOptions {
+            recv_timeout: opts.recv_timeout,
+            faults: opts.plans.get(index).cloned().flatten(),
+        };
+        let attempt = Attempt { index };
+        match try_run_with(size, run_opts, |comm| f(comm, attempt)) {
+            Ok(values) => {
+                return Ok(RecoveryOutcome {
+                    values,
+                    attempts: index + 1,
+                    failures,
+                    total_backoff,
+                })
+            }
+            Err(world_err) => {
+                failures.push(world_err);
+                if index + 1 < opts.max_attempts {
+                    // bounded exponential backoff: base · 2^index, capped
+                    let backoff = opts
+                        .backoff_base
+                        .saturating_mul(1u32 << index.min(20) as u32)
+                        .min(opts.backoff_max);
+                    global.counter("recovery.retries").add(1);
+                    global
+                        .histogram("recovery.backoff_ns")
+                        .record(backoff.as_nanos() as u64);
+                    total_backoff += backoff;
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+    }
+    global.counter("recovery.giveups").add(1);
+    Err(RecoveryError {
+        attempts: opts.max_attempts,
+        failures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn first_attempt_success_is_passthrough() {
+        let out = run_with_recovery(3, RecoveryOptions::default(), |comm, attempt| {
+            assert!(!attempt.is_retry());
+            Ok(comm.allreduce_sum(comm.rank() as u64 + 1))
+        })
+        .unwrap();
+        assert_eq!(out.values, vec![6, 6, 6]);
+        assert_eq!(out.attempts, 1);
+        assert!(out.failures.is_empty());
+        assert_eq!(out.total_backoff, Duration::ZERO);
+    }
+
+    #[test]
+    fn injected_death_recovers_on_retry() {
+        // attempt 0: rank 1 dies at its 3rd operation; attempt 1: clean
+        let opts = RecoveryOptions {
+            backoff_base: Duration::from_millis(1),
+            plans: vec![Some(FaultPlan::new(5).with_panic_at(1, 2))],
+            ..RecoveryOptions::default()
+        };
+        let out = run_with_recovery(4, opts, |comm, attempt| {
+            let mut acc = 0;
+            for _ in 0..4 {
+                acc = comm.allreduce_sum(acc + 1);
+            }
+            Ok((attempt.index, acc))
+        })
+        .unwrap();
+        assert_eq!(out.attempts, 2);
+        assert_eq!(out.failures.len(), 1);
+        assert_eq!(out.failures[0].origin, 1);
+        assert!(out.failures[0].origin_panicked());
+        assert!(out.values.iter().all(|(a, _)| *a == 1));
+        assert!(out.total_backoff >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts() {
+        let tries = AtomicUsize::new(0);
+        let opts = RecoveryOptions {
+            max_attempts: 3,
+            backoff_base: Duration::from_micros(100),
+            // every attempt is poisoned
+            plans: (0..3)
+                .map(|i| Some(FaultPlan::new(i).with_panic_at(0, 0)))
+                .collect(),
+            ..RecoveryOptions::default()
+        };
+        let err = run_with_recovery(2, opts, |comm, _| {
+            if comm.rank() == 0 {
+                tries.fetch_add(1, Ordering::SeqCst);
+            }
+            comm.try_barrier()?;
+            Ok(())
+        })
+        .unwrap_err();
+        assert_eq!(err.attempts, 3);
+        assert_eq!(err.failures.len(), 3);
+        assert_eq!(tries.load(Ordering::SeqCst), 3);
+        assert!(err.to_string().contains("gave up after 3 attempts"));
+    }
+
+    #[test]
+    fn backoff_is_bounded() {
+        let opts = RecoveryOptions {
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(2),
+            backoff_max: Duration::from_millis(3),
+            plans: (0..4)
+                .map(|i| Some(FaultPlan::new(i).with_panic_at(0, 0)))
+                .collect(),
+            ..RecoveryOptions::default()
+        };
+        let err = run_with_recovery(2, opts, |comm, _| {
+            comm.try_barrier()?;
+            Ok(())
+        })
+        .unwrap_err();
+        assert_eq!(err.attempts, 4);
+        // sleeps were 2, 3 (capped), 3 (capped) — all within the cap
+        let snap = telemetry::global().snapshot();
+        use quadforest_telemetry::MetricKind;
+        assert!(snap
+            .get("recovery.backoff_ns", MetricKind::Histogram)
+            .is_some());
+    }
+}

@@ -109,6 +109,7 @@ impl<Q: Quadrant> Forest<Q> {
         }
         self.refresh_global(comm);
         debug_assert_eq!(self.validate(), Ok(()));
+        self.guard_phase("balance");
         refined_total
     }
 

@@ -1,0 +1,601 @@
+//! Crash-consistent on-disk checkpoints: generations of per-rank shards
+//! plus a manifest, every file CRC32-guarded and written atomically.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! <dir>/
+//!   gen-00000001/
+//!     shard-00000.qfs     one per saving rank: a PortableForest stream
+//!     shard-00001.qfs
+//!     manifest.qfm        written LAST — its presence commits the generation
+//!   gen-00000002/
+//!     ...
+//! ```
+//!
+//! Each shard is exactly the version-2 [`PortableForest`] byte stream
+//! (self-describing, CRC32-terminated). The manifest records the global
+//! shape plus each shard's leaf count, byte length, and CRC, and carries
+//! its own trailing CRC. Every file is written to a `.tmp` sibling and
+//! `rename`d into place, and the manifest is written only after every
+//! shard is durably named — so a generation directory without a valid
+//! manifest is, by construction, an aborted save and is skipped.
+//!
+//! ## Restore semantics
+//!
+//! [`Forest::load_checkpoint`] walks generations newest-first and picks
+//! the first one whose manifest AND all shards verify (length + CRC);
+//! corrupted generations are skipped (counted in
+//! `forest.checkpoint.fallbacks`) rather than trusted. The chosen
+//! checkpoint loads into **any** quadrant representation and **any**
+//! communicator size: when the rank count matches the save, each rank
+//! reads back its own shard (exact markers restored); otherwise leaves
+//! are re-sliced along the SFC into `P_load` equal ranges and the
+//! partition markers rebuilt — repartition-on-load, the property the
+//! restartable-campaign workflow in Isaac et al. relies on.
+
+use crate::crc::crc32;
+use crate::io::Cursor;
+use crate::{end_position, Forest, IoError, PortableForest, SfcPosition};
+use bytes::{Buf, BufMut, BytesMut};
+use quadforest_comm::Comm;
+use quadforest_connectivity::Connectivity;
+use quadforest_core::quadrant::Quadrant;
+use quadforest_telemetry as telemetry;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+const MANIFEST_MAGIC: &[u8; 4] = b"QFMF";
+const MANIFEST_VERSION: u32 = 1;
+const MANIFEST_NAME: &str = "manifest.qfm";
+/// Bytes per serialized shard record in the manifest.
+const SHARD_RECORD_BYTES: usize = 20;
+
+/// Integrity metadata for one checkpoint shard, as recorded in the
+/// manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardMeta {
+    /// Leaves stored in the shard.
+    pub leaf_count: u64,
+    /// Exact shard file length in bytes.
+    pub byte_len: u64,
+    /// CRC32 of the whole shard file.
+    pub crc: u32,
+}
+
+/// The committed description of one checkpoint generation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointManifest {
+    /// Generation number (monotone per checkpoint directory).
+    pub generation: u64,
+    /// Spatial dimension of the saved forest.
+    pub dim: u32,
+    /// Tree count of the connectivity the forest was built over.
+    pub num_trees: u64,
+    /// Global leaf count at save time.
+    pub global_count: u64,
+    /// Communicator size at save time (`P_save` = shard count).
+    pub size: u64,
+    /// Per-shard integrity records, indexed by saving rank.
+    pub shards: Vec<ShardMeta>,
+}
+
+impl CheckpointManifest {
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut b = BytesMut::with_capacity(52 + self.shards.len() * SHARD_RECORD_BYTES + 4);
+        b.put_slice(MANIFEST_MAGIC);
+        b.put_u32_le(MANIFEST_VERSION);
+        b.put_u64_le(self.generation);
+        b.put_u32_le(self.dim);
+        b.put_u64_le(self.num_trees);
+        b.put_u64_le(self.global_count);
+        b.put_u64_le(self.size);
+        b.put_u64_le(self.shards.len() as u64);
+        for s in &self.shards {
+            b.put_u64_le(s.leaf_count);
+            b.put_u64_le(s.byte_len);
+            b.put_u32_le(s.crc);
+        }
+        let crc = crc32(&b);
+        b.put_u32_le(crc);
+        b.to_vec()
+    }
+
+    /// Parse and CRC-verify a manifest. Corrupt bytes return a typed
+    /// [`IoError`], never panic.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, IoError> {
+        let mut cur = Cursor(data);
+        cur.need(8)?;
+        let mut magic = [0u8; 4];
+        cur.0.copy_to_slice(&mut magic);
+        if &magic != MANIFEST_MAGIC {
+            return Err(IoError::BadMagic { found: magic });
+        }
+        let version = cur.u32()?;
+        if version != MANIFEST_VERSION {
+            return Err(IoError::UnsupportedVersion {
+                found: version,
+                supported: MANIFEST_VERSION,
+            });
+        }
+        if data.len() < 12 {
+            return Err(IoError::Truncated {
+                needed: 12,
+                remaining: data.len(),
+            });
+        }
+        let body = &data[..data.len() - 4];
+        let stored = u32::from_le_bytes(data[data.len() - 4..].try_into().expect("4 bytes"));
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(IoError::ChecksumMismatch { stored, computed });
+        }
+        cur.0 = &body[8..];
+        let generation = cur.u64()?;
+        let dim = cur.u32()?;
+        let num_trees = cur.u64()?;
+        let global_count = cur.u64()?;
+        let size = cur.u64()?;
+        let n_shards = cur.count("shard", SHARD_RECORD_BYTES)?;
+        if n_shards as u64 != size {
+            return Err(IoError::CountMismatch {
+                what: "shard",
+                found: n_shards as u64,
+                expected: size,
+            });
+        }
+        let mut shards = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            shards.push(ShardMeta {
+                leaf_count: cur.u64()?,
+                byte_len: cur.u64()?,
+                crc: cur.u32()?,
+            });
+        }
+        if cur.0.remaining() > 0 {
+            return Err(IoError::CountMismatch {
+                what: "trailing byte",
+                found: cur.0.remaining() as u64,
+                expected: 0,
+            });
+        }
+        // checked sum: a hostile manifest must not overflow-panic here
+        let mut total = 0u64;
+        for s in &shards {
+            total = total
+                .checked_add(s.leaf_count)
+                .filter(|t| *t <= global_count)
+                .ok_or(IoError::CountMismatch {
+                    what: "shard leaf",
+                    found: s.leaf_count,
+                    expected: global_count,
+                })?;
+        }
+        if total != global_count {
+            return Err(IoError::CountMismatch {
+                what: "shard leaf",
+                found: total,
+                expected: global_count,
+            });
+        }
+        Ok(Self {
+            generation,
+            dim,
+            num_trees,
+            global_count,
+            size,
+            shards,
+        })
+    }
+}
+
+fn generation_dir(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("gen-{generation:08}"))
+}
+
+fn shard_path(gen_dir: &Path, rank: usize) -> PathBuf {
+    gen_dir.join(format!("shard-{rank:05}.qfs"))
+}
+
+/// Write `bytes` to `path` atomically: write a `.tmp` sibling, then
+/// `rename` into place. A crash mid-write leaves only the tmp file,
+/// which no reader ever looks at.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), IoError> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes).map_err(|e| IoError::storage(&tmp, e))?;
+    std::fs::rename(&tmp, path).map_err(|e| IoError::storage(path, e))?;
+    Ok(())
+}
+
+/// Generation numbers present under `dir` (committed or not), ascending.
+/// A missing directory is an empty list, not an error.
+pub fn list_generations(dir: impl AsRef<Path>) -> Vec<u64> {
+    let mut gens: Vec<u64> = match std::fs::read_dir(dir.as_ref()) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                e.file_name()
+                    .to_str()
+                    .and_then(|n| n.strip_prefix("gen-"))
+                    .and_then(|n| n.parse().ok())
+            })
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    gens.sort_unstable();
+    gens.dedup();
+    gens
+}
+
+/// Rank 0: allocate the next generation number and create its directory.
+fn prepare_generation(dir: &Path) -> Result<u64, IoError> {
+    std::fs::create_dir_all(dir).map_err(|e| IoError::storage(dir, e))?;
+    let generation = list_generations(dir).last().copied().unwrap_or(0) + 1;
+    let gen_dir = generation_dir(dir, generation);
+    std::fs::create_dir_all(&gen_dir).map_err(|e| IoError::storage(&gen_dir, e))?;
+    Ok(generation)
+}
+
+/// Rank 0: walk generations newest-first and return the newest one whose
+/// manifest and every shard pass verification. Invalid generations are
+/// skipped and counted in `forest.checkpoint.fallbacks`.
+fn pick_generation(dir: &Path) -> Result<(CheckpointManifest, u64), IoError> {
+    let mut last_err = None;
+    for generation in list_generations(dir).into_iter().rev() {
+        match verify_generation(dir, generation) {
+            Ok(manifest) => return Ok((manifest, generation)),
+            Err(e) => {
+                telemetry::counter_add("forest.checkpoint.fallbacks", 1);
+                last_err = Some(e);
+            }
+        }
+    }
+    // surface the newest generation's failure when everything is bad —
+    // more actionable than a bare "nothing found"
+    Err(last_err.unwrap_or(IoError::NoCheckpoint {
+        dir: dir.display().to_string(),
+    }))
+}
+
+/// Verify one generation end-to-end: manifest parse + CRC, then every
+/// shard's length and CRC against the manifest.
+fn verify_generation(dir: &Path, generation: u64) -> Result<CheckpointManifest, IoError> {
+    let gen_dir = generation_dir(dir, generation);
+    let mpath = gen_dir.join(MANIFEST_NAME);
+    let mbytes = std::fs::read(&mpath).map_err(|e| IoError::storage(&mpath, e))?;
+    let manifest = CheckpointManifest::from_bytes(&mbytes)?;
+    if manifest.generation != generation {
+        return Err(IoError::CountMismatch {
+            what: "generation",
+            found: manifest.generation,
+            expected: generation,
+        });
+    }
+    for (rank, meta) in manifest.shards.iter().enumerate() {
+        let spath = shard_path(&gen_dir, rank);
+        let sbytes = std::fs::read(&spath).map_err(|e| IoError::storage(&spath, e))?;
+        if sbytes.len() as u64 != meta.byte_len {
+            return Err(IoError::Truncated {
+                needed: meta.byte_len as usize,
+                remaining: sbytes.len(),
+            });
+        }
+        let computed = crc32(&sbytes);
+        if computed != meta.crc {
+            return Err(IoError::ChecksumMismatch {
+                stored: meta.crc,
+                computed,
+            });
+        }
+    }
+    Ok(manifest)
+}
+
+impl<Q: Quadrant> Forest<Q> {
+    /// Save a new checkpoint generation under `dir` (collective).
+    ///
+    /// Every rank writes its partition as one shard; rank 0 commits the
+    /// generation by writing the manifest last. All files go through
+    /// temp-file + rename, so a crash at any point leaves either a fully
+    /// committed generation or one that restore skips. Returns the new
+    /// generation number on every rank, or the first error any rank hit.
+    pub fn save_checkpoint(&self, comm: &Comm, dir: impl AsRef<Path>) -> Result<u64, IoError> {
+        let _span = telemetry::span("checkpoint");
+        let start = Instant::now();
+        let dir = dir.as_ref();
+
+        // rank 0 allocates the generation and creates its directory
+        let root_prep = (comm.rank() == 0).then(|| prepare_generation(dir));
+        let generation = comm.bcast(0, root_prep)?;
+        let gen_dir = generation_dir(dir, generation);
+
+        // every rank writes its own shard atomically
+        let bytes = self.to_portable().to_bytes();
+        let written =
+            write_atomic(&shard_path(&gen_dir, comm.rank()), &bytes).map(|()| ShardMeta {
+                leaf_count: self.local_count() as u64,
+                byte_len: bytes.len() as u64,
+                crc: crc32(&bytes),
+            });
+
+        // rank 0 collects shard metadata and commits the manifest LAST;
+        // any rank's write failure aborts the commit
+        let gathered = comm.gather(0, written);
+        let root_commit = gathered.map(|metas| {
+            metas
+                .into_iter()
+                .collect::<Result<Vec<ShardMeta>, IoError>>()
+                .and_then(|shards| {
+                    let manifest = CheckpointManifest {
+                        generation,
+                        dim: Q::DIM,
+                        num_trees: self.connectivity().num_trees() as u64,
+                        global_count: self.global_count(),
+                        size: comm.size() as u64,
+                        shards,
+                    };
+                    write_atomic(&gen_dir.join(MANIFEST_NAME), &manifest.to_bytes())
+                })
+        });
+        let outcome = comm.bcast(0, root_commit);
+
+        telemetry::histogram_record("forest.checkpoint.bytes", bytes.len() as u64);
+        telemetry::histogram_record(
+            "forest.checkpoint.write_ns",
+            start.elapsed().as_nanos() as u64,
+        );
+        telemetry::counter_add("forest.checkpoint.saves", 1);
+        outcome.map(|()| generation)
+    }
+
+    /// Restore the newest valid checkpoint under `dir` (collective).
+    ///
+    /// Generations whose manifest or shards fail CRC/length verification
+    /// are skipped in favour of older ones. The saved stream loads into
+    /// any quadrant representation; when the communicator size differs
+    /// from `P_save`, leaves are repartitioned into equal SFC ranges and
+    /// markers rebuilt. Returns the forest and the generation it came
+    /// from; errors are agreed collectively, so every rank returns the
+    /// same `Err` rather than some ranks proceeding with a ghost forest.
+    pub fn load_checkpoint(
+        conn: Arc<Connectivity>,
+        comm: &Comm,
+        dir: impl AsRef<Path>,
+    ) -> Result<(Self, u64), IoError> {
+        let _span = telemetry::span("restore");
+        let start = Instant::now();
+        let dir = dir.as_ref();
+
+        // rank 0 verifies and elects a generation for everyone
+        let root_pick = (comm.rank() == 0).then(|| pick_generation(dir));
+        let (manifest, generation) = comm.bcast(0, root_pick)?;
+        if manifest.dim != Q::DIM {
+            return Err(IoError::DimensionMismatch {
+                stream: manifest.dim,
+                representation: Q::DIM,
+            });
+        }
+        if manifest.num_trees != conn.num_trees() as u64 {
+            return Err(IoError::TreeCountMismatch {
+                stream: manifest.num_trees,
+                connectivity: conn.num_trees() as u64,
+            });
+        }
+        let gen_dir = generation_dir(dir, generation);
+
+        let loaded = if manifest.size == comm.size() as u64 {
+            Self::load_own_shard(conn, comm, &gen_dir)
+        } else {
+            Self::load_repartitioned(conn, comm, &gen_dir, &manifest)
+        };
+
+        // agree on the outcome: one rank's read failure fails the load
+        // everywhere instead of leaving survivors mid-collective
+        let verdicts = comm.allgather(loaded.as_ref().err().cloned());
+        if let Some(e) = verdicts.into_iter().flatten().next() {
+            return Err(e);
+        }
+        let forest = loaded.expect("no rank reported an error");
+
+        telemetry::histogram_record("forest.restore.ns", start.elapsed().as_nanos() as u64);
+        telemetry::counter_add("forest.checkpoint.restores", 1);
+        telemetry::gauge_set("forest.local_leaves", forest.local_count() as u64);
+        Ok((forest, generation))
+    }
+
+    /// Fast path: `P_load == P_save` — read back exactly the shard this
+    /// rank saved, markers and all.
+    fn load_own_shard(
+        conn: Arc<Connectivity>,
+        comm: &Comm,
+        gen_dir: &Path,
+    ) -> Result<Self, IoError> {
+        let spath = shard_path(gen_dir, comm.rank());
+        let bytes = std::fs::read(&spath).map_err(|e| IoError::storage(&spath, e))?;
+        telemetry::histogram_record("forest.restore.bytes", bytes.len() as u64);
+        let portable = PortableForest::from_bytes(&bytes)?;
+        Self::from_portable(conn, comm, &portable)
+    }
+
+    /// Slow path: `P_load != P_save` — slice the global SFC leaf
+    /// sequence into `P_load` equal ranges, read only the overlapping
+    /// shards, and rebuild the partition markers from scratch.
+    fn load_repartitioned(
+        conn: Arc<Connectivity>,
+        comm: &Comm,
+        gen_dir: &Path,
+        manifest: &CheckpointManifest,
+    ) -> Result<Self, IoError> {
+        let (rank, size) = (comm.rank(), comm.size());
+        let n = manifest.global_count;
+        let local = Self::read_slice(&conn, comm, gen_dir, manifest);
+
+        // The marker allgather must run on EVERY rank, even one whose
+        // local reads failed — otherwise survivors would pair this
+        // collective with the failed rank's verdict exchange.
+        let my_first = local.as_ref().ok().and_then(|(_, first)| *first);
+        let firsts = comm.allgather(my_first);
+        let (trees, _) = local?;
+
+        // rebuild markers exactly as partition() does: reverse-fill
+        // empty ranks from the next occupied one, pin rank 0 to the
+        // global origin
+        let mut markers = vec![end_position(trees.len()); size + 1];
+        let mut next = end_position(trees.len());
+        for r in (0..size).rev() {
+            if let Some(pos) = firsts[r] {
+                next = pos;
+            }
+            markers[r] = next;
+        }
+        if n > 0 {
+            markers[0] = (0, 0);
+        }
+
+        let f = Self::assemble(conn, rank, size, trees, n, markers);
+        f.validate()?;
+        Ok(f)
+    }
+
+    /// Read this rank's equal-share SFC slice `[N·r/P, N·(r+1)/P)` out
+    /// of the overlapping shards. Purely local; returns the per-tree
+    /// leaf arrays and the first leaf's global position.
+    #[allow(clippy::type_complexity)]
+    fn read_slice(
+        conn: &Arc<Connectivity>,
+        comm: &Comm,
+        gen_dir: &Path,
+        manifest: &CheckpointManifest,
+    ) -> Result<(Vec<Vec<Q>>, Option<SfcPosition>), IoError> {
+        let (rank, size) = (comm.rank(), comm.size());
+        let n = manifest.global_count;
+        let lo = n * rank as u64 / size as u64;
+        let hi = n * (rank as u64 + 1) / size as u64;
+
+        // global leaf-index offset of each shard
+        let mut offset = 0u64;
+        let mut trees: Vec<Vec<Q>> = vec![Vec::new(); conn.num_trees()];
+        let mut first_pos: Option<SfcPosition> = None;
+        for (shard_rank, meta) in manifest.shards.iter().enumerate() {
+            let (shard_lo, shard_hi) = (offset, offset + meta.leaf_count);
+            offset = shard_hi;
+            if shard_hi <= lo || shard_lo >= hi {
+                continue;
+            }
+            let spath = shard_path(gen_dir, shard_rank);
+            let bytes = std::fs::read(&spath).map_err(|e| IoError::storage(&spath, e))?;
+            telemetry::histogram_record("forest.restore.bytes", bytes.len() as u64);
+            let portable = PortableForest::from_bytes(&bytes)?;
+            if portable.leaves.len() as u64 != meta.leaf_count {
+                return Err(IoError::CountMismatch {
+                    what: "shard leaf",
+                    found: portable.leaves.len() as u64,
+                    expected: meta.leaf_count,
+                });
+            }
+            // my slice of this shard, in global SFC (tree-major) order
+            let from = lo.saturating_sub(shard_lo) as usize;
+            let to = (hi.min(shard_hi) - shard_lo) as usize;
+            for &(t, c, l) in &portable.leaves[from..to] {
+                if t as usize >= trees.len() || l > Q::MAX_LEVEL {
+                    return Err(IoError::CorruptLeaf {
+                        tree: t,
+                        coords: c,
+                        level: l,
+                    });
+                }
+                let q = Q::from_coords(c, l);
+                if first_pos.is_none() {
+                    first_pos = Some((t, q.morton_abs()));
+                }
+                trees[t as usize].push(q);
+            }
+        }
+        Ok((trees, first_pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_roundtrip_and_corruption() {
+        let m = CheckpointManifest {
+            generation: 7,
+            dim: 2,
+            num_trees: 3,
+            global_count: 30,
+            size: 2,
+            shards: vec![
+                ShardMeta {
+                    leaf_count: 12,
+                    byte_len: 260,
+                    crc: 0xDEAD_BEEF,
+                },
+                ShardMeta {
+                    leaf_count: 18,
+                    byte_len: 362,
+                    crc: 0x1234_5678,
+                },
+            ],
+        };
+        let bytes = m.to_bytes();
+        assert_eq!(CheckpointManifest::from_bytes(&bytes).unwrap(), m);
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(
+                CheckpointManifest::from_bytes(&bad).is_err(),
+                "flip at byte {i} must be rejected"
+            );
+        }
+        assert!(matches!(
+            CheckpointManifest::from_bytes(&bytes[..10]),
+            Err(IoError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn manifest_rejects_leaf_count_drift() {
+        let m = CheckpointManifest {
+            generation: 1,
+            dim: 2,
+            num_trees: 1,
+            global_count: 99, // != 12 + 18
+            size: 2,
+            shards: vec![
+                ShardMeta {
+                    leaf_count: 12,
+                    byte_len: 1,
+                    crc: 0,
+                },
+                ShardMeta {
+                    leaf_count: 18,
+                    byte_len: 1,
+                    crc: 0,
+                },
+            ],
+        };
+        assert!(matches!(
+            CheckpointManifest::from_bytes(&m.to_bytes()),
+            Err(IoError::CountMismatch {
+                what: "shard leaf",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn list_generations_handles_noise() {
+        let dir = std::env::temp_dir().join(format!("qf-gen-list-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(list_generations(&dir).is_empty(), "missing dir is empty");
+        for name in ["gen-00000002", "gen-00000010", "not-a-gen", "gen-bogus"] {
+            std::fs::create_dir_all(dir.join(name)).unwrap();
+        }
+        assert_eq!(list_generations(&dir), vec![2, 10]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -151,6 +151,7 @@ impl<Q: Quadrant> Forest<Q> {
         });
         ghosts.dedup();
         quadforest_telemetry::gauge_set("forest.ghost.size", ghosts.len() as u64);
+        self.guard_phase("ghost");
         GhostLayer { ghosts }
     }
 }

@@ -5,10 +5,15 @@
 //! coordinates, level)` triples plus the partition markers, so a forest
 //! saved from one quadrant representation loads into any other (the
 //! virtual-interface property extends to storage). The format is a
-//! self-describing little-endian binary stream with a magic header and
-//! version.
+//! self-describing little-endian binary stream with a magic header, a
+//! version, and a trailing CRC32 guard over the entire stream — any
+//! single-bit flip or truncation is rejected with a typed [`IoError`],
+//! never a panic or a silent mis-load. This stream is also the shard
+//! payload of the on-disk checkpoint format (see
+//! [`checkpoint`](crate::Forest::save_checkpoint)).
 
-use crate::{Forest, SfcPosition};
+use crate::crc::crc32;
+use crate::{Forest, IoError, SfcPosition};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use quadforest_comm::Comm;
 use quadforest_connectivity::Connectivity;
@@ -16,7 +21,13 @@ use quadforest_core::quadrant::Quadrant;
 use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"QFOR";
-const VERSION: u32 = 1;
+/// Stream format version. Version 2 added the trailing CRC32 guard;
+/// version 1 streams (no guard) are rejected.
+pub(crate) const VERSION: u32 = 2;
+
+/// Bytes per serialized marker / leaf record.
+const MARKER_BYTES: usize = 12;
+const LEAF_BYTES: usize = 17;
 
 /// Representation-independent image of one rank's forest partition.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -35,10 +46,71 @@ pub struct PortableForest {
     pub leaves: Vec<(u32, [i32; 3], u8)>,
 }
 
+/// Bounds-checked read cursor: every decode step goes through
+/// [`Cursor::need`], so a truncated or length-lying stream surfaces as
+/// [`IoError::Truncated`] instead of a panic inside the `bytes` crate.
+/// Shared with the checkpoint manifest parser.
+pub(crate) struct Cursor<'a>(pub(crate) &'a [u8]);
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn need(&self, n: usize) -> Result<(), IoError> {
+        if self.0.remaining() < n {
+            Err(IoError::Truncated {
+                needed: n,
+                remaining: self.0.remaining(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, IoError> {
+        self.need(1)?;
+        Ok(self.0.get_u8())
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, IoError> {
+        self.need(4)?;
+        Ok(self.0.get_u32_le())
+    }
+
+    fn i32(&mut self) -> Result<i32, IoError> {
+        self.need(4)?;
+        Ok(self.0.get_i32_le())
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, IoError> {
+        self.need(8)?;
+        Ok(self.0.get_u64_le())
+    }
+
+    /// A length prefix that must describe `record_bytes`-sized records
+    /// still present in the stream. Checked with saturating arithmetic
+    /// so a hostile 2^64-ish count cannot overflow the bounds check.
+    pub(crate) fn count(
+        &mut self,
+        what: &'static str,
+        record_bytes: usize,
+    ) -> Result<usize, IoError> {
+        let n = self.u64()?;
+        let implied = (n as u128).saturating_mul(record_bytes as u128);
+        if implied > self.0.remaining() as u128 {
+            return Err(IoError::CountMismatch {
+                what,
+                found: n,
+                expected: (self.0.remaining() / record_bytes) as u64,
+            });
+        }
+        Ok(n as usize)
+    }
+}
+
 impl PortableForest {
-    /// Serialize to a binary buffer.
+    /// Serialize to a binary buffer (version 2: CRC32-terminated).
     pub fn to_bytes(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(64 + self.leaves.len() * 18);
+        let mut b = BytesMut::with_capacity(
+            48 + self.markers.len() * MARKER_BYTES + self.leaves.len() * LEAF_BYTES + 4,
+        );
         b.put_slice(MAGIC);
         b.put_u32_le(VERSION);
         b.put_u32_le(self.dim);
@@ -58,52 +130,76 @@ impl PortableForest {
             b.put_i32_le(c[2]);
             b.put_u8(*l);
         }
+        let crc = crc32(&b);
+        b.put_u32_le(crc);
         b.freeze()
     }
 
-    /// Deserialize from a binary buffer.
-    pub fn from_bytes(mut data: &[u8]) -> Result<Self, String> {
-        let need = |data: &[u8], n: usize| {
-            if data.remaining() < n {
-                Err(format!("truncated stream: need {n} more bytes"))
-            } else {
-                Ok(())
-            }
-        };
-        need(data, 8)?;
+    /// Deserialize from a binary buffer. Corrupt input — truncation,
+    /// bit flips (caught by the CRC32 guard), hostile length prefixes —
+    /// returns a typed [`IoError`] and never panics.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, IoError> {
+        let mut cur = Cursor(data);
+        cur.need(8)?;
         let mut magic = [0u8; 4];
-        data.copy_to_slice(&mut magic);
+        cur.0.copy_to_slice(&mut magic);
         if &magic != MAGIC {
-            return Err(format!("bad magic {magic:?}"));
+            return Err(IoError::BadMagic { found: magic });
         }
-        let version = data.get_u32_le();
+        let version = cur.u32()?;
         if version != VERSION {
-            return Err(format!("unsupported version {version}"));
+            return Err(IoError::UnsupportedVersion {
+                found: version,
+                supported: VERSION,
+            });
         }
-        need(data, 4 + 8 * 4)?;
-        let dim = data.get_u32_le();
-        let num_trees = data.get_u64_le();
-        let global_count = data.get_u64_le();
-        let size = data.get_u64_le();
-        let n_markers = data.get_u64_le() as usize;
-        if n_markers != size as usize + 1 {
-            return Err(format!("marker count {n_markers} != size+1"));
+        // verify the trailing CRC over everything before it, up front:
+        // after this point any parse failure is a format bug, not rot
+        if data.len() < 12 {
+            return Err(IoError::Truncated {
+                needed: 12,
+                remaining: data.len(),
+            });
         }
-        need(data, n_markers * 12)?;
-        let markers = (0..n_markers)
-            .map(|_| (data.get_u32_le(), data.get_u64_le()))
-            .collect();
-        need(data, 8)?;
-        let n_leaves = data.get_u64_le() as usize;
-        need(data, n_leaves * 17)?;
-        let leaves = (0..n_leaves)
-            .map(|_| {
-                let t = data.get_u32_le();
-                let c = [data.get_i32_le(), data.get_i32_le(), data.get_i32_le()];
-                let l = data.get_u8();
-                (t, c, l)
-            })
-            .collect();
+        let body = &data[..data.len() - 4];
+        let stored = u32::from_le_bytes(data[data.len() - 4..].try_into().expect("4 bytes"));
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(IoError::ChecksumMismatch { stored, computed });
+        }
+        // restrict the cursor to the guarded body
+        cur.0 = &body[8..];
+        let dim = cur.u32()?;
+        let num_trees = cur.u64()?;
+        let global_count = cur.u64()?;
+        let size = cur.u64()?;
+        let n_markers = cur.count("marker", MARKER_BYTES)?;
+        if n_markers as u64 != size.saturating_add(1) {
+            return Err(IoError::CountMismatch {
+                what: "marker",
+                found: n_markers as u64,
+                expected: size.saturating_add(1),
+            });
+        }
+        let mut markers = Vec::with_capacity(n_markers);
+        for _ in 0..n_markers {
+            markers.push((cur.u32()?, cur.u64()?));
+        }
+        let n_leaves = cur.count("leaf", LEAF_BYTES)?;
+        let mut leaves = Vec::with_capacity(n_leaves);
+        for _ in 0..n_leaves {
+            let t = cur.u32()?;
+            let c = [cur.i32()?, cur.i32()?, cur.i32()?];
+            let l = cur.u8()?;
+            leaves.push((t, c, l));
+        }
+        if cur.0.remaining() > 0 {
+            return Err(IoError::CountMismatch {
+                what: "trailing byte",
+                found: cur.0.remaining() as u64,
+                expected: 0,
+            });
+        }
         Ok(Self {
             dim,
             num_trees,
@@ -132,39 +228,41 @@ impl<Q: Quadrant> Forest<Q> {
     }
 
     /// Reconstruct a forest from its portable image. The communicator
-    /// must have the same size as at save time, and `conn` must be the
-    /// connectivity the forest was built over (dimension and tree count
-    /// are checked).
+    /// must have the same size as at save time (use
+    /// [`Forest::load_checkpoint`] for repartition-on-load), and `conn`
+    /// must be the connectivity the forest was built over (dimension
+    /// and tree count are checked).
     pub fn from_portable(
         conn: Arc<Connectivity>,
         comm: &Comm,
         portable: &PortableForest,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, IoError> {
         if portable.dim != Q::DIM {
-            return Err(format!(
-                "dimension mismatch: stream {} vs representation {}",
-                portable.dim,
-                Q::DIM
-            ));
+            return Err(IoError::DimensionMismatch {
+                stream: portable.dim,
+                representation: Q::DIM,
+            });
         }
         if portable.num_trees != conn.num_trees() as u64 {
-            return Err(format!(
-                "tree count mismatch: stream {} vs connectivity {}",
-                portable.num_trees,
-                conn.num_trees()
-            ));
+            return Err(IoError::TreeCountMismatch {
+                stream: portable.num_trees,
+                connectivity: conn.num_trees() as u64,
+            });
         }
         if portable.size != comm.size() as u64 {
-            return Err(format!(
-                "communicator size mismatch: stream {} vs run {}",
-                portable.size,
-                comm.size()
-            ));
+            return Err(IoError::SizeMismatch {
+                stream: portable.size,
+                communicator: comm.size() as u64,
+            });
         }
         let mut trees: Vec<Vec<Q>> = vec![Vec::new(); conn.num_trees()];
         for (t, c, l) in &portable.leaves {
             if *t as usize >= trees.len() || *l > Q::MAX_LEVEL {
-                return Err(format!("corrupt leaf record ({t}, {c:?}, {l})"));
+                return Err(IoError::CorruptLeaf {
+                    tree: *t,
+                    coords: *c,
+                    level: *l,
+                });
             }
             trees[*t as usize].push(Q::from_coords(*c, *l));
         }
@@ -240,16 +338,56 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_streams_are_rejected() {
+    fn corrupt_streams_are_rejected_with_typed_errors() {
         quadforest_comm::run(1, |comm| {
             let f = adaptive_forest(&comm);
             let bytes = f.to_portable().to_bytes();
-            assert!(PortableForest::from_bytes(&bytes[..3]).is_err());
+            assert!(matches!(
+                PortableForest::from_bytes(&bytes[..3]),
+                Err(IoError::Truncated { .. })
+            ));
             let mut bad = bytes.to_vec();
             bad[0] = b'X';
-            assert!(PortableForest::from_bytes(&bad).is_err());
+            assert!(matches!(
+                PortableForest::from_bytes(&bad),
+                Err(IoError::BadMagic { .. })
+            ));
+            // a bit flip anywhere in the body trips the CRC guard
+            let mut flipped = bytes.to_vec();
+            flipped[20] ^= 0x40;
+            assert!(matches!(
+                PortableForest::from_bytes(&flipped),
+                Err(IoError::ChecksumMismatch { .. })
+            ));
+            // truncation that removes whole records still fails the CRC
             let truncated = &bytes[..bytes.len() - 5];
             assert!(PortableForest::from_bytes(truncated).is_err());
+            // wrong version is named, not guessed at
+            let mut versioned = bytes.to_vec();
+            versioned[4] = 99;
+            assert!(matches!(
+                PortableForest::from_bytes(&versioned),
+                Err(IoError::UnsupportedVersion { found: 99, .. })
+            ));
+        });
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_not_allocated() {
+        quadforest_comm::run(1, |comm| {
+            let f = adaptive_forest(&comm);
+            let bytes = f.to_portable().to_bytes().to_vec();
+            // overwrite the marker-count field (offset 32) with u64::MAX;
+            // the CRC is recomputed so only the count check can object
+            let mut evil = bytes.clone();
+            evil[32..40].copy_from_slice(&u64::MAX.to_le_bytes());
+            let len = evil.len();
+            let crc = crc32(&evil[..len - 4]);
+            evil[len - 4..].copy_from_slice(&crc.to_le_bytes());
+            assert!(matches!(
+                PortableForest::from_bytes(&evil),
+                Err(IoError::CountMismatch { what: "marker", .. })
+            ));
         });
     }
 
@@ -261,12 +399,18 @@ mod tests {
             // wrong dimension
             let conn3 = Arc::new(Connectivity::unit(3));
             assert!(
-                Forest::<MortonQuad<3>>::from_portable(conn3, &comm, &p).is_err(),
+                matches!(
+                    Forest::<MortonQuad<3>>::from_portable(conn3, &comm, &p),
+                    Err(IoError::DimensionMismatch { .. })
+                ),
                 "3D representation must reject a 2D stream"
             );
             // wrong tree count
             let conn1 = Arc::new(Connectivity::unit(2));
-            assert!(Forest::<Q2>::from_portable(conn1, &comm, &p).is_err());
+            assert!(matches!(
+                Forest::<Q2>::from_portable(conn1, &comm, &p),
+                Err(IoError::TreeCountMismatch { .. })
+            ));
         });
     }
 }

@@ -54,7 +54,10 @@
 #![warn(missing_docs)]
 
 mod balance;
+mod checkpoint;
+mod crc;
 pub mod directions;
+mod error;
 mod ghost;
 mod io;
 mod iterate;
@@ -65,6 +68,9 @@ mod refine;
 mod search;
 mod validate;
 
+pub use checkpoint::{list_generations, CheckpointManifest, ShardMeta};
+pub use crc::crc32;
+pub use error::{InvariantError, IoError};
 pub use io::PortableForest;
 
 pub use balance::BalanceKind;
@@ -104,6 +110,26 @@ pub struct ForestStats {
 /// The sentinel position one past the end of the forest.
 fn end_position(num_trees: usize) -> SfcPosition {
     (num_trees as u32, 0)
+}
+
+/// Process-global switch for phase-boundary invariant guards.
+static PHASE_GUARDS: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Enable or disable phase-boundary guards process-wide. When enabled,
+/// every high-level phase (refine, coarsen, balance, partition, ghost)
+/// runs [`Forest::validate`] on its result before returning; a
+/// violation aborts the phase with a panic naming the phase and the
+/// exact [`InvariantError`], which the comm layer converts into a typed
+/// world abort. Off by default — the full-sweep validation is `O(N)`
+/// per phase.
+pub fn set_phase_guards(enabled: bool) {
+    PHASE_GUARDS.store(enabled, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// True when phase-boundary guards are enabled (see
+/// [`set_phase_guards`]).
+pub fn phase_guards_enabled() -> bool {
+    PHASE_GUARDS.load(std::sync::atomic::Ordering::Relaxed)
 }
 
 /// A distributed (simulated-MPI) forest of quadtrees/octrees over a
@@ -371,6 +397,19 @@ impl<Q: Quadrant> Forest<Q> {
     /// First local leaf's global position, or `None` when empty.
     fn first_local_position(&self) -> Option<SfcPosition> {
         self.leaves().next().map(|(t, q)| Self::position_of(t, q))
+    }
+
+    /// Run the phase-boundary guard, if enabled: validate the forest
+    /// and abort the phase on invariant drift. Called at the end of
+    /// every high-level phase.
+    pub(crate) fn guard_phase(&self, phase: &'static str) {
+        if !phase_guards_enabled() {
+            return;
+        }
+        telemetry::counter_add("forest.guard.checks", 1);
+        if let Err(e) = self.validate() {
+            panic!("phase guard '{phase}' failed: {e}");
+        }
     }
 
     /// Assemble a forest from parts (deserialization path); the caller

@@ -107,6 +107,7 @@ impl<Q: Quadrant> Forest<Q> {
         quadforest_telemetry::counter_add("forest.partition.sent", moved as u64);
         quadforest_telemetry::gauge_set("forest.local_leaves", self.local_count() as u64);
         debug_assert_eq!(self.validate(), Ok(()));
+        self.guard_phase("partition");
         moved
     }
 }

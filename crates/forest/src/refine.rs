@@ -124,6 +124,7 @@ impl<Q: Quadrant> Forest<Q> {
         }
         self.refresh_global(comm);
         quadforest_telemetry::counter_add("forest.refined", refined as u64);
+        self.guard_phase("refine");
         refined
     }
 
@@ -175,6 +176,7 @@ impl<Q: Quadrant> Forest<Q> {
         }
         self.refresh_global(comm);
         quadforest_telemetry::counter_add("forest.coarsened", merged as u64);
+        self.guard_phase("coarsen");
         merged
     }
 }

@@ -1,6 +1,6 @@
 //! Structural invariant checking for distributed forests.
 
-use crate::{end_position, Forest, SfcPosition};
+use crate::{end_position, Forest, InvariantError, SfcPosition};
 use quadforest_core::quadrant::Quadrant;
 
 impl<Q: Quadrant> Forest<Q> {
@@ -12,27 +12,34 @@ impl<Q: Quadrant> Forest<Q> {
     ///   union tiles this rank's marker range exactly (no gaps, no
     ///   overlap, no spill) — checked in one sweep by walking expected
     ///   SFC positions.
-    pub fn validate(&self) -> Result<(), String> {
+    ///
+    /// Violations surface as a typed [`InvariantError`] naming the
+    /// exact broken invariant, so phase guards and restore paths can
+    /// report *what* drifted, not just that something did.
+    pub fn validate(&self) -> Result<(), InvariantError> {
         let k = self.trees.len();
         // marker monotonicity
         if self.markers.len() != self.size + 1 {
-            return Err(format!(
-                "markers length {} != P+1 = {}",
-                self.markers.len(),
-                self.size + 1
-            ));
+            return Err(InvariantError::MarkerLength {
+                got: self.markers.len(),
+                expected: self.size + 1,
+            });
         }
-        for w in self.markers.windows(2) {
+        for (i, w) in self.markers.windows(2).enumerate() {
             if w[0] > w[1] {
-                return Err(format!("markers not monotone: {:?} > {:?}", w[0], w[1]));
+                return Err(InvariantError::MarkersNotMonotone {
+                    index: i,
+                    marker: w[0],
+                    next: w[1],
+                });
             }
         }
-        if *self.markers.last().unwrap() != end_position(k) {
-            return Err(format!(
-                "last marker {:?} is not the end sentinel {:?}",
-                self.markers.last().unwrap(),
-                end_position(k)
-            ));
+        let last = *self.markers.last().expect("markers length checked above");
+        if last != end_position(k) {
+            return Err(InvariantError::BadEndSentinel {
+                got: last,
+                expected: end_position(k),
+            });
         }
 
         // sweep: the local leaves must tile [markers[rank], markers[rank+1])
@@ -42,14 +49,20 @@ impl<Q: Quadrant> Forest<Q> {
         let per_tree = 1u64 << (Q::DIM * Q::MAX_LEVEL as u32);
         for (t, q) in self.leaves() {
             if !q.is_valid() {
-                return Err(format!("invalid leaf {q:?} in tree {t}"));
+                return Err(InvariantError::InvalidLeaf {
+                    tree: t,
+                    coords: q.coords(),
+                    level: q.level(),
+                });
             }
             let first = (t, q.first_descendant(Q::MAX_LEVEL).morton_abs());
             let last = (t, q.last_descendant(Q::MAX_LEVEL).morton_abs());
             if first != expected {
-                return Err(format!(
-                    "gap or overlap: expected position {expected:?}, leaf {q:?} in tree {t} starts at {first:?}"
-                ));
+                return Err(InvariantError::GapOrOverlap {
+                    tree: t,
+                    expected,
+                    found: first,
+                });
             }
             // advance past this leaf
             expected = if last.1 + 1 == per_tree {
@@ -61,9 +74,10 @@ impl<Q: Quadrant> Forest<Q> {
         // the walk may legitimately end at a tree boundary that the next
         // rank's marker expresses as (t+1, 0)
         if expected != hi {
-            return Err(format!(
-                "local range incomplete: walk ended at {expected:?}, marker range ends at {hi:?}"
-            ));
+            return Err(InvariantError::IncompleteRange {
+                walked_to: expected,
+                range_end: hi,
+            });
         }
         Ok(())
     }

@@ -36,18 +36,25 @@ type RankView = (
 /// The full opening sequence of a typical AMR run, returning every
 /// observable per-rank artifact for leaf-for-leaf comparison.
 fn pipeline(comm: &quadforest_comm::Comm, seed: u64) -> RankView {
+    // validate at every phase boundary so invariant drift is pinned to
+    // the phase that introduced it, not discovered phases later
     let conn = Arc::new(Connectivity::unit(2));
     let mut f = Forest::<MortonQuad<2>>::new_uniform(conn, comm, 1);
+    f.validate().expect("invariants must hold after creation");
     f.refine(comm, false, |t, q| {
         q.level() < 5 && mix(seed, t, q.morton_abs(), q.level()) % 3 == 0
     });
+    f.validate().expect("invariants must hold after refine 1");
     f.refine(comm, false, |t, q| {
         q.level() < 5 && mix(seed ^ 0xABCD, t, q.morton_abs(), q.level()) % 4 == 0
     });
+    f.validate().expect("invariants must hold after refine 2");
     f.balance(comm, BalanceKind::Face);
+    f.validate().expect("invariants must hold after balance");
     f.partition(comm);
+    f.validate().expect("invariants must hold after partition");
     let ghost = f.ghost(comm, BalanceKind::Face);
-    f.validate().expect("invariants must hold under chaos");
+    f.validate().expect("invariants must hold after ghost");
     (
         f.markers().to_vec(),
         f.leaves()

@@ -1,0 +1,190 @@
+//! Deserialization hardening: arbitrary corruption of a portable
+//! forest stream must surface as a typed `Err` — never a panic, never
+//! a silently wrong forest — and checkpoints must round-trip across
+//! every quadrant representation and rank count, including
+//! `P_save != P_load` (repartition-on-load).
+
+use proptest::prelude::*;
+use quadforest_connectivity::Connectivity;
+use quadforest_core::quadrant::{AvxQuad, MortonQuad, Quadrant, StandardQuad};
+use quadforest_forest::{BalanceKind, Forest, IoError, PortableForest};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn scratch_dir(label: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "qf-propck-{label}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A representative serialized forest, built once per test process.
+fn reference_stream() -> &'static [u8] {
+    static STREAM: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+    STREAM.get_or_init(build_reference_stream)
+}
+
+fn build_reference_stream() -> Vec<u8> {
+    let streams = quadforest_comm::run(2, |comm| {
+        let conn = Arc::new(Connectivity::brick2d(2, 1, false, false));
+        let mut f = Forest::<StandardQuad<2>>::new_uniform(conn, &comm, 2);
+        let c = [0, 0, 0];
+        f.refine(&comm, true, |t, q| {
+            t == 0 && q.level() < 4 && q.contains_point(c)
+        });
+        f.balance(&comm, BalanceKind::Face);
+        f.to_portable().to_bytes().to_vec()
+    });
+    streams.into_iter().next().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any single bit flip anywhere in the stream is rejected (the CRC
+    /// guard leaves no blind spots), with a typed error.
+    #[test]
+    fn bit_flips_always_return_err(
+        byte_seed in any::<u64>(),
+        bit in 0u32..8,
+    ) {
+        let stream = reference_stream();
+        let idx = (byte_seed % stream.len() as u64) as usize;
+        let mut bad = stream.to_vec();
+        bad[idx] ^= 1 << bit;
+        let result = PortableForest::from_bytes(&bad);
+        prop_assert!(result.is_err(), "flip at byte {idx} bit {bit} was accepted");
+    }
+
+    /// Any truncation is rejected, never a panic or partial load.
+    #[test]
+    fn truncations_always_return_err(cut_seed in any::<u64>()) {
+        let stream = reference_stream();
+        let keep = (cut_seed % stream.len() as u64) as usize;
+        let result = PortableForest::from_bytes(&stream[..keep]);
+        prop_assert!(result.is_err(), "truncation to {keep} bytes was accepted");
+    }
+
+    /// Completely arbitrary byte soup never panics; anything the parser
+    /// accepts must at least carry the magic prefix (i.e. garbage is
+    /// not mis-loaded as a forest).
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        if PortableForest::from_bytes(&data).is_ok() {
+            prop_assert!(data.len() >= 4 && &data[..4] == b"QFOR");
+        }
+    }
+
+    /// Splicing random garbage into the middle of a valid stream (a
+    /// torn-write shape: prefix valid, middle trashed) is rejected.
+    #[test]
+    fn spliced_garbage_is_rejected(
+        garbage in proptest::collection::vec(any::<u8>(), 1..64),
+        at_seed in any::<u64>(),
+    ) {
+        let stream = reference_stream();
+        let at = (at_seed % stream.len() as u64) as usize;
+        let mut bad = stream[..at].to_vec();
+        bad.extend_from_slice(&garbage);
+        bad.extend_from_slice(&stream[at..]);
+        let result = PortableForest::from_bytes(&bad);
+        prop_assert!(result.is_err(), "splice of {} bytes at {at} accepted", garbage.len());
+    }
+}
+
+/// The cross-representation × cross-rank-count checkpoint matrix:
+/// save from Standard/Morton/AVX at P = 2, load into each of the three
+/// at P ∈ {1, 2, 4} — nine target combinations per source — and the
+/// global leaf set (position-independent checksum + global count) must
+/// come back identical every time, including the repartition-on-load
+/// paths where P_load ≠ P_save.
+#[test]
+fn cross_representation_checkpoint_matrix() {
+    fn save<Q: Quadrant>(dir: &PathBuf) -> (u64, u64) {
+        let out = quadforest_comm::run(2, |comm| {
+            let conn = Arc::new(Connectivity::unit(2));
+            let mut f = Forest::<Q>::new_uniform(conn, &comm, 1);
+            let c = [0, 0, 0];
+            f.refine(&comm, true, |_, q| q.level() < 4 && q.contains_point(c));
+            f.balance(&comm, BalanceKind::Face);
+            f.save_checkpoint(&comm, dir).unwrap();
+            (f.checksum(&comm), f.global_count())
+        });
+        out[0]
+    }
+
+    fn load<Q: Quadrant>(dir: &PathBuf, p: usize) -> (u64, u64) {
+        let out = quadforest_comm::run(p, |comm| {
+            let conn = Arc::new(Connectivity::unit(2));
+            let (f, _) = Forest::<Q>::load_checkpoint(conn, &comm, dir).unwrap();
+            f.validate().unwrap();
+            // exercise the restored forest, not just its shape: a
+            // partition round-trip must preserve the leaf set
+            let mut f = f;
+            f.partition(&comm);
+            f.validate().unwrap();
+            (f.checksum(&comm), f.global_count())
+        });
+        for w in out.windows(2) {
+            assert_eq!(w[0], w[1], "checksum must agree on every rank");
+        }
+        out[0]
+    }
+
+    let savers: [(&str, fn(&PathBuf) -> (u64, u64)); 3] = [
+        ("standard", save::<StandardQuad<2>>),
+        ("morton", save::<MortonQuad<2>>),
+        ("avx", save::<AvxQuad<2>>),
+    ];
+    let loaders: [(&str, fn(&PathBuf, usize) -> (u64, u64)); 3] = [
+        ("standard", load::<StandardQuad<2>>),
+        ("morton", load::<MortonQuad<2>>),
+        ("avx", load::<AvxQuad<2>>),
+    ];
+    for (src_name, save_fn) in savers {
+        let dir = scratch_dir(src_name);
+        let expected = save_fn(&dir);
+        for (dst_name, load_fn) in loaders {
+            for p in [1usize, 2, 4] {
+                let got = load_fn(&dir, p);
+                assert_eq!(
+                    got, expected,
+                    "{src_name} (P_save=2) -> {dst_name} (P_load={p}) changed the forest"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Loading a 2D checkpoint into a 3D representation (or over the wrong
+/// connectivity) is a typed context error on every rank.
+#[test]
+fn checkpoint_context_mismatches_are_typed() {
+    let dir = scratch_dir("ctx");
+    quadforest_comm::run(2, |comm| {
+        let conn = Arc::new(Connectivity::unit(2));
+        let f = Forest::<MortonQuad<2>>::new_uniform(conn, &comm, 2);
+        f.save_checkpoint(&comm, &dir).unwrap();
+    });
+    let errs = quadforest_comm::run(2, |comm| {
+        let conn3 = Arc::new(Connectivity::unit(3));
+        let dim_err = Forest::<MortonQuad<3>>::load_checkpoint(conn3, &comm, &dir).unwrap_err();
+        let conn_brick = Arc::new(Connectivity::brick2d(3, 2, false, false));
+        let tree_err =
+            Forest::<MortonQuad<2>>::load_checkpoint(conn_brick, &comm, &dir).unwrap_err();
+        (dim_err, tree_err)
+    });
+    for (dim_err, tree_err) in errs {
+        assert!(matches!(dim_err, IoError::DimensionMismatch { .. }));
+        assert!(matches!(tree_err, IoError::TreeCountMismatch { .. }));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -49,7 +49,10 @@ pub use quadforest_vtk as vtk;
 
 /// The commonly used names in one import.
 pub mod prelude {
-    pub use quadforest_comm::Comm;
+    pub use quadforest_comm::{
+        run_with_recovery, Attempt, Comm, FaultPlan, RecoveryError, RecoveryOptions,
+        RecoveryOutcome,
+    };
     pub use quadforest_connectivity::{Connectivity, FaceConnection, FaceTransform, TreeId};
     pub use quadforest_core::quadrant::{
         convert, AvxQuad, HilbertQuad, Morton128Quad, MortonQuad, Quadrant, StandardQuad,
@@ -58,7 +61,8 @@ pub mod prelude {
         Avx2d, Avx3d, Morton128x2, Morton128x3, Morton2, Morton3, Standard2, Standard3,
     };
     pub use quadforest_forest::{
-        iterate_faces, BalanceKind, FaceSide, Forest, ForestStats, GhostLayer, Interface, LeafRef,
-        LocalNodes, Mesh, MeshNeighbor, NodeRef, PortableForest, SearchAction,
+        iterate_faces, BalanceKind, CheckpointManifest, FaceSide, Forest, ForestStats, GhostLayer,
+        Interface, InvariantError, IoError, LeafRef, LocalNodes, Mesh, MeshNeighbor, NodeRef,
+        PortableForest, SearchAction,
     };
 }
