@@ -9,6 +9,7 @@
 //! repro --checkpoint ckpt/    # checkpoint-format smoke: write, corrupt, fall back
 //! repro --json                # machine-readable perf baseline
 //! repro --trace trace.json    # traced 4-rank pipeline (Chrome trace)
+//! repro --queries             # snapshot query serving (BENCH_query.json)
 //! repro --iters 5 --ranks 1,4,64,512
 //! ```
 //!
@@ -79,6 +80,7 @@ struct Opts {
     checkpoint: Option<String>,
     json: bool,
     trace: Option<String>,
+    queries: bool,
     iters: usize,
     ranks: Vec<usize>,
 }
@@ -94,6 +96,7 @@ fn parse_args() -> Opts {
         checkpoint: None,
         json: false,
         trace: None,
+        queries: false,
         iters: 3,
         ranks: RANKS.to_vec(),
     };
@@ -138,6 +141,10 @@ fn parse_args() -> Opts {
             "--trace" => {
                 i += 1;
                 opts.trace = Some(args[i].clone());
+                any = true;
+            }
+            "--queries" => {
+                opts.queries = true;
                 any = true;
             }
             "--dim2" => {
@@ -808,6 +815,226 @@ fn run_trace(path: &str, opts: &Opts) {
 }
 
 // ---------------------------------------------------------------------------
+// --queries: snapshot query serving, single vs multithreaded (BENCH_query)
+// ---------------------------------------------------------------------------
+
+/// Per-representation query-serving benchmark: build an adaptively
+/// refined forest, flatten it into a [`quadforest_query::ForestSnapshot`],
+/// and measure point-location and box-query throughput (a) directly on
+/// the caller thread and (b) through a [`quadforest_query::QueryExecutor`]
+/// at 2 and 4 workers. Multithreaded answers are asserted identical to
+/// the single-threaded ones before any number is reported. Writes
+/// `BENCH_query.json`.
+fn run_queries(opts: &Opts) {
+    use quadforest_connectivity::Connectivity;
+    use quadforest_forest::Forest;
+    use quadforest_query::{ForestSnapshot, QueryExecutor, SnapshotHandle};
+    use std::sync::Arc;
+
+    const N_POINTS: usize = 1 << 17;
+    const BATCH: usize = 4096;
+    const N_BOXES: usize = 512;
+    const WORKER_COUNTS: [usize; 2] = [2, 4];
+
+    fn mix(seed: u64, a: u64, b: u64) -> u64 {
+        let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
+        for w in [a, b] {
+            h ^= w;
+            h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            h ^= h >> 33;
+        }
+        h
+    }
+
+    /// Forest to serve from: uniform level 6, one adaptive pass to 7 —
+    /// a mixed-level leaf set so point location exercises the
+    /// level-prefix walk, not just an aligned binary search.
+    fn build_snapshot<Q: Quadrant>() -> ForestSnapshot {
+        quadforest_comm::run(1, |comm| {
+            let conn = Arc::new(Connectivity::unit(2));
+            let mut f = Forest::<Q>::new_uniform(conn, &comm, 6);
+            f.refine(&comm, false, |_, q| {
+                q.level() < 7 && mix(17, q.morton_abs(), q.level() as u64).is_multiple_of(5)
+            });
+            ForestSnapshot::build(&f, 1)
+        })
+        .pop()
+        .unwrap()
+    }
+
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("\n## Query serving: snapshot point/box throughput (BENCH_query)");
+    println!(
+        "{N_POINTS} points in batches of {BATCH}, {N_BOXES} boxes, \
+         executor at {WORKER_COUNTS:?} workers ({threads} hardware threads available)"
+    );
+    if threads < 2 {
+        println!(
+            "note: only 1 hardware thread — multithreaded numbers measure \
+             executor overhead, not scaling"
+        );
+    }
+
+    let root = StandardQuad::<2>::len_at(0);
+    let points: Vec<(u32, [i32; 3])> = (0..N_POINTS as u64)
+        .map(|i| {
+            (
+                0u32,
+                [
+                    (mix(3, i, 1) % root as u64) as i32,
+                    (mix(3, 2, i) % root as u64) as i32,
+                    0,
+                ],
+            )
+        })
+        .collect();
+    let boxes: Vec<([i32; 3], [i32; 3])> = (0..N_BOXES as u64)
+        .map(|i| {
+            let w = root / 8;
+            let cx = (mix(5, i, 7) % (root - w) as u64) as i32;
+            let cy = (mix(5, 11, i) % (root - w) as u64) as i32;
+            ([cx, cy, 0], [cx + w, cy + w, 0])
+        })
+        .collect();
+
+    let mut records: Vec<JsonRecord> = Vec::new();
+    println!("\n| representation | leaves | op | single Mq/s | 2 workers | 4 workers | speedup |");
+    println!("|---|---|---|---|---|---|---|");
+
+    fn bench_one<Q: Quadrant>(
+        name: &'static str,
+        opts: &Opts,
+        points: &[(u32, [i32; 3])],
+        boxes: &[([i32; 3], [i32; 3])],
+        records: &mut Vec<JsonRecord>,
+    ) {
+        let build = time_best_of(opts.iters, || {
+            std::hint::black_box(build_snapshot::<Q>());
+        });
+        let snap = build_snapshot::<Q>();
+        let leaves = snap.local_count();
+        records.push(JsonRecord::wall("snapshot_build", name, leaves, build));
+
+        // single-threaded reference answers + timing on the caller thread
+        let expect_points: Vec<_> = points
+            .chunks(BATCH)
+            .flat_map(|c| snap.locate_batch(c))
+            .collect();
+        assert!(
+            expect_points.iter().all(|h| h.is_some()),
+            "in-domain point missed ({name})"
+        );
+        let single_pts = time_best_of(opts.iters, || {
+            for c in points.chunks(BATCH) {
+                std::hint::black_box(snap.locate_batch(c));
+            }
+        });
+        let expect_boxes: Vec<Vec<u32>> = boxes
+            .iter()
+            .map(|&(lo, hi)| snap.query_box(0, lo, hi).iter().map(|h| h.index).collect())
+            .collect();
+        assert!(expect_boxes.iter().any(|v| !v.is_empty()));
+        let single_box = time_best_of(opts.iters, || {
+            for &(lo, hi) in boxes {
+                std::hint::black_box(snap.query_box(0, lo, hi));
+            }
+        });
+
+        // the executor path: same snapshot behind a published handle
+        let handle = SnapshotHandle::new(build_snapshot::<Q>());
+        let mut mt_pts = Vec::new();
+        let mut mt_box = Vec::new();
+        for &workers in &WORKER_COUNTS {
+            let exec = QueryExecutor::new(Arc::clone(&handle), workers);
+            let got: Vec<_> = points
+                .chunks(BATCH)
+                .map(|c| exec.submit_points(c.to_vec()))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flat_map(|t| t.wait())
+                .collect();
+            assert_eq!(
+                got, expect_points,
+                "executor diverged ({name}, {workers} workers)"
+            );
+            mt_pts.push(time_best_of(opts.iters, || {
+                let tickets: Vec<_> = points
+                    .chunks(BATCH)
+                    .map(|c| exec.submit_points(c.to_vec()))
+                    .collect();
+                for t in tickets {
+                    std::hint::black_box(t.wait());
+                }
+            }));
+            mt_box.push(time_best_of(opts.iters, || {
+                let tickets: Vec<_> = boxes
+                    .iter()
+                    .map(|&(lo, hi)| exec.submit_box(0, lo, hi))
+                    .collect();
+                for t in tickets {
+                    std::hint::black_box(t.wait());
+                }
+            }));
+        }
+
+        let per = |d: Duration, n: usize| d.as_secs_f64() * 1e9 / n as f64;
+        let mqs = |d: Duration, n: usize| n as f64 / d.as_secs_f64() / 1e6;
+        let best_pts = *mt_pts.iter().min().unwrap();
+        let best_box = *mt_box.iter().min().unwrap();
+        println!(
+            "| {name} | {leaves} | point | {:.2} | {:.2} | {:.2} | {:.2}x |",
+            mqs(single_pts, points.len()),
+            mqs(mt_pts[0], points.len()),
+            mqs(mt_pts[1], points.len()),
+            single_pts.as_secs_f64() / best_pts.as_secs_f64(),
+        );
+        println!(
+            "| {name} | {leaves} | box | {:.2} | {:.2} | {:.2} | {:.2}x |",
+            mqs(single_box, boxes.len()),
+            mqs(mt_box[0], boxes.len()),
+            mqs(mt_box[1], boxes.len()),
+            single_box.as_secs_f64() / best_box.as_secs_f64(),
+        );
+        records.push(JsonRecord {
+            op: "point_locate",
+            representation: name,
+            n: points.len(),
+            variants: vec![
+                ("single", per(single_pts, points.len())),
+                ("workers2", per(mt_pts[0], points.len())),
+                ("workers4", per(mt_pts[1], points.len())),
+            ],
+            speedup: Some(single_pts.as_secs_f64() / best_pts.as_secs_f64()),
+        });
+        records.push(JsonRecord {
+            op: "box_query",
+            representation: name,
+            n: boxes.len(),
+            variants: vec![
+                ("single", per(single_box, boxes.len())),
+                ("workers2", per(mt_box[0], boxes.len())),
+                ("workers4", per(mt_box[1], boxes.len())),
+            ],
+            speedup: Some(single_box.as_secs_f64() / best_box.as_secs_f64()),
+        });
+
+        // per-region level histogram, the third query kernel
+        let hist = time_best_of(opts.iters, || {
+            for &(lo, hi) in boxes {
+                std::hint::black_box(snap.level_histogram_in_box(0, lo, hi));
+            }
+        });
+        records.push(JsonRecord::wall("level_histogram", name, boxes.len(), hist));
+    }
+
+    bench_one::<StandardQuad<2>>("standard", opts, &points, &boxes, &mut records);
+    bench_one::<MortonQuad<2>>("morton", opts, &points, &boxes, &mut records);
+    bench_one::<AvxQuad<2>>("avx", opts, &points, &boxes, &mut records);
+
+    write_json("BENCH_query.json", "query", &records);
+}
+
+// ---------------------------------------------------------------------------
 // --json: machine-readable perf baseline (BENCH_batch / BENCH_highlevel)
 // ---------------------------------------------------------------------------
 
@@ -909,8 +1136,9 @@ fn write_json(path: &str, bench: &'static str, records: &[JsonRecord]) {
         .map(|(tier, count)| format!("\"{tier}\": {count}"))
         .collect::<Vec<_>>()
         .join(", ");
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
-        "{{\n  \"bench\": \"{bench}\",\n  \"features\": \"{}\",\n  \"kernel_invocations\": {{{invocations}}},\n  \"results\": [\n{body}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"{bench}\",\n  \"features\": \"{}\",\n  \"threads\": {threads},\n  \"kernel_invocations\": {{{invocations}}},\n  \"results\": [\n{body}\n  ]\n}}\n",
         quadforest_core::simd::active_features()
     );
     std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
@@ -1245,5 +1473,8 @@ fn main() {
         println!("\n## Machine-readable perf baseline");
         run_json_batch(&opts);
         run_json_highlevel(&opts);
+    }
+    if opts.queries {
+        run_queries(&opts);
     }
 }

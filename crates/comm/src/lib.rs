@@ -792,6 +792,55 @@ impl Comm {
             .collect()
     }
 
+    /// Collective request–response round: deliver `outgoing[d]` to rank
+    /// `d`, answer every incoming request batch with `serve(src,
+    /// requests)`, and return the responses indexed by the rank that
+    /// served them. `serve` must produce exactly one response per
+    /// request, in order — the caller relies on positional matching to
+    /// reassociate answers. This is the scatter/serve/gather primitive
+    /// behind distributed query routing. Panics on world failure; see
+    /// [`Comm::try_exchange`].
+    pub fn exchange<Req, Resp>(
+        &self,
+        outgoing: Vec<Vec<Req>>,
+        serve: impl FnMut(usize, Vec<Req>) -> Vec<Resp>,
+    ) -> Vec<Vec<Resp>>
+    where
+        Req: Send + 'static,
+        Resp: Send + 'static,
+    {
+        self.try_exchange(outgoing, serve)
+            .unwrap_or_else(|e| comm_panic(e))
+    }
+
+    /// Fallible [`Comm::exchange`].
+    pub fn try_exchange<Req, Resp>(
+        &self,
+        outgoing: Vec<Vec<Req>>,
+        mut serve: impl FnMut(usize, Vec<Req>) -> Vec<Resp>,
+    ) -> Result<Vec<Vec<Resp>>, CommError>
+    where
+        Req: Send + 'static,
+        Resp: Send + 'static,
+    {
+        let incoming = self.try_alltoallv(outgoing)?;
+        let replies = incoming
+            .into_iter()
+            .enumerate()
+            .map(|(src, requests)| {
+                let n = requests.len();
+                let resp = serve(src, requests);
+                assert_eq!(
+                    resp.len(),
+                    n,
+                    "exchange serve callback must answer every request"
+                );
+                resp
+            })
+            .collect();
+        self.try_alltoallv(replies)
+    }
+
     // ------------------------------------------------------------------
     // telemetry
     // ------------------------------------------------------------------
@@ -1169,6 +1218,28 @@ mod tests {
         for (rank, incoming) in r.into_iter().enumerate() {
             for (src, data) in incoming.into_iter().enumerate() {
                 assert_eq!(data, vec![(src * 10 + rank) as u32]);
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_request_response_round_trip() {
+        let n = 4;
+        let r = run(n, |c| {
+            // every rank asks every rank (incl. itself) to double a value
+            let outgoing: Vec<Vec<u32>> = (0..c.size())
+                .map(|d| vec![(c.rank() * 10 + d) as u32])
+                .collect();
+            c.exchange(outgoing, |src, reqs| {
+                assert_eq!(reqs.len(), 1);
+                assert_eq!(reqs[0] as usize, src * 10 + c.rank());
+                reqs.into_iter().map(|v| v * 2).collect::<Vec<u32>>()
+            })
+        });
+        for (rank, responses) in r.into_iter().enumerate() {
+            for (server, data) in responses.into_iter().enumerate() {
+                // the request this rank sent to `server`, doubled
+                assert_eq!(data, vec![2 * (rank * 10 + server) as u32]);
             }
         }
     }

@@ -50,5 +50,6 @@ pub mod quadrant;
 pub mod scalar_ref;
 pub mod simd;
 pub mod workload;
+pub mod zrange;
 
 pub use quadrant::Quadrant;

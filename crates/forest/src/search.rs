@@ -9,6 +9,7 @@
 use crate::Forest;
 use quadforest_connectivity::TreeId;
 use quadforest_core::quadrant::Quadrant;
+use quadforest_core::zrange;
 
 /// Callback verdict for top-down search.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -61,43 +62,40 @@ impl<Q: Quadrant> Forest<Q> {
         }
     }
 
-    /// Locate the local leaf of `tree` containing the integer point `p`
-    /// (half-open convention per quadrant), if this rank owns it.
-    pub fn find_leaf_containing(&self, tree: TreeId, p: [i32; 3]) -> Option<&Q> {
+    /// Index of the local leaf of `tree` containing point `p`, through
+    /// the shared [`zrange::locate_by`] kernel — the same binary-search
+    /// implementation the query subsystem's snapshots serve from, with
+    /// accessors over the live leaf array instead of flat key arrays.
+    fn leaf_index_containing(&self, tree: TreeId, p: [i32; 3]) -> Option<usize> {
         let root = Q::len_at(0);
         if p.iter().take(Q::DIM as usize).any(|&c| c < 0 || c >= root) {
             return None;
         }
         let leaves = &self.trees[tree as usize];
-        // the deepest possible quadrant at the point bounds the search
-        let probe_pos = {
-            let mask = !0i32; // already aligned at max level
-            let coords = [
-                p[0] & mask,
-                p[1] & mask,
-                if Q::DIM == 3 { p[2] & mask } else { 0 },
-            ];
-            Q::from_coords(coords, Q::MAX_LEVEL).morton_abs()
-        };
-        let idx = leaves.partition_point(|q| q.morton_abs() <= probe_pos);
-        let candidate = leaves.get(idx.checked_sub(1)?)?;
-        candidate.contains_point(p).then_some(candidate)
+        zrange::locate_by(
+            leaves.len(),
+            |i| leaves[i].morton_abs(),
+            |i| leaves[i].level(),
+            Q::DIM,
+            Q::MAX_LEVEL,
+            zrange::point_key(p, Q::DIM),
+        )
+    }
+
+    /// Locate the local leaf of `tree` containing the integer point `p`
+    /// (half-open convention per quadrant), if this rank owns it.
+    pub fn find_leaf_containing(&self, tree: TreeId, p: [i32; 3]) -> Option<&Q> {
+        self.leaf_index_containing(tree, p)
+            .map(|i| &self.trees[tree as usize][i])
     }
 
     /// Locate matching leaves for a batch of points in one traversal;
-    /// returns for each point the index pair `(tree, leaf_index)` or
-    /// `None`. Points must be given with their target tree.
+    /// returns for each point the leaf index within its tree or `None`.
+    /// Points must be given with their target tree.
     pub fn search_points(&self, points: &[(TreeId, [i32; 3])]) -> Vec<Option<usize>> {
         points
             .iter()
-            .map(|(t, p)| {
-                self.find_leaf_containing(*t, *p).map(|q| {
-                    self.trees[*t as usize]
-                        .iter()
-                        .position(|l| l == q)
-                        .expect("leaf returned from its own array")
-                })
-            })
+            .map(|(t, p)| self.leaf_index_containing(*t, *p))
             .collect()
     }
 }

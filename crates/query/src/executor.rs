@@ -1,0 +1,292 @@
+//! Multithreaded query serving: a bounded MPSC request queue drained by
+//! a pool of worker threads.
+//!
+//! The [`QueryExecutor`] owns N workers that block on a shared request
+//! channel, resolve each batch against the *latest published* snapshot
+//! from a [`SnapshotHandle`] (a lock-free
+//! [`load`](crate::SnapshotHandle::load) per request), and deliver
+//! answers through per-request one-shot reply channels
+//! ([`Ticket`]s). The request channel is a bounded
+//! `std::sync::mpsc::sync_channel`, so submission applies backpressure:
+//! when the queue is full, producers block instead of growing an
+//! unbounded backlog — the overload surface is the submitter's latency,
+//! never the server's memory.
+//!
+//! The queue lock (workers share the single consumer end behind a
+//! mutex) is on the *dispatch* path only; the data read path — snapshot
+//! load plus binary searches — takes no lock, per the subsystem's
+//! consistency contract.
+
+use crate::{ForestSnapshot, LeafHit, SnapshotHandle};
+use quadforest_connectivity::TreeId;
+use quadforest_telemetry as telemetry;
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Default bound on queued (not yet picked up) requests.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+enum Request {
+    Points {
+        points: Vec<(TreeId, [i32; 3])>,
+        reply: Sender<Vec<Option<LeafHit>>>,
+    },
+    Box {
+        tree: TreeId,
+        lo: [i32; 3],
+        hi: [i32; 3],
+        reply: Sender<Vec<LeafHit>>,
+    },
+}
+
+/// A pending query answer; redeem with [`Ticket::wait`].
+#[must_use = "a ticket must be waited on to receive the query answer"]
+pub struct Ticket<T> {
+    rx: Receiver<T>,
+}
+
+impl<T> Ticket<T> {
+    /// Block until the worker pool delivers the answer.
+    ///
+    /// # Panics
+    /// If the executor was dropped (or a worker died) with the request
+    /// still in flight.
+    pub fn wait(self) -> T {
+        self.rx.recv().expect("query executor dropped the request")
+    }
+
+    /// Non-blocking poll; `Some` exactly once, after the answer lands.
+    pub fn try_wait(&self) -> Option<T> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// A pool of worker threads serving point and box queries against the
+/// latest snapshot published through a [`SnapshotHandle`].
+///
+/// Dropping the executor closes the queue and joins every worker;
+/// requests already queued are still answered.
+pub struct QueryExecutor {
+    tx: Option<SyncSender<Request>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryExecutor {
+    /// Spawn `workers` threads serving from `handle`, with the default
+    /// queue bound.
+    pub fn new(handle: Arc<SnapshotHandle>, workers: usize) -> Self {
+        Self::with_capacity(handle, workers, DEFAULT_QUEUE_CAPACITY)
+    }
+
+    /// [`QueryExecutor::new`] with an explicit queue bound
+    /// (`capacity` ≥ 1): submitters block once `capacity` requests are
+    /// queued and unclaimed.
+    pub fn with_capacity(handle: Arc<SnapshotHandle>, workers: usize, capacity: usize) -> Self {
+        assert!(workers >= 1, "executor needs at least one worker");
+        let (tx, rx) = sync_channel::<Request>(capacity.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers)
+            .map(|w| {
+                let rx = Arc::clone(&rx);
+                let handle = Arc::clone(&handle);
+                std::thread::Builder::new()
+                    .name(format!("query-worker-{w}"))
+                    .spawn(move || worker_loop(&handle, &rx))
+                    .expect("spawn query worker")
+            })
+            .collect();
+        QueryExecutor {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    fn send(&self, req: Request) {
+        self.tx
+            .as_ref()
+            .expect("executor queue already closed")
+            .send(req)
+            .expect("query workers exited early");
+    }
+
+    /// Enqueue a batched point-location request. Blocks while the queue
+    /// is at capacity (backpressure), then returns immediately with a
+    /// [`Ticket`] for the answers (one `Option<LeafHit>` per point, in
+    /// input order).
+    pub fn submit_points(&self, points: Vec<(TreeId, [i32; 3])>) -> Ticket<Vec<Option<LeafHit>>> {
+        let (reply, rx) = channel();
+        self.send(Request::Points { points, reply });
+        Ticket { rx }
+    }
+
+    /// Enqueue a box query over `tree` for the half-open box
+    /// `[lo, hi)`; same queue semantics as
+    /// [`submit_points`](QueryExecutor::submit_points).
+    pub fn submit_box(&self, tree: TreeId, lo: [i32; 3], hi: [i32; 3]) -> Ticket<Vec<LeafHit>> {
+        let (reply, rx) = channel();
+        self.send(Request::Box {
+            tree,
+            lo,
+            hi,
+            reply,
+        });
+        Ticket { rx }
+    }
+
+    /// Submit a point batch and wait for the answers.
+    pub fn locate_points(&self, points: Vec<(TreeId, [i32; 3])>) -> Vec<Option<LeafHit>> {
+        self.submit_points(points).wait()
+    }
+
+    /// Submit a box query and wait for the hits.
+    pub fn query_box(&self, tree: TreeId, lo: [i32; 3], hi: [i32; 3]) -> Vec<LeafHit> {
+        self.submit_box(tree, lo, hi).wait()
+    }
+}
+
+impl Drop for QueryExecutor {
+    fn drop(&mut self) {
+        // Closing the sender ends every worker's recv loop once the
+        // queue drains.
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Per-worker metric handles, resolved once from the process-global
+/// registry (worker threads have no per-rank recorder).
+struct WorkerMetrics {
+    point_latency: telemetry::Histogram,
+    box_latency: telemetry::Histogram,
+    served: telemetry::Counter,
+    age: telemetry::Gauge,
+}
+
+impl WorkerMetrics {
+    fn new() -> Self {
+        let g = telemetry::global();
+        WorkerMetrics {
+            point_latency: g.histogram("query.point.latency_ns"),
+            box_latency: g.histogram("query.box.latency_ns"),
+            served: g.counter("query.served"),
+            age: g.gauge("snapshot.age_ns"),
+        }
+    }
+}
+
+fn worker_loop(handle: &SnapshotHandle, rx: &Mutex<Receiver<Request>>) {
+    let metrics = WorkerMetrics::new();
+    loop {
+        // Hold the queue lock only for the dequeue itself.
+        let req = match rx.lock().unwrap_or_else(|p| p.into_inner()).recv() {
+            Ok(req) => req,
+            Err(_) => return, // executor dropped, queue drained
+        };
+        let snap = handle.load();
+        metrics.age.set(snap.age_ns());
+        serve_one(&snap, req, &metrics);
+    }
+}
+
+fn serve_one(snap: &ForestSnapshot, req: Request, metrics: &WorkerMetrics) {
+    let start = telemetry::now_ns();
+    match req {
+        Request::Points { points, reply } => {
+            let n = points.len() as u64;
+            let answers = snap.locate_batch(&points);
+            metrics
+                .point_latency
+                .record(telemetry::now_ns().saturating_sub(start));
+            metrics.served.add(n);
+            let _ = reply.send(answers); // ticket may have been dropped
+        }
+        Request::Box {
+            tree,
+            lo,
+            hi,
+            reply,
+        } => {
+            let hits = snap.query_box(tree, lo, hi);
+            metrics
+                .box_latency
+                .record(telemetry::now_ns().saturating_sub(start));
+            metrics.served.incr();
+            let _ = reply.send(hits);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quadforest_connectivity::Connectivity;
+    use quadforest_core::quadrant::{MortonQuad, Quadrant};
+    use quadforest_forest::Forest;
+
+    fn uniform_snapshot(level: u8) -> ForestSnapshot {
+        quadforest_comm::run(1, |comm| {
+            let conn = Arc::new(Connectivity::unit(2));
+            let f = Forest::<MortonQuad<2>>::new_uniform(conn, &comm, level);
+            ForestSnapshot::build(&f, 0)
+        })
+        .pop()
+        .unwrap()
+    }
+
+    #[test]
+    fn executor_answers_match_direct_snapshot_queries() {
+        let snap = uniform_snapshot(4);
+        let handle = SnapshotHandle::new(snap.clone());
+        let exec = QueryExecutor::new(handle, 4);
+        let root = MortonQuad::<2>::len_at(0);
+        let step = root / 16;
+        let points: Vec<(TreeId, [i32; 3])> = (0..16)
+            .flat_map(|i| (0..16).map(move |j| (0u32, [i * step, j * step, 0])))
+            .collect();
+        let got = exec.locate_points(points.clone());
+        assert_eq!(got, snap.locate_batch(&points));
+        assert!(got.iter().all(|h| h.is_some()));
+
+        let (lo, hi) = ([0, 0, 0], [root / 2, root / 2, 0]);
+        assert_eq!(exec.query_box(0, lo, hi), snap.query_box(0, lo, hi));
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure_but_serves_everything() {
+        let handle = SnapshotHandle::new(uniform_snapshot(3));
+        // Single worker, tiny queue: submissions block until drained,
+        // and every ticket is still answered.
+        let exec = QueryExecutor::with_capacity(handle, 1, 1);
+        let tickets: Vec<_> = (0..64)
+            .map(|i| exec.submit_points(vec![(0u32, [i % 8, i / 8, 0])]))
+            .collect();
+        for t in tickets {
+            let answers = t.wait();
+            assert_eq!(answers.len(), 1);
+            assert!(answers[0].is_some());
+        }
+    }
+
+    #[test]
+    fn in_flight_requests_survive_drop() {
+        let handle = SnapshotHandle::new(uniform_snapshot(2));
+        let exec = QueryExecutor::new(handle, 2);
+        let t = exec.submit_points(vec![(0u32, [0, 0, 0])]);
+        drop(exec); // joins workers; the queued request is still served
+        assert!(t.wait()[0].is_some());
+    }
+
+    #[test]
+    fn served_counter_advances() {
+        let handle = SnapshotHandle::new(uniform_snapshot(2));
+        let served = telemetry::global().counter("query.served");
+        let before = served.get();
+        let exec = QueryExecutor::new(handle, 2);
+        exec.locate_points(vec![(0u32, [0, 0, 0]), (0u32, [1, 1, 0])]);
+        exec.query_box(0, [0, 0, 0], [2, 2, 0]);
+        assert!(served.get() >= before + 3);
+    }
+}

@@ -1,7 +1,7 @@
 //! Exporters: Chrome trace-event JSON (Perfetto-loadable) and the
 //! human-readable per-rank/per-phase summary table.
 
-use crate::metrics::AggregateRow;
+use crate::metrics::{AggregateRow, MetricKind, MetricsSnapshot};
 use crate::span::RankReport;
 use std::fmt::Write as _;
 
@@ -68,6 +68,46 @@ pub fn chrome_trace(reports: &[RankReport]) -> String {
         }
     }
     out.push_str("\n]}\n");
+    out
+}
+
+/// [`chrome_trace`] plus one Chrome counter event (`"ph":"C"`) per metric
+/// in `metrics` — typically the [`crate::global`] registry's snapshot, so
+/// query-serving counters (`query.served`, `snapshot.generation`, latency
+/// histogram counts) land on the same timeline as the phase spans.
+/// Counters and gauges export their scalar; histograms export their
+/// observation count and mean value. Events are stamped at the end of the
+/// last recorded span (counters render as a final track in Perfetto).
+pub fn chrome_trace_with_metrics(reports: &[RankReport], metrics: &MetricsSnapshot) -> String {
+    let mut out = chrome_trace(reports);
+    // splice counter events before the closing of the traceEvents array
+    let tail = "\n]}\n";
+    let base = out.len() - tail.len();
+    debug_assert_eq!(&out[base..], tail);
+    out.truncate(base);
+    let ts = reports
+        .iter()
+        .flat_map(|r| r.spans.iter().map(|s| s.start_ns + s.dur_ns))
+        .max()
+        .unwrap_or(0);
+    for e in &metrics.entries {
+        out.push_str(",\n{\"ph\":\"C\",\"pid\":0,\"name\":\"");
+        escape(e.name, &mut out);
+        let _ = write!(out, "\",\"ts\":{}.{:03},\"args\":{{", ts / 1000, ts % 1000);
+        match e.kind {
+            MetricKind::Counter | MetricKind::Gauge => {
+                let _ = write!(out, "\"value\":{}", e.scalar());
+            }
+            MetricKind::Histogram => {
+                let count = e.scalar();
+                let sum = *e.values.last().unwrap_or(&0);
+                let mean = sum.checked_div(count).unwrap_or(0);
+                let _ = write!(out, "\"count\":{count},\"mean\":{mean}");
+            }
+        }
+        out.push_str("}}");
+    }
+    out.push_str(tail);
     out
 }
 
@@ -239,6 +279,26 @@ mod tests {
         assert!(table.contains("refine"));
         assert!(table.contains("6.000")); // total ms column
         assert!(table.contains("1x 2.000"));
+    }
+
+    #[test]
+    fn chrome_trace_with_metrics_emits_counter_events() {
+        let reports = vec![report(0, vec![ev("serve", 1000, 2000, 0)])];
+        let reg = Registry::new();
+        reg.counter("query.served").add(42);
+        reg.gauge("snapshot.generation").set(7);
+        reg.histogram("query.point.latency_ns").record(900);
+        reg.histogram("query.point.latency_ns").record(1100);
+        let json = chrome_trace_with_metrics(&reports, &reg.snapshot());
+        assert_eq!(json.matches("\"ph\":\"C\"").count(), 3);
+        assert!(json.contains("\"name\":\"query.served\",\"ts\":3.000,\"args\":{\"value\":42}"));
+        assert!(
+            json.contains("\"name\":\"snapshot.generation\",\"ts\":3.000,\"args\":{\"value\":7}")
+        );
+        assert!(json.contains("\"count\":2,\"mean\":1000"));
+        // still a valid trace: the span events survive the splice
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 1);
+        assert!(json.ends_with("\n]}\n"));
     }
 
     #[test]

@@ -45,7 +45,9 @@ mod export;
 mod metrics;
 mod span;
 
-pub use export::{chrome_trace, metrics_table, summary_table, summary_totals};
+pub use export::{
+    chrome_trace, chrome_trace_with_metrics, metrics_table, summary_table, summary_totals,
+};
 pub use metrics::{
     aggregate, bucket_bounds, bucket_index, AggregateRow, Counter, Gauge, Histogram, MetricEntry,
     MetricKind, MetricsSnapshot, Registry, HISTOGRAM_BUCKETS,

@@ -2,10 +2,11 @@
 //!
 //! Builds a forest over a 2×2 brick of quadtrees on four simulated MPI
 //! ranks, refines toward a circle, 2:1-balances, repartitions, builds a
-//! ghost layer, and iterates the mesh interfaces — the full high-level
-//! workflow the paper's quadrant representations plug into. The
-//! representation is chosen once, on the type parameter; everything else
-//! is representation-agnostic.
+//! ghost layer, iterates the mesh interfaces, and finally serves spatial
+//! queries from an immutable snapshot of the finished mesh — the full
+//! high-level workflow the paper's quadrant representations plug into.
+//! The representation is chosen once, on the type parameter; everything
+//! else is representation-agnostic.
 //!
 //! Run: `cargo run --release --example quickstart`
 
@@ -82,6 +83,28 @@ fn main() {
             }
         });
 
+        // --- serve spatial queries from an immutable snapshot ---------
+        // Flatten this generation, publish it through the lock-free
+        // handle, and serve batched point location from two worker
+        // threads. The AMR loop above could keep adapting and
+        // republishing; readers would follow without ever blocking.
+        let handle = SnapshotHandle::new(ForestSnapshot::build(&forest, 1));
+        let exec = QueryExecutor::new(Arc::clone(&handle), 2);
+        let root = Morton2::len_at(0);
+        let diagonal: Vec<(TreeId, [i32; 3])> = (1..8)
+            .map(|i| (comm.rank() as TreeId % 4, [i * root / 8, i * root / 8, 0]))
+            .collect();
+        let local_hits = exec
+            .locate_points(diagonal.clone())
+            .iter()
+            .filter(|h| h.is_some())
+            .count();
+        // points this rank does not own are routed to their owner over
+        // the communicator; every in-domain point resolves somewhere
+        let snap = handle.load();
+        let routed = quadforest::query::locate_global(&comm, &snap, &diagonal);
+        assert!(routed.iter().all(|h| h.is_some()), "diagonal point lost");
+
         (
             comm.rank(),
             after_refine,
@@ -91,6 +114,7 @@ fn main() {
             forest.local_count(),
             ghost.len(),
             (boundary, conforming, hanging),
+            (local_hits, diagonal.len()),
         )
     });
 
@@ -99,13 +123,15 @@ fn main() {
         "global leaves: {} after refine -> {} after balance",
         reports[0].1, reports[0].2
     );
-    for (rank, _, _, bal, moved, local, ghosts, (b, c, h)) in &reports {
+    for (rank, _, _, bal, moved, local, ghosts, (b, c, h), (hit, asked)) in &reports {
         println!(
             "rank {rank}: {local:5} leaves, {ghosts:3} ghosts, balance refined {bal:3}, \
-             partition moved {moved:4} | faces: {b} boundary / {c} conforming / {h} hanging"
+             partition moved {moved:4} | faces: {b} boundary / {c} conforming / {h} hanging \
+             | queries: {hit}/{asked} local"
         );
     }
     let total: usize = reports.iter().map(|r| r.5).sum();
     assert_eq!(total as u64, reports[0].2);
     println!("OK: per-rank leaves sum to the global count");
+    println!("OK: every diagonal query point resolved (locally or routed to its owner)");
 }

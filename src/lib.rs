@@ -18,6 +18,11 @@
 //!   2:1 balance, partition, ghost layers, iterate, search);
 //! * [`telemetry`] — the zero-dependency observability layer: phase
 //!   spans, per-rank metrics, and Chrome-trace/Perfetto export;
+//! * [`query`] — the concurrent spatial query engine: immutable
+//!   [`ForestSnapshot`](query::ForestSnapshot)s published through a
+//!   lock-free [`SnapshotHandle`](query::SnapshotHandle), point/box
+//!   queries via Morton interval decomposition, and a multithreaded
+//!   [`QueryExecutor`](query::QueryExecutor);
 //! * [`vtk`] — mesh output for ParaView/VisIt;
 //! * [`bench`] — the harness regenerating the paper's figures and tables.
 //!
@@ -44,6 +49,7 @@ pub use quadforest_comm as comm;
 pub use quadforest_connectivity as connectivity;
 pub use quadforest_core as core;
 pub use quadforest_forest as forest;
+pub use quadforest_query as query;
 pub use quadforest_telemetry as telemetry;
 pub use quadforest_vtk as vtk;
 
@@ -65,4 +71,5 @@ pub mod prelude {
         Interface, InvariantError, IoError, LeafRef, LocalNodes, Mesh, MeshNeighbor, NodeRef,
         PortableForest, SearchAction,
     };
+    pub use quadforest_query::{ForestSnapshot, LeafHit, QueryExecutor, SnapshotHandle};
 }
