@@ -10,6 +10,8 @@
 //! repro --json                # machine-readable perf baseline
 //! repro --trace trace.json    # traced 4-rank pipeline (Chrome trace)
 //! repro --queries             # snapshot query serving (BENCH_query.json)
+//! repro --chaos --backend sockets   # every rank a real OS process
+//! repro --summary a.json,b.json     # compare BENCH files (same backend only)
 //! repro --iters 5 --ranks 1,4,64,512
 //! ```
 //!
@@ -83,6 +85,8 @@ struct Opts {
     queries: bool,
     iters: usize,
     ranks: Vec<usize>,
+    backend: quadforest_comm::Backend,
+    summary: Vec<String>,
 }
 
 fn parse_args() -> Opts {
@@ -99,6 +103,8 @@ fn parse_args() -> Opts {
         queries: false,
         iters: 3,
         ranks: RANKS.to_vec(),
+        backend: quadforest_comm::Backend::Threads,
+        summary: Vec::new(),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -165,6 +171,25 @@ fn parse_args() -> Opts {
                     .split(',')
                     .map(|s| s.parse().expect("--ranks a,b,c"))
                     .collect();
+            }
+            "--backend" => {
+                i += 1;
+                opts.backend = match args[i].as_str() {
+                    "threads" => quadforest_comm::Backend::Threads,
+                    "sockets" => {
+                        let me = std::env::current_exe().expect("current_exe for socket worker");
+                        quadforest_comm::Backend::Sockets(quadforest_comm::SocketOptions::new(me))
+                    }
+                    other => {
+                        eprintln!("unknown backend '{other}' (expected threads|sockets)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--summary" => {
+                i += 1;
+                opts.summary = args[i].split(',').map(|s| s.to_string()).collect();
+                any = true;
             }
             other => {
                 eprintln!("unknown argument: {other}");
@@ -544,42 +569,49 @@ fn run_dim2(opts: &Opts) {
 // ---------------------------------------------------------------------------
 
 fn run_chaos(opts: &Opts) {
-    use quadforest_comm::FaultPlan;
-    use quadforest_connectivity::Connectivity;
-    use quadforest_core::quadrant::MortonQuad;
-    use quadforest_forest::{BalanceKind, Forest};
-    use std::sync::Arc;
+    use quadforest_bench::transport::{self, CHAOS_PIPELINE};
+    use quadforest_comm::{try_run_program, Attempt, Backend, FaultPlan, RunOptions, WorldError};
 
-    println!("\n## Chaos: refine→balance→partition→ghost under fault injection");
+    let backend = &opts.backend;
+    let registry = transport::registry();
+    println!(
+        "\n## Chaos: refine→balance→partition→ghost under fault injection [{} backend]",
+        backend.name()
+    );
     println!("delivery delays + cross-stream reordering; a correct pipeline must be");
     println!("bit-identical to the fault-free run (seeded plans replay exactly)\n");
 
-    fn pipeline(comm: &quadforest_comm::Comm) -> (u64, u64) {
-        let conn = Arc::new(Connectivity::unit(2));
-        let mut f = Forest::<MortonQuad<2>>::new_uniform(conn, comm, 2);
-        f.refine(comm, true, |_, q| {
-            let c = q.coords();
-            q.level() < 6 && c[0] == 0 && c[1] == 0
-        });
-        f.balance(comm, BalanceKind::Face);
-        f.partition(comm);
-        let ghost = f.ghost(comm, BalanceKind::Face);
-        f.validate().expect("invariants must hold under chaos");
-        (f.checksum(comm), comm.allreduce_sum(ghost.len() as u64))
-    }
+    let run_once = |p: usize,
+                    faults: Option<FaultPlan>|
+     -> Result<Vec<transport::PipelineDigest>, WorldError> {
+        let run_opts = RunOptions {
+            faults,
+            ..RunOptions::default()
+        };
+        try_run_program(
+            backend,
+            p,
+            &run_opts,
+            &registry,
+            CHAOS_PIPELINE,
+            &[],
+            Attempt { index: 0 },
+        )
+        .map(|vals| vals.iter().map(|b| transport::decode_digest(b)).collect())
+    };
 
     println!("| P | fault seed | checksum | ghosts | matches fault-free | wall (ms) |");
     println!("|---|---|---|---|---|---|");
     let mut all_ok = true;
     for &p in &[1usize, 2, 4, 7] {
-        let baseline = quadforest_comm::run(p, |c| pipeline(&c));
+        let baseline = run_once(p, None).unwrap_or_else(|e| panic!("fault-free run failed: {e}"));
         for seed in [11u64, 22, 33, 44] {
             let plan = FaultPlan::new(seed)
                 .with_delays(0.2, Duration::from_micros(100))
                 .with_reordering(0.25);
             let t = std::time::Instant::now();
-            let chaotic = quadforest_comm::run_with_faults(p, plan, |c| pipeline(&c))
-                .unwrap_or_else(|e| panic!("chaos run failed: {e}"));
+            let chaotic =
+                run_once(p, Some(plan)).unwrap_or_else(|e| panic!("chaos run failed: {e}"));
             let wall = t.elapsed();
             let ok = chaotic == baseline;
             all_ok &= ok;
@@ -594,10 +626,15 @@ fn run_chaos(opts: &Opts) {
     }
     assert!(all_ok, "fault injection changed a pipeline result");
 
-    // and a scheduled rank death: the world reports instead of hanging
-    let plan = FaultPlan::new(1).with_panic_at(2, 9);
-    match quadforest_comm::run_with_faults(4, plan, |c| pipeline(&c)) {
-        Ok(_) => println!("\nscheduled panic did not fire (pipeline too short)"),
+    // and a scheduled rank death: the world reports instead of hanging.
+    // On the socket backend the death is a real SIGKILL of the victim's
+    // process — detected and reported the same way.
+    let plan = match backend {
+        Backend::Threads => FaultPlan::new(1).with_panic_at(2, 9),
+        Backend::Sockets(_) => FaultPlan::new(1).with_sigkill_at(2, 9),
+    };
+    match run_once(4, Some(plan)) {
+        Ok(_) => println!("\nscheduled death did not fire (pipeline too short)"),
         Err(e) => println!(
             "\nscheduled rank death at P=4: origin rank {} — \"{}\" ({} collateral)",
             e.origin,
@@ -605,7 +642,6 @@ fn run_chaos(opts: &Opts) {
             e.failures.len().saturating_sub(1)
         ),
     }
-    let _ = opts;
 }
 
 // ---------------------------------------------------------------------------
@@ -1031,7 +1067,7 @@ fn run_queries(opts: &Opts) {
     bench_one::<MortonQuad<2>>("morton", opts, &points, &boxes, &mut records);
     bench_one::<AvxQuad<2>>("avx", opts, &points, &boxes, &mut records);
 
-    write_json("BENCH_query.json", "query", &records);
+    write_json("BENCH_query.json", "query", opts.backend.name(), &records);
 }
 
 // ---------------------------------------------------------------------------
@@ -1123,7 +1159,7 @@ impl JsonRecord {
     }
 }
 
-fn write_json(path: &str, bench: &'static str, records: &[JsonRecord]) {
+fn write_json(path: &str, bench: &'static str, backend: &str, records: &[JsonRecord]) {
     let body = records
         .iter()
         .map(JsonRecord::to_json)
@@ -1138,7 +1174,7 @@ fn write_json(path: &str, bench: &'static str, records: &[JsonRecord]) {
         .join(", ");
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
-        "{{\n  \"bench\": \"{bench}\",\n  \"features\": \"{}\",\n  \"threads\": {threads},\n  \"kernel_invocations\": {{{invocations}}},\n  \"results\": [\n{body}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"{bench}\",\n  \"backend\": \"{backend}\",\n  \"features\": \"{}\",\n  \"threads\": {threads},\n  \"kernel_invocations\": {{{invocations}}},\n  \"results\": [\n{body}\n  ]\n}}\n",
         quadforest_core::simd::active_features()
     );
     std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
@@ -1318,7 +1354,7 @@ fn run_json_batch(opts: &Opts) {
             || batch::sfc_keys_all(&soa, 3, &mut keys)
         );
     }
-    write_json("BENCH_batch.json", "batch", &records);
+    write_json("BENCH_batch.json", "batch", opts.backend.name(), &records);
 }
 
 fn run_json_highlevel(opts: &Opts) {
@@ -1431,11 +1467,24 @@ fn run_json_highlevel(opts: &Opts) {
         ));
     }
 
-    write_json("BENCH_highlevel.json", "highlevel", &records);
+    write_json(
+        "BENCH_highlevel.json",
+        "highlevel",
+        opts.backend.name(),
+        &records,
+    );
 }
 
 fn main() {
+    // If the supervisor of a socket-backend world spawned us as a rank
+    // process, run the requested program and exit — before touching
+    // argv or printing anything.
+    quadforest_comm::maybe_run_socket_child(&quadforest_bench::transport::registry());
     let opts = parse_args();
+    if !opts.summary.is_empty() {
+        run_summary(&opts.summary);
+        return;
+    }
     println!("# quadforest repro — paper evaluation on this machine");
     println!(
         "workload: {} 3D octants (levels 0..={}), ranks simulated {:?}, best of {} iters",
@@ -1476,5 +1525,107 @@ fn main() {
     }
     if opts.queries {
         run_queries(&opts);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// --summary: compare BENCH_*.json files (provenance-checked)
+// ---------------------------------------------------------------------------
+
+/// Pull the string value of a top-level `"key": "value"` pair out of a
+/// BENCH json file (the files are written by [`write_json`], so the
+/// format is fixed — no JSON parser needed).
+fn json_str_field(text: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = text.find(&pat)? + pat.len();
+    let end = text[start..].find('\"')? + start;
+    Some(text[start..end].to_string())
+}
+
+/// Side-by-side speedup table for two or more BENCH_*.json files.
+/// Refuses to compare files measured on different transport backends:
+/// socket-backend runs carry per-frame serialization and real IPC in
+/// every number, so a threads-vs-sockets delta is a backend artifact,
+/// not a regression.
+fn run_summary(files: &[String]) {
+    struct Loaded {
+        path: String,
+        backend: String,
+        bench: String,
+        /// (op, representation) → speedup column text.
+        rows: Vec<((String, String), String)>,
+    }
+    let loaded: Vec<Loaded> = files
+        .iter()
+        .map(|path| {
+            let text =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            let backend = json_str_field(&text, "backend").unwrap_or_else(|| {
+                eprintln!(
+                    "{path}: no \"backend\" provenance field — regenerate it with this \
+                     repro before comparing"
+                );
+                std::process::exit(2);
+            });
+            let bench = json_str_field(&text, "bench").unwrap_or_default();
+            let rows = text
+                .lines()
+                .filter(|l| l.trim_start().starts_with("{\"op\":"))
+                .filter_map(|l| {
+                    let op = json_str_field(l, "op")?;
+                    let repr = json_str_field(l, "representation")?;
+                    let speedup = l
+                        .rsplit("\"speedup\": ")
+                        .next()
+                        .map(|t| t.trim_end_matches(['}', ',', ' ']).to_string())?;
+                    Some(((op, repr), speedup))
+                })
+                .collect();
+            Loaded {
+                path: path.clone(),
+                backend,
+                bench,
+                rows,
+            }
+        })
+        .collect();
+
+    let backends: std::collections::BTreeSet<&str> =
+        loaded.iter().map(|l| l.backend.as_str()).collect();
+    if backends.len() > 1 {
+        eprintln!("refusing mixed-backend comparison:");
+        for l in &loaded {
+            eprintln!("  {} was measured on the '{}' backend", l.path, l.backend);
+        }
+        eprintln!("re-run repro with a single --backend and compare like with like");
+        std::process::exit(2);
+    }
+
+    println!(
+        "# summary — backend: {}",
+        backends.iter().next().copied().unwrap_or("?")
+    );
+    let header: Vec<String> = loaded
+        .iter()
+        .map(|l| format!("{} ({})", l.path, l.bench))
+        .collect();
+    println!("| op | representation | {} |", header.join(" | "));
+    println!("|---|---|{}", "---|".repeat(loaded.len()));
+    let keys: Vec<(String, String)> = loaded
+        .first()
+        .map(|l| l.rows.iter().map(|(k, _)| k.clone()).collect())
+        .unwrap_or_default();
+    for key in keys {
+        let cells: Vec<String> = loaded
+            .iter()
+            .map(|l| {
+                l.rows
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_else(|| "—".to_string())
+            })
+            .collect();
+        println!("| {} | {} | {} |", key.0, key.1, cells.join(" | "));
     }
 }

@@ -29,6 +29,8 @@ use std::time::{Duration, Instant};
 
 pub use quadforest_core::workload;
 
+pub mod transport;
+
 /// The paper's maximum refinement level for the synthetic workload.
 pub const WORKLOAD_MAX_LEVEL: u8 = 7;
 

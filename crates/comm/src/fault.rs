@@ -31,6 +31,16 @@ fn splitmix64(state: &Cell<u64>) -> u64 {
     z ^ (z >> 31)
 }
 
+/// One-shot stateless mix of the same splitmix64 output function; used
+/// for deterministic recovery-backoff jitter keyed by attempt index.
+#[inline]
+pub(crate) fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Draw from `[0, bound)` without modulo bias (128-bit multiply-shift).
 #[inline]
 fn below(state: &Cell<u64>, bound: u64) -> u64 {
@@ -71,6 +81,16 @@ pub struct FaultPlan {
     /// `(rank, op_index)`: rank panics when its op counter reaches the
     /// index (0-based over that rank's communication operations).
     panics: Vec<(usize, u64)>,
+    /// `(rank, op_index)`: rank is killed with SIGKILL at the index.
+    /// On the socket backend this is a *real* `kill -9` of the rank's
+    /// process (no unwinding, no destructors); on the thread backend it
+    /// degrades to a scheduled panic, since threads cannot be killed.
+    sigkills: Vec<(usize, u64)>,
+    /// `(rank, op_index)`: rank freezes at the index — it stops
+    /// heartbeating and parks forever without exiting. On the socket
+    /// backend the supervisor must detect this via the missed-heartbeat
+    /// window; on the thread backend it degrades to a scheduled panic.
+    stalls: Vec<(usize, u64)>,
 }
 
 impl FaultPlan {
@@ -82,6 +102,8 @@ impl FaultPlan {
             delay_max: Duration::ZERO,
             reorder_prob: 0,
             panics: Vec::new(),
+            sigkills: Vec::new(),
+            stalls: Vec::new(),
         }
     }
 
@@ -109,6 +131,24 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule `rank` to be SIGKILLed when its communication-operation
+    /// counter reaches `op_index`. A real `kill -9` on the socket
+    /// backend (the process vanishes without unwinding); a scheduled
+    /// panic on the thread backend, which cannot kill a single thread.
+    pub fn with_sigkill_at(mut self, rank: usize, op_index: u64) -> Self {
+        self.sigkills.push((rank, op_index));
+        self
+    }
+
+    /// Schedule `rank` to freeze (stop heartbeating and park forever)
+    /// when its communication-operation counter reaches `op_index`.
+    /// Exercises the missed-heartbeat detection path on the socket
+    /// backend; degrades to a scheduled panic on the thread backend.
+    pub fn with_stall_at(mut self, rank: usize, op_index: u64) -> Self {
+        self.stalls.push((rank, op_index));
+        self
+    }
+
     /// The plan's seed (used by diagnostics and replay messages).
     pub fn seed(&self) -> u64 {
         self.seed
@@ -116,7 +156,11 @@ impl FaultPlan {
 
     /// True if the plan injects any fault at all.
     pub fn is_active(&self) -> bool {
-        self.delay_prob > 0 || self.reorder_prob > 0 || !self.panics.is_empty()
+        self.delay_prob > 0
+            || self.reorder_prob > 0
+            || !self.panics.is_empty()
+            || !self.sigkills.is_empty()
+            || !self.stalls.is_empty()
     }
 
     /// Compile the per-rank fault stream. Each rank gets an independent
@@ -128,21 +172,66 @@ impl FaultPlan {
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add((rank as u64).wrapping_mul(0xD1B5_4A32_D192_ED03))
             ^ 0x5851_F42D_4C95_7F2D;
+        let first_for = |entries: &[(usize, u64)]| {
+            entries
+                .iter()
+                .filter(|(r, _)| *r == rank)
+                .map(|(_, op)| *op)
+                .min()
+        };
         RankFaults {
             rng: Cell::new(stream),
             delay_prob: self.delay_prob,
             delay_max: self.delay_max,
             reorder_prob: self.reorder_prob,
-            panic_at: self
-                .panics
-                .iter()
-                .filter(|(r, _)| *r == rank)
-                .map(|(_, op)| *op)
-                .min(),
+            panic_at: first_for(&self.panics),
+            sigkill_at: first_for(&self.sigkills),
+            stall_at: first_for(&self.stalls),
             op_counter: Cell::new(0),
             held: RefCell::new(Vec::new()),
         }
     }
+}
+
+// FaultPlans travel from the supervisor process to spawned rank
+// processes (hex-encoded in an environment variable), so the plan needs
+// a wire form. Field order matches declaration order.
+impl quadforest_core::Wire for FaultPlan {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.seed.encode(out);
+        self.delay_prob.encode(out);
+        self.delay_max.encode(out);
+        self.reorder_prob.encode(out);
+        self.panics.encode(out);
+        self.sigkills.encode(out);
+        self.stalls.encode(out);
+    }
+
+    fn decode(
+        r: &mut quadforest_core::wire::WireReader<'_>,
+    ) -> Result<Self, quadforest_core::wire::WireError> {
+        Ok(FaultPlan {
+            seed: u64::decode(r)?,
+            delay_prob: u32::decode(r)?,
+            delay_max: Duration::decode(r)?,
+            reorder_prob: u32::decode(r)?,
+            panics: Vec::decode(r)?,
+            sigkills: Vec::decode(r)?,
+            stalls: Vec::decode(r)?,
+        })
+    }
+}
+
+/// What a rank's fault stream demands at the current communication
+/// operation, as reported by [`RankFaults::tick_op`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum FaultAction {
+    /// Panic now (op index recorded for the message).
+    Panic(u64),
+    /// Die by SIGKILL now (real on sockets, panic on threads).
+    Sigkill(u64),
+    /// Freeze now: stop heartbeating and park forever.
+    Stall(u64),
 }
 
 /// A message parked in the sender's hold-back buffer.
@@ -162,6 +251,10 @@ pub(crate) struct RankFaults<T = crate::Msg> {
     reorder_prob: u32,
     /// First scheduled panic for this rank, if any.
     panic_at: Option<u64>,
+    /// First scheduled SIGKILL for this rank, if any.
+    sigkill_at: Option<u64>,
+    /// First scheduled stall for this rank, if any.
+    stall_at: Option<u64>,
     /// Communication operations performed so far by this rank.
     op_counter: Cell<u64>,
     /// Sender-side hold-back buffer for reordering.
@@ -169,15 +262,22 @@ pub(crate) struct RankFaults<T = crate::Msg> {
 }
 
 impl<T> RankFaults<T> {
-    /// Count one communication operation; returns the op index at which
-    /// a scheduled panic must fire, if this operation is it.
-    pub fn tick_op(&self) -> Option<u64> {
+    /// Count one communication operation; returns the fault action that
+    /// must fire at this operation, if any. SIGKILL wins over stall
+    /// wins over panic when (pathologically) scheduled at the same op.
+    pub fn tick_op(&self) -> Option<FaultAction> {
         let op = self.op_counter.get();
         self.op_counter.set(op + 1);
-        match self.panic_at {
-            Some(at) if at == op => Some(op),
-            _ => None,
+        if self.sigkill_at == Some(op) {
+            return Some(FaultAction::Sigkill(op));
         }
+        if self.stall_at == Some(op) {
+            return Some(FaultAction::Stall(op));
+        }
+        if self.panic_at == Some(op) {
+            return Some(FaultAction::Panic(op));
+        }
+        None
     }
 
     /// Delay to inject before sending the next message, if any.
@@ -303,6 +403,33 @@ mod tests {
         // other ranks never fire
         let g: RankFaults<u32> = plan.compile(1);
         assert!((0..10).all(|_| g.tick_op().is_none()));
+    }
+
+    #[test]
+    fn sigkill_and_stall_fire_at_scheduled_ops() {
+        let plan = FaultPlan::new(3).with_sigkill_at(0, 2).with_stall_at(1, 4);
+        assert!(plan.is_active());
+        let k: RankFaults<u32> = plan.compile(0);
+        let actions: Vec<_> = (0..6).map(|_| k.tick_op()).collect();
+        assert_eq!(actions[2], Some(FaultAction::Sigkill(2)));
+        assert_eq!(actions.iter().flatten().count(), 1);
+        let s: RankFaults<u32> = plan.compile(1);
+        let actions: Vec<_> = (0..6).map(|_| s.tick_op()).collect();
+        assert_eq!(actions[4], Some(FaultAction::Stall(4)));
+        assert_eq!(actions.iter().flatten().count(), 1);
+    }
+
+    #[test]
+    fn plan_wire_roundtrip() {
+        use quadforest_core::Wire;
+        let plan = FaultPlan::new(0xDEAD_BEEF)
+            .with_delays(0.15, Duration::from_micros(100))
+            .with_reordering(0.2)
+            .with_panic_at(1, 12)
+            .with_sigkill_at(2, 7)
+            .with_stall_at(0, 3);
+        let back = FaultPlan::from_wire(&plan.to_wire()).expect("roundtrip");
+        assert_eq!(plan, back);
     }
 
     #[test]

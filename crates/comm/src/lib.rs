@@ -77,13 +77,22 @@
 mod error;
 mod fault;
 mod recovery;
+mod transport;
 
 pub use error::{CommError, RankError, RankFailure, WorldError};
 pub use fault::FaultPlan;
-pub use recovery::{run_with_recovery, Attempt, RecoveryError, RecoveryOptions, RecoveryOutcome};
+pub use recovery::{
+    run_with_recovery, run_with_recovery_program, Attempt, RecoveryError, RecoveryOptions,
+    RecoveryOutcome, RecoveryPolicy,
+};
+pub use transport::{
+    maybe_run_socket_child, try_run_program, Backend, ProgramCtx, ProgramFn, ProgramRegistry,
+    SocketOptions,
+};
 
 use error::tag_display;
-use fault::RankFaults;
+use fault::{FaultAction, RankFaults};
+use quadforest_core::Wire;
 use quadforest_telemetry as telemetry;
 use std::any::Any;
 use std::cell::{Cell, RefCell};
@@ -92,16 +101,48 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+use transport::Transport;
+
+/// A message payload: in-process worlds pass the boxed value itself
+/// (zero-copy, any `Send` type); cross-process worlds pass Wire-encoded
+/// bytes plus a hash of the sender's type name so receiver-side type
+/// mismatches stay typed errors instead of garbled decodes.
+pub(crate) enum Payload {
+    /// Same-address-space delivery: the value, type-erased.
+    Local(Box<dyn Any + Send>),
+    /// Cross-process delivery: Wire encoding plus the sender's type tag.
+    Bytes {
+        /// FNV-1a hash of the sender's `std::any::type_name`.
+        type_tag: u64,
+        /// The Wire-encoded value.
+        data: Vec<u8>,
+    },
+}
+
+/// FNV-1a over the type name: the cross-process analogue of a `TypeId`
+/// (which is not stable across binaries, let alone processes). Type
+/// *names* are stable for one compiled binary talking to itself, which
+/// is exactly the socket-backend topology (the supervisor re-executes
+/// its own binary per rank).
+pub(crate) fn wire_type_tag<T: 'static>() -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in std::any::type_name::<T>().bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
 
 /// A tagged, typed message in flight.
 pub(crate) struct Msg {
-    src: usize,
-    tag: u64,
-    payload: Box<dyn Any + Send>,
-    /// Best-effort payload size estimate for telemetry, computed where
-    /// the concrete type was still visible (deep for the `Vec` bulk
-    /// paths, shallow `size_of_val` elsewhere).
-    bytes: u64,
+    pub(crate) src: usize,
+    pub(crate) tag: u64,
+    pub(crate) payload: Payload,
+    /// Best-effort payload size estimate for telemetry: exact for
+    /// serialized payloads, computed where the concrete type was still
+    /// visible (deep for the `Vec` bulk paths, shallow `size_of_val`
+    /// elsewhere) for local ones.
+    pub(crate) bytes: u64,
 }
 
 /// User tags live below this bound; collective-internal tags above it.
@@ -110,20 +151,35 @@ pub(crate) const COLL_TAG_BASE: u64 = 1 << 48;
 /// Lock a mutex, ignoring poisoning: a poisoned mailbox or status cell
 /// only means some rank panicked while holding it, and the abort
 /// machinery — not the lock — is what reports that failure.
-fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 /// One rank's inbound queue plus the condvar its owner blocks on.
-struct Mailbox {
-    queue: Mutex<VecDeque<Msg>>,
-    cv: Condvar,
+pub(crate) struct Mailbox {
+    pub(crate) queue: Mutex<VecDeque<Msg>>,
+    pub(crate) cv: Condvar,
+}
+
+impl Mailbox {
+    pub(crate) fn new() -> Self {
+        Mailbox {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueue a message and wake the owner if it is blocked.
+    pub(crate) fn push(&self, msg: Msg) {
+        plock(&self.queue).push_back(msg);
+        self.cv.notify_all();
+    }
 }
 
 /// What a rank is doing right now, as visible to peers building a
 /// deadlock diagnostic.
 #[derive(Clone, Debug)]
-enum RankState {
+pub(crate) enum RankState {
     /// Executing user code (not blocked inside the simulator).
     Running,
     /// Blocked in a receive.
@@ -147,9 +203,9 @@ enum RankState {
 
 /// The origin of a world abort.
 #[derive(Clone)]
-struct AbortInfo {
-    origin: usize,
-    reason: String,
+pub(crate) struct AbortInfo {
+    pub(crate) origin: usize,
+    pub(crate) reason: String,
 }
 
 /// Shared per-world state: mailboxes, abort flag, per-rank status.
@@ -174,12 +230,7 @@ impl World {
         World {
             size,
             recv_timeout,
-            mailboxes: (0..size)
-                .map(|_| Mailbox {
-                    queue: Mutex::new(VecDeque::new()),
-                    cv: Condvar::new(),
-                })
-                .collect(),
+            mailboxes: (0..size).map(|_| Mailbox::new()).collect(),
             aborted: AtomicBool::new(false),
             abort: Mutex::new(None),
             status: (0..size).map(|_| Mutex::new(RankState::Running)).collect(),
@@ -299,16 +350,75 @@ impl World {
 
     /// Enqueue a message and wake the destination if it is blocked.
     fn deliver(&self, dest: usize, msg: Msg) {
-        let mb = &self.mailboxes[dest];
-        plock(&mb.queue).push_back(msg);
-        mb.cv.notify_all();
+        self.mailboxes[dest].push(msg);
+    }
+}
+
+// The thread backend *is* the world state: every rank shares this
+// struct, so deliver is a queue push and abort is a flag flip. No
+// serialization — payloads move as boxed values.
+impl Transport for World {
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn recv_timeout(&self) -> Duration {
+        self.recv_timeout
+    }
+
+    fn serializes(&self) -> bool {
+        false
+    }
+
+    fn mailbox(&self, rank: usize) -> &Mailbox {
+        &self.mailboxes[rank]
+    }
+
+    fn deliver(&self, dest: usize, msg: Msg) {
+        World::deliver(self, dest, msg);
+    }
+
+    fn is_aborted(&self) -> bool {
+        World::is_aborted(self)
+    }
+
+    fn abort(&self, origin: usize, reason: String) {
+        World::abort(self, origin, reason);
+    }
+
+    fn abort_error(&self) -> CommError {
+        World::abort_error(self)
+    }
+
+    fn set_status(&self, rank: usize, state: RankState) {
+        World::set_status(self, rank, state);
+    }
+
+    fn diagnostic(&self) -> String {
+        World::diagnostic(self)
+    }
+
+    fn tag_label(&self, tag: u64) -> String {
+        World::tag_label(self, tag)
+    }
+
+    fn name_collective(&self, seq: u64, phase: &'static str) {
+        World::name_collective(self, seq, phase);
+    }
+
+    fn request_kill(&self, _rank: usize, _op: u64) -> bool {
+        false // threads cannot be SIGKILLed individually
+    }
+
+    fn begin_stall(&self, _rank: usize, _op: u64) -> bool {
+        false // a stalled thread would hang the world; degrade to panic
     }
 }
 
 /// Per-rank communicator handle. Not `Sync`: each rank owns its handle.
 pub struct Comm {
     rank: usize,
-    world: Arc<World>,
+    transport: Arc<dyn Transport>,
     /// Out-of-order messages parked until a matching `recv`.
     parked: RefCell<VecDeque<Msg>>,
     /// Sequence number for collective operations; identical call order on
@@ -319,6 +429,20 @@ pub struct Comm {
 }
 
 impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        transport: Arc<dyn Transport>,
+        faults: Option<RankFaults>,
+    ) -> Self {
+        Comm {
+            rank,
+            transport,
+            parked: RefCell::new(VecDeque::new()),
+            coll_seq: Cell::new(0),
+            faults,
+        }
+    }
+
     /// This rank's id in `0..size`.
     pub fn rank(&self) -> usize {
         self.rank
@@ -326,20 +450,49 @@ impl Comm {
 
     /// Number of ranks `P`.
     pub fn size(&self) -> usize {
-        self.world.size
+        self.transport.size()
     }
 
     /// Count one communication operation against the fault plan; a
-    /// scheduled panic fires here, before any message moves. Raised via
-    /// `resume_unwind` so the global panic hook stays quiet — injected
-    /// deaths are expected, only *unexpected* panics should print.
+    /// scheduled panic, SIGKILL, or stall fires here, before any
+    /// message moves. Panics are raised via `resume_unwind` so the
+    /// global panic hook stays quiet — injected deaths are expected,
+    /// only *unexpected* panics should print. A SIGKILL or stall asks
+    /// the transport first: the socket backend arranges a real process
+    /// death (and the rank parks awaiting it); the thread backend
+    /// cannot, so both degrade to a scheduled panic.
     fn tick(&self) {
-        if let Some(f) = &self.faults {
-            if let Some(op) = f.tick_op() {
-                std::panic::resume_unwind(Box::new(format!(
-                    "fault injection: scheduled panic at comm op {op} on rank {}",
-                    self.rank
-                )));
+        let Some(f) = &self.faults else { return };
+        let Some(action) = f.tick_op() else { return };
+        let die = |what: &str, op: u64| -> ! {
+            std::panic::resume_unwind(Box::new(format!(
+                "fault injection: scheduled {what} at comm op {op} on rank {}",
+                self.rank
+            )))
+        };
+        match action {
+            FaultAction::Panic(op) => die("panic", op),
+            FaultAction::Sigkill(op) => {
+                if self.transport.request_kill(self.rank, op) {
+                    // a real SIGKILL is on its way; wait for it to land
+                    loop {
+                        std::thread::park();
+                    }
+                }
+                die("SIGKILL (as panic: threads cannot be killed)", op)
+            }
+            FaultAction::Stall(op) => {
+                if self.transport.begin_stall(self.rank, op) {
+                    // frozen: no heartbeats, no exit — the supervisor's
+                    // missed-heartbeat window must catch this
+                    loop {
+                        std::thread::park();
+                    }
+                }
+                die(
+                    "stall (as panic: a stalled thread would hang the world)",
+                    op,
+                )
             }
         }
     }
@@ -352,7 +505,7 @@ impl Comm {
         if let Some(f) = &self.faults {
             if f.has_held() {
                 for h in f.drain_held() {
-                    self.world.deliver(h.dst, h.msg);
+                    self.transport.deliver(h.dst, h.msg);
                 }
             }
         }
@@ -364,14 +517,14 @@ impl Comm {
 
     /// Send `data` to `dest` with `tag`. Never blocks (buffered
     /// mailboxes). Panics if the world has aborted; see [`Comm::try_send`].
-    pub fn send<T: Send + 'static>(&self, dest: usize, tag: u64, data: T) {
+    pub fn send<T: Wire + Send + 'static>(&self, dest: usize, tag: u64, data: T) {
         self.try_send(dest, tag, data)
             .unwrap_or_else(|e| comm_panic(e))
     }
 
     /// Fallible [`Comm::send`]: returns [`CommError::Aborted`] instead of
     /// panicking when another rank has already failed.
-    pub fn try_send<T: Send + 'static>(
+    pub fn try_send<T: Wire + Send + 'static>(
         &self,
         dest: usize,
         tag: u64,
@@ -380,18 +533,46 @@ impl Comm {
         assert!(tag < COLL_TAG_BASE, "user tags must be < 2^48");
         self.tick();
         let bytes = std::mem::size_of_val(&data) as u64;
-        self.send_impl(dest, tag, Box::new(data), bytes)
+        self.send_value(dest, tag, data, bytes)
+    }
+
+    /// Build the backend-appropriate payload (boxed value in-process,
+    /// Wire bytes cross-process) and hand it to `send_impl`. `bytes` is
+    /// the caller's telemetry size estimate for the local path; the
+    /// serialized path uses the exact encoded length instead.
+    fn send_value<T: Wire + Send + 'static>(
+        &self,
+        dest: usize,
+        tag: u64,
+        value: T,
+        bytes: u64,
+    ) -> Result<(), CommError> {
+        if self.transport.serializes() {
+            let data = value.to_wire();
+            let bytes = data.len() as u64;
+            self.send_impl(
+                dest,
+                tag,
+                Payload::Bytes {
+                    type_tag: wire_type_tag::<T>(),
+                    data,
+                },
+                bytes,
+            )
+        } else {
+            self.send_impl(dest, tag, Payload::Local(Box::new(value)), bytes)
+        }
     }
 
     fn send_impl(
         &self,
         dest: usize,
         tag: u64,
-        payload: Box<dyn Any + Send>,
+        payload: Payload,
         bytes: u64,
     ) -> Result<(), CommError> {
-        if self.world.is_aborted() {
-            return Err(self.world.abort_error());
+        if self.transport.is_aborted() {
+            return Err(self.transport.abort_error());
         }
         telemetry::counter_add("comm.msgs_sent", 1);
         telemetry::counter_add("comm.bytes_sent", bytes);
@@ -407,10 +588,10 @@ impl Comm {
                     std::thread::sleep(delay);
                 }
                 if let Some(msg) = f.maybe_hold(dest, tag, msg) {
-                    self.world.deliver(dest, msg);
+                    self.transport.deliver(dest, msg);
                 }
             }
-            None => self.world.deliver(dest, msg),
+            None => self.transport.deliver(dest, msg),
         }
         Ok(())
     }
@@ -419,7 +600,7 @@ impl Comm {
     /// Messages from the same sender are non-overtaking per tag.
     /// Panics on abort, timeout, or payload-type mismatch; see
     /// [`Comm::try_recv`].
-    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
+    pub fn recv<T: Wire + Send + 'static>(&self, src: usize, tag: u64) -> T {
         self.try_recv(src, tag).unwrap_or_else(|e| comm_panic(e))
     }
 
@@ -429,13 +610,13 @@ impl Comm {
     /// configured [`RunOptions::recv_timeout`], and
     /// [`CommError::TypeMismatch`] when the matching message holds a
     /// different payload type.
-    pub fn try_recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Result<T, CommError> {
+    pub fn try_recv<T: Wire + Send + 'static>(&self, src: usize, tag: u64) -> Result<T, CommError> {
         assert!(tag < COLL_TAG_BASE, "user tags must be < 2^48");
         self.tick();
         self.recv_impl(src, tag)
     }
 
-    fn recv_impl<T: Send + 'static>(&self, src: usize, tag: u64) -> Result<T, CommError> {
+    fn recv_impl<T: Wire + Send + 'static>(&self, src: usize, tag: u64) -> Result<T, CommError> {
         // never block while holding reordered messages of our own
         self.flush_held();
         // first serve a parked message if one matches
@@ -446,10 +627,10 @@ impl Comm {
                 return downcast_msg(msg);
             }
         }
-        let world = &self.world;
+        let world = &*self.transport;
         let started = Instant::now();
-        let deadline = started + world.recv_timeout;
-        let mb = &world.mailboxes[self.rank];
+        let deadline = started + world.recv_timeout();
+        let mb = world.mailbox(self.rank);
         let mut queue = plock(&mb.queue);
         loop {
             // drain everything already delivered
@@ -521,7 +702,7 @@ impl Comm {
         self.coll_seq.set(seq + 1);
         telemetry::counter_add("comm.collectives", 1);
         if let Some(phase) = telemetry::current_span() {
-            self.world.name_collective(seq, phase);
+            self.transport.name_collective(seq, phase);
         }
         COLL_TAG_BASE + seq
     }
@@ -548,7 +729,7 @@ impl Comm {
         while round < self.size() {
             let dest = (self.rank + round) % self.size();
             let src = (self.rank + self.size() - round) % self.size();
-            self.send_impl(dest, tag + (round_no << 32), Box::new(()), 0)?;
+            self.send_value(dest, tag + (round_no << 32), (), 0)?;
             self.recv_impl::<()>(src, tag + (round_no << 32))?;
             round <<= 1;
             round_no += 1;
@@ -558,23 +739,29 @@ impl Comm {
 
     /// Gather one value from every rank, returned in rank order on all
     /// ranks. Panics on world failure; see [`Comm::try_allgather`].
-    pub fn allgather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
+    pub fn allgather<T: Wire + Clone + Send + 'static>(&self, value: T) -> Vec<T> {
         self.try_allgather(value).unwrap_or_else(|e| comm_panic(e))
     }
 
     /// Fallible [`Comm::allgather`].
-    pub fn try_allgather<T: Clone + Send + 'static>(&self, value: T) -> Result<Vec<T>, CommError> {
+    pub fn try_allgather<T: Wire + Clone + Send + 'static>(
+        &self,
+        value: T,
+    ) -> Result<Vec<T>, CommError> {
         self.tick();
         self.allgather_impl(value)
     }
 
-    fn allgather_impl<T: Clone + Send + 'static>(&self, value: T) -> Result<Vec<T>, CommError> {
+    fn allgather_impl<T: Wire + Clone + Send + 'static>(
+        &self,
+        value: T,
+    ) -> Result<Vec<T>, CommError> {
         let _t = self.coll_timer();
         let tag = self.next_coll_tag();
         let bytes = std::mem::size_of_val(&value) as u64;
         for dest in 0..self.size() {
             if dest != self.rank {
-                self.send_impl(dest, tag, Box::new(value.clone()), bytes)?;
+                self.send_value(dest, tag, value.clone(), bytes)?;
             }
         }
         (0..self.size())
@@ -593,7 +780,7 @@ impl Comm {
     /// Panics on world failure; see [`Comm::try_allreduce`].
     pub fn allreduce<T, F>(&self, value: T, op: F) -> T
     where
-        T: Clone + Send + 'static,
+        T: Wire + Clone + Send + 'static,
         F: Fn(&T, &T) -> T,
     {
         self.try_allreduce(value, op)
@@ -603,7 +790,7 @@ impl Comm {
     /// Fallible [`Comm::allreduce`].
     pub fn try_allreduce<T, F>(&self, value: T, op: F) -> Result<T, CommError>
     where
-        T: Clone + Send + 'static,
+        T: Wire + Clone + Send + 'static,
         F: Fn(&T, &T) -> T,
     {
         self.tick();
@@ -627,7 +814,7 @@ impl Comm {
     /// `T::default()`. Panics on world failure; see [`Comm::try_exscan`].
     pub fn exscan<T, F>(&self, value: T, op: F) -> T
     where
-        T: Clone + Default + Send + 'static,
+        T: Wire + Clone + Default + Send + 'static,
         F: Fn(&T, &T) -> T,
     {
         self.try_exscan(value, op).unwrap_or_else(|e| comm_panic(e))
@@ -636,7 +823,7 @@ impl Comm {
     /// Fallible [`Comm::exscan`].
     pub fn try_exscan<T, F>(&self, value: T, op: F) -> Result<T, CommError>
     where
-        T: Clone + Default + Send + 'static,
+        T: Wire + Clone + Default + Send + 'static,
         F: Fn(&T, &T) -> T,
     {
         self.tick();
@@ -658,13 +845,13 @@ impl Comm {
 
     /// Broadcast from `root` to every rank. Non-root ranks pass `None`.
     /// Panics on world failure; see [`Comm::try_bcast`].
-    pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
+    pub fn bcast<T: Wire + Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
         self.try_bcast(root, value)
             .unwrap_or_else(|e| comm_panic(e))
     }
 
     /// Fallible [`Comm::bcast`].
-    pub fn try_bcast<T: Clone + Send + 'static>(
+    pub fn try_bcast<T: Wire + Clone + Send + 'static>(
         &self,
         root: usize,
         value: Option<T>,
@@ -677,7 +864,7 @@ impl Comm {
             let bytes = std::mem::size_of_val(&v) as u64;
             for dest in 0..self.size() {
                 if dest != root {
-                    self.send_impl(dest, tag, Box::new(v.clone()), bytes)?;
+                    self.send_value(dest, tag, v.clone(), bytes)?;
                 }
             }
             Ok(v)
@@ -689,13 +876,13 @@ impl Comm {
     /// Gather one value from every rank onto `root` (rank order);
     /// other ranks receive `None`. Panics on world failure; see
     /// [`Comm::try_gather`].
-    pub fn gather<T: Send + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
+    pub fn gather<T: Wire + Send + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
         self.try_gather(root, value)
             .unwrap_or_else(|e| comm_panic(e))
     }
 
     /// Fallible [`Comm::gather`].
-    pub fn try_gather<T: Send + 'static>(
+    pub fn try_gather<T: Wire + Send + 'static>(
         &self,
         root: usize,
         value: T,
@@ -714,7 +901,7 @@ impl Comm {
             Ok(Some(out.into_iter().map(|v| v.unwrap()).collect()))
         } else {
             let bytes = std::mem::size_of_val(&value) as u64;
-            self.send_impl(root, tag, Box::new(value), bytes)?;
+            self.send_value(root, tag, value, bytes)?;
             Ok(None)
         }
     }
@@ -722,13 +909,13 @@ impl Comm {
     /// Scatter one value per rank from `root`; non-root ranks pass
     /// `None` and receive their slice. Panics on world failure; see
     /// [`Comm::try_scatter`].
-    pub fn scatter<T: Send + 'static>(&self, root: usize, values: Option<Vec<T>>) -> T {
+    pub fn scatter<T: Wire + Send + 'static>(&self, root: usize, values: Option<Vec<T>>) -> T {
         self.try_scatter(root, values)
             .unwrap_or_else(|e| comm_panic(e))
     }
 
     /// Fallible [`Comm::scatter`].
-    pub fn try_scatter<T: Send + 'static>(
+    pub fn try_scatter<T: Wire + Send + 'static>(
         &self,
         root: usize,
         values: Option<Vec<T>>,
@@ -745,7 +932,7 @@ impl Comm {
                     mine = Some(v);
                 } else {
                     let bytes = std::mem::size_of_val(&v) as u64;
-                    self.send_impl(dest, tag, Box::new(v), bytes)?;
+                    self.send_value(dest, tag, v, bytes)?;
                 }
             }
             Ok(mine.expect("root slot present"))
@@ -757,13 +944,13 @@ impl Comm {
     /// Personalized all-to-all: `outgoing[d]` is delivered to rank `d`;
     /// returns the incoming vectors indexed by source rank. Panics on
     /// world failure; see [`Comm::try_alltoallv`].
-    pub fn alltoallv<T: Send + 'static>(&self, outgoing: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    pub fn alltoallv<T: Wire + Send + 'static>(&self, outgoing: Vec<Vec<T>>) -> Vec<Vec<T>> {
         self.try_alltoallv(outgoing)
             .unwrap_or_else(|e| comm_panic(e))
     }
 
     /// Fallible [`Comm::alltoallv`].
-    pub fn try_alltoallv<T: Send + 'static>(
+    pub fn try_alltoallv<T: Wire + Send + 'static>(
         &self,
         mut outgoing: Vec<Vec<T>>,
     ) -> Result<Vec<Vec<T>>, CommError> {
@@ -778,7 +965,7 @@ impl Comm {
                 // the Vec header
                 let bytes =
                     (std::mem::size_of::<Vec<T>>() + data.len() * std::mem::size_of::<T>()) as u64;
-                self.send_impl(dest, tag, Box::new(data), bytes)?;
+                self.send_value(dest, tag, data, bytes)?;
             }
         }
         (0..self.size())
@@ -806,8 +993,8 @@ impl Comm {
         serve: impl FnMut(usize, Vec<Req>) -> Vec<Resp>,
     ) -> Vec<Vec<Resp>>
     where
-        Req: Send + 'static,
-        Resp: Send + 'static,
+        Req: Wire + Send + 'static,
+        Resp: Wire + Send + 'static,
     {
         self.try_exchange(outgoing, serve)
             .unwrap_or_else(|e| comm_panic(e))
@@ -820,8 +1007,8 @@ impl Comm {
         mut serve: impl FnMut(usize, Vec<Req>) -> Vec<Resp>,
     ) -> Result<Vec<Vec<Resp>>, CommError>
     where
-        Req: Send + 'static,
-        Resp: Send + 'static,
+        Req: Wire + Send + 'static,
+        Resp: Wire + Send + 'static,
     {
         let incoming = self.try_alltoallv(outgoing)?;
         let replies = incoming
@@ -883,18 +1070,34 @@ fn comm_panic(e: CommError) -> ! {
     }
 }
 
-fn downcast_msg<T: Send + 'static>(msg: Msg) -> Result<T, CommError> {
+fn downcast_msg<T: Wire + Send + 'static>(msg: Msg) -> Result<T, CommError> {
     telemetry::counter_add("comm.msgs_recv", 1);
     telemetry::counter_add("comm.bytes_recv", msg.bytes);
     let (src, tag) = (msg.src, msg.tag);
-    msg.payload
-        .downcast::<T>()
-        .map(|b| *b)
-        .map_err(|_| CommError::TypeMismatch {
-            src,
-            tag,
-            expected: std::any::type_name::<T>(),
-        })
+    match msg.payload {
+        Payload::Local(boxed) => {
+            boxed
+                .downcast::<T>()
+                .map(|b| *b)
+                .map_err(|_| CommError::TypeMismatch {
+                    src,
+                    tag,
+                    expected: std::any::type_name::<T>(),
+                })
+        }
+        Payload::Bytes { type_tag, data } => {
+            if type_tag != wire_type_tag::<T>() {
+                return Err(CommError::TypeMismatch {
+                    src,
+                    tag,
+                    expected: std::any::type_name::<T>(),
+                });
+            }
+            T::from_wire(&data).map_err(|e| CommError::Frame {
+                detail: format!("payload from rank {src} tag={}: {e}", tag_display(tag)),
+            })
+        }
+    }
 }
 
 /// Options for [`try_run_with`]: receive timeout and fault injection.
@@ -918,7 +1121,7 @@ impl Default for RunOptions {
     }
 }
 
-fn panic_message(payload: Box<dyn Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -948,13 +1151,11 @@ where
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(size);
         for rank in 0..size {
-            let comm = Comm {
+            let comm = Comm::new(
                 rank,
-                world: Arc::clone(&world),
-                parked: RefCell::new(VecDeque::new()),
-                coll_seq: Cell::new(0),
-                faults: opts.faults.as_ref().map(|p| p.compile(rank)),
-            };
+                Arc::clone(&world) as Arc<dyn Transport>,
+                opts.faults.as_ref().map(|p| p.compile(rank)),
+            );
             let f = &f;
             let world = Arc::clone(&world);
             handles.push(

@@ -4,33 +4,102 @@
 //! [`run_with_recovery`] wraps [`try_run_with`](crate::try_run_with):
 //! when any rank dies (panic, typed failure, or receive timeout) the
 //! whole world unwinds into a [`WorldError`]; the supervisor tears the
-//! world down, waits out a bounded exponential backoff, rebuilds a
-//! fresh world, and invokes the program again with an incremented
-//! [`Attempt`]. The program is responsible for making attempts
-//! idempotent — typically by checkpointing progress
-//! (`Forest::save_checkpoint`) and restoring from the newest valid
-//! generation when `attempt.is_retry()`.
+//! world down, waits out a bounded, jittered exponential backoff
+//! ([`RecoveryPolicy`]), rebuilds a fresh world, and invokes the
+//! program again with an incremented [`Attempt`]. The program is
+//! responsible for making attempts idempotent — typically by
+//! checkpointing progress (`Forest::save_checkpoint`) and restoring
+//! from the newest valid generation when `attempt.is_retry()`.
+//!
+//! [`run_with_recovery_program`] is the backend-generic variant: the
+//! same supervisor loop around a *named* program and a
+//! [`Backend`](crate::Backend), so recovery also restarts real rank
+//! **processes** on the socket backend — including after a `kill -9`,
+//! which no in-process supervisor can survive.
 //!
 //! Fault injection stays deterministic: [`RecoveryOptions::plans`]
 //! assigns one optional [`FaultPlan`] per attempt index, so a chaos
 //! test can kill a specific rank at a specific operation on attempt 0
 //! and let attempt 1 run clean — same outcome every run.
 
-use crate::{try_run_with, Comm, CommError, FaultPlan, RunOptions, WorldError};
+use crate::{
+    fault, try_run_with, Backend, Comm, CommError, FaultPlan, ProgramRegistry, RunOptions,
+    WorldError,
+};
 use quadforest_telemetry as telemetry;
 use std::fmt;
 use std::time::Duration;
 
-/// Policy knobs for [`run_with_recovery`].
-#[derive(Clone, Debug)]
-pub struct RecoveryOptions {
+/// Backoff and retry policy of the recovery supervisor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryPolicy {
     /// Total number of attempts (first try included). Must be ≥ 1.
     pub max_attempts: usize,
-    /// Backoff before retry `k` is `backoff_base · 2^(k-1)`, capped at
-    /// [`RecoveryOptions::backoff_max`].
-    pub backoff_base: Duration,
-    /// Upper bound on a single backoff sleep.
-    pub backoff_max: Duration,
+    /// Backoff before retry `k` is `base_delay · 2^(k-1)`, capped at
+    /// [`RecoveryPolicy::max_delay`], then stretched by jitter.
+    pub base_delay: Duration,
+    /// Upper bound on a single backoff sleep (after jitter).
+    pub max_delay: Duration,
+    /// Jitter amplitude in parts-per-million of the computed backoff:
+    /// the sleep is stretched by a *deterministic* pseudo-random factor
+    /// in `[1, 1 + jitter_ppm/1e6]`, keyed by the attempt index. Zero
+    /// disables jitter. Deterministic so chaos tests replay exactly;
+    /// still decorrelates supervisors started at different attempts.
+    pub jitter_ppm: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_secs(2),
+            jitter_ppm: 0,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// The backoff to sleep after failed attempt `index` (0-based):
+    /// bounded exponential plus deterministic jitter.
+    pub fn backoff_for(&self, index: usize) -> Duration {
+        let base = self
+            .base_delay
+            .saturating_mul(1u32 << index.min(20) as u32)
+            .min(self.max_delay);
+        if self.jitter_ppm == 0 {
+            return base;
+        }
+        // deterministic jitter: hash the attempt index, scale into
+        // [0, jitter_ppm] ppm, stretch, re-cap
+        let h = fault::mix64(index as u64 ^ 0x7265_636F_7665_7279); // "recovery"
+        let ppm = (h % (self.jitter_ppm as u64 + 1)) as u32;
+        let jitter = base.mul_f64(ppm as f64 / 1_000_000.0);
+        (base + jitter).min(self.max_delay)
+    }
+
+    /// Surface the chosen policy in the process-global telemetry
+    /// registry as gauges, so post-mortems can see what the supervisor
+    /// was configured to do.
+    fn publish(&self) {
+        let g = telemetry::global();
+        g.gauge("recovery.policy.max_attempts")
+            .set(self.max_attempts as u64);
+        g.gauge("recovery.policy.base_delay_ns")
+            .set(self.base_delay.as_nanos() as u64);
+        g.gauge("recovery.policy.max_delay_ns")
+            .set(self.max_delay.as_nanos() as u64);
+        g.gauge("recovery.policy.jitter_ppm")
+            .set(self.jitter_ppm as u64);
+    }
+}
+
+/// Options for [`run_with_recovery`]: the retry/backoff policy plus
+/// per-attempt world configuration.
+#[derive(Clone, Debug)]
+pub struct RecoveryOptions {
+    /// Retry and backoff policy.
+    pub policy: RecoveryPolicy,
     /// Receive timeout handed to every attempt's world (see
     /// [`RunOptions::recv_timeout`]).
     pub recv_timeout: Duration,
@@ -39,14 +108,24 @@ pub struct RecoveryOptions {
     pub plans: Vec<Option<FaultPlan>>,
 }
 
+// manual impl: a derived default would give recv_timeout ZERO, which
+// times out instantly; this must match RunOptions::default()
 impl Default for RecoveryOptions {
     fn default() -> Self {
         RecoveryOptions {
-            max_attempts: 3,
-            backoff_base: Duration::from_millis(10),
-            backoff_max: Duration::from_secs(2),
+            policy: RecoveryPolicy::default(),
             recv_timeout: Duration::from_secs(60),
             plans: Vec::new(),
+        }
+    }
+}
+
+impl RecoveryOptions {
+    /// Options with the given policy and defaults elsewhere.
+    pub fn with_policy(policy: RecoveryPolicy) -> Self {
+        RecoveryOptions {
+            policy,
+            ..Self::default()
         }
     }
 }
@@ -59,6 +138,11 @@ pub struct Attempt {
 }
 
 impl Attempt {
+    /// The first attempt.
+    pub fn first() -> Self {
+        Attempt { index: 0 }
+    }
+
     /// True on every attempt after the first — the cue to restore from
     /// the last checkpoint instead of starting fresh.
     pub fn is_retry(&self) -> bool {
@@ -66,8 +150,8 @@ impl Attempt {
     }
 }
 
-/// A successful [`run_with_recovery`] outcome: the per-rank results
-/// plus the failure history it took to get there.
+/// A successful recovery outcome: the per-rank results plus the
+/// failure history it took to get there.
 #[derive(Debug)]
 pub struct RecoveryOutcome<R> {
     /// Per-rank return values of the successful attempt, in rank order.
@@ -101,36 +185,24 @@ impl fmt::Display for RecoveryError {
 
 impl std::error::Error for RecoveryError {}
 
-/// Run `f` once per rank under the recovery supervisor: on world
-/// failure, back off exponentially and retry with a fresh world, up to
-/// [`RecoveryOptions::max_attempts`] attempts total.
-///
-/// Recovery activity lands in the process-global telemetry registry
-/// ([`telemetry::global`]) rather than any per-rank recorder, because
-/// the supervisor outlives every rank thread: counters
-/// `recovery.attempts` / `recovery.retries` / `recovery.giveups` and
-/// histogram `recovery.backoff_ns`.
-pub fn run_with_recovery<F, R>(
-    size: usize,
-    opts: RecoveryOptions,
-    f: F,
-) -> Result<RecoveryOutcome<R>, RecoveryError>
-where
-    F: Fn(Comm, Attempt) -> Result<R, CommError> + Send + Sync,
-    R: Send,
-{
-    assert!(opts.max_attempts >= 1, "need at least one attempt");
+/// The shared supervisor loop: `attempt_fn(index, run_opts)` runs one
+/// world; failures accumulate and back off per the policy.
+fn supervise<R>(
+    opts: &RecoveryOptions,
+    mut attempt_fn: impl FnMut(usize, RunOptions) -> Result<Vec<R>, WorldError>,
+) -> Result<RecoveryOutcome<R>, RecoveryError> {
+    assert!(opts.policy.max_attempts >= 1, "need at least one attempt");
+    opts.policy.publish();
     let global = telemetry::global();
     let mut failures: Vec<WorldError> = Vec::new();
     let mut total_backoff = Duration::ZERO;
-    for index in 0..opts.max_attempts {
+    for index in 0..opts.policy.max_attempts {
         global.counter("recovery.attempts").add(1);
         let run_opts = RunOptions {
             recv_timeout: opts.recv_timeout,
             faults: opts.plans.get(index).cloned().flatten(),
         };
-        let attempt = Attempt { index };
-        match try_run_with(size, run_opts, |comm| f(comm, attempt)) {
+        match attempt_fn(index, run_opts) {
             Ok(values) => {
                 return Ok(RecoveryOutcome {
                     values,
@@ -141,12 +213,8 @@ where
             }
             Err(world_err) => {
                 failures.push(world_err);
-                if index + 1 < opts.max_attempts {
-                    // bounded exponential backoff: base · 2^index, capped
-                    let backoff = opts
-                        .backoff_base
-                        .saturating_mul(1u32 << index.min(20) as u32)
-                        .min(opts.backoff_max);
+                if index + 1 < opts.policy.max_attempts {
+                    let backoff = opts.policy.backoff_for(index);
                     global.counter("recovery.retries").add(1);
                     global
                         .histogram("recovery.backoff_ns")
@@ -159,8 +227,68 @@ where
     }
     global.counter("recovery.giveups").add(1);
     Err(RecoveryError {
-        attempts: opts.max_attempts,
+        attempts: opts.policy.max_attempts,
         failures,
+    })
+}
+
+/// Run `f` once per rank under the recovery supervisor: on world
+/// failure, back off per the [`RecoveryPolicy`] and retry with a fresh
+/// world, up to `max_attempts` attempts total. Thread backend only;
+/// for both backends use [`run_with_recovery_program`].
+///
+/// Recovery activity lands in the process-global telemetry registry
+/// ([`telemetry::global`]) rather than any per-rank recorder, because
+/// the supervisor outlives every rank thread: counters
+/// `recovery.attempts` / `recovery.retries` / `recovery.giveups`,
+/// histogram `recovery.backoff_ns`, and `recovery.policy.*` gauges.
+pub fn run_with_recovery<F, R>(
+    size: usize,
+    opts: RecoveryOptions,
+    f: F,
+) -> Result<RecoveryOutcome<R>, RecoveryError>
+where
+    F: Fn(Comm, Attempt) -> Result<R, CommError> + Send + Sync,
+    R: Send,
+{
+    supervise(&opts, |index, run_opts| {
+        let attempt = Attempt { index };
+        try_run_with(size, run_opts, |comm| f(comm, attempt))
+    })
+}
+
+/// Backend-generic recovery: run registered program `name` on
+/// `backend` under the same supervisor loop as [`run_with_recovery`].
+/// On [`Backend::Sockets`] every retry spawns a **fresh set of rank
+/// processes** — the supervisor restarts real processes from the
+/// program's last good checkpoint, surviving even a `kill -9` that
+/// took a rank down without unwinding. Reconnection activity is
+/// counted in `comm.reconnect.attempts` (global registry).
+pub fn run_with_recovery_program(
+    backend: &Backend,
+    size: usize,
+    opts: RecoveryOptions,
+    registry: &ProgramRegistry,
+    name: &str,
+    args: &[u8],
+) -> Result<RecoveryOutcome<Vec<u8>>, RecoveryError> {
+    supervise(&opts, |index, run_opts| {
+        if index > 0 {
+            if let Backend::Sockets(_) = backend {
+                telemetry::global()
+                    .counter("comm.reconnect.attempts")
+                    .add(1);
+            }
+        }
+        crate::try_run_program(
+            backend,
+            size,
+            &run_opts,
+            registry,
+            name,
+            args,
+            Attempt { index },
+        )
     })
 }
 
@@ -186,7 +314,10 @@ mod tests {
     fn injected_death_recovers_on_retry() {
         // attempt 0: rank 1 dies at its 3rd operation; attempt 1: clean
         let opts = RecoveryOptions {
-            backoff_base: Duration::from_millis(1),
+            policy: RecoveryPolicy {
+                base_delay: Duration::from_millis(1),
+                ..RecoveryPolicy::default()
+            },
             plans: vec![Some(FaultPlan::new(5).with_panic_at(1, 2))],
             ..RecoveryOptions::default()
         };
@@ -210,8 +341,11 @@ mod tests {
     fn gives_up_after_max_attempts() {
         let tries = AtomicUsize::new(0);
         let opts = RecoveryOptions {
-            max_attempts: 3,
-            backoff_base: Duration::from_micros(100),
+            policy: RecoveryPolicy {
+                max_attempts: 3,
+                base_delay: Duration::from_micros(100),
+                ..RecoveryPolicy::default()
+            },
             // every attempt is poisoned
             plans: (0..3)
                 .map(|i| Some(FaultPlan::new(i).with_panic_at(0, 0)))
@@ -235,9 +369,12 @@ mod tests {
     #[test]
     fn backoff_is_bounded() {
         let opts = RecoveryOptions {
-            max_attempts: 4,
-            backoff_base: Duration::from_millis(2),
-            backoff_max: Duration::from_millis(3),
+            policy: RecoveryPolicy {
+                max_attempts: 4,
+                base_delay: Duration::from_millis(2),
+                max_delay: Duration::from_millis(3),
+                ..RecoveryPolicy::default()
+            },
             plans: (0..4)
                 .map(|i| Some(FaultPlan::new(i).with_panic_at(0, 0)))
                 .collect(),
@@ -255,5 +392,62 @@ mod tests {
         assert!(snap
             .get("recovery.backoff_ns", MetricKind::Histogram)
             .is_some());
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_capped() {
+        let policy = RecoveryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(100),
+            jitter_ppm: 500_000, // up to +50 %
+        };
+        for index in 0..8 {
+            let a = policy.backoff_for(index);
+            let b = policy.backoff_for(index);
+            assert_eq!(a, b, "jitter must be deterministic per attempt");
+            assert!(a <= policy.max_delay, "attempt {index}: {a:?} over cap");
+            let unjittered = RecoveryPolicy {
+                jitter_ppm: 0,
+                ..policy.clone()
+            }
+            .backoff_for(index);
+            assert!(a >= unjittered, "jitter never shortens the sleep");
+            assert!(
+                a <= unjittered.mul_f64(1.5) + Duration::from_nanos(1) || a == policy.max_delay,
+                "attempt {index}: {a:?} exceeds +50 % of {unjittered:?}"
+            );
+        }
+        // zero jitter reproduces the plain exponential schedule
+        let plain = RecoveryPolicy {
+            jitter_ppm: 0,
+            ..policy
+        };
+        assert_eq!(plain.backoff_for(0), Duration::from_millis(10));
+        assert_eq!(plain.backoff_for(1), Duration::from_millis(20));
+        assert_eq!(plain.backoff_for(4), Duration::from_millis(100)); // capped
+    }
+
+    #[test]
+    fn policy_gauges_are_published() {
+        let opts = RecoveryOptions {
+            policy: RecoveryPolicy {
+                max_attempts: 2,
+                base_delay: Duration::from_micros(50),
+                max_delay: Duration::from_millis(1),
+                jitter_ppm: 123,
+            },
+            ..RecoveryOptions::default()
+        };
+        let _ = run_with_recovery(2, opts, |comm, _| comm.try_allreduce_sum(1));
+        use quadforest_telemetry::MetricKind;
+        let snap = telemetry::global().snapshot();
+        let gauge = |name: &str| {
+            snap.get(name, MetricKind::Gauge)
+                .unwrap_or_else(|| panic!("{name} gauge missing"))
+                .values[0]
+        };
+        assert_eq!(gauge("recovery.policy.max_attempts"), 2);
+        assert_eq!(gauge("recovery.policy.jitter_ppm"), 123);
     }
 }

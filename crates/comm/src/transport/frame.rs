@@ -1,0 +1,534 @@
+//! Length-prefixed, CRC-guarded frames for the socket transport.
+//!
+//! Wire layout of one frame:
+//!
+//! ```text
+//! [ len: u32 LE ][ crc: u32 LE ][ payload: len bytes ]
+//! ```
+//!
+//! `len` counts only the payload; `crc` is CRC-32 of the payload (the
+//! same polynomial the checkpoint shards use, from
+//! [`quadforest_core::crc`]). The payload is the Wire encoding of a
+//! [`Frame`]. Decoding is strict and hostile-input-safe: an
+//! out-of-range length is rejected *before* any allocation, a CRC
+//! mismatch or trailing bytes is a typed error, and EOF mid-frame is
+//! distinguished from clean EOF between frames — the reader can tell
+//! "peer hung up" from "peer died mid-sentence".
+
+use quadforest_core::crc::crc32;
+use quadforest_core::wire::{Wire, WireError, WireReader};
+use std::io::Read;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Upper bound on a single frame payload. Far above anything the
+/// forest algorithms send (the biggest alltoallv slabs are a few MiB),
+/// far below anything that could be a length-prefix attack.
+pub(crate) const MAX_FRAME_LEN: u32 = 256 << 20;
+
+/// Everything that travels over a rank⇄supervisor socket.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Frame {
+    /// First frame on a connection: the child identifies its rank.
+    Hello { rank: u64 },
+    /// A point-to-point or collective message, routed via the
+    /// supervisor star. `type_tag` is the sender's payload type hash;
+    /// `bytes` the telemetry size estimate.
+    Msg {
+        src: u64,
+        dst: u64,
+        tag: u64,
+        type_tag: u64,
+        bytes: u64,
+        data: Vec<u8>,
+    },
+    /// Periodic liveness beacon from a child.
+    Heartbeat { rank: u64, seq: u64 },
+    /// Abort broadcast: either direction. From a child it reports
+    /// "this rank failed first"; from the supervisor it spreads the
+    /// recorded origin to every surviving rank.
+    Abort { origin: u64, reason: String },
+    /// A child finished successfully with these result bytes.
+    Done { rank: u64, result: Vec<u8> },
+    /// A child's program failed. `error` is present when the program
+    /// returned a typed `CommError` (absent for panics).
+    Failed {
+        rank: u64,
+        panicked: bool,
+        reason: String,
+        error: Option<crate::CommError>,
+    },
+    /// Fault injection: the child asks the supervisor to SIGKILL it at
+    /// scheduled comm op `op`, then parks awaiting death.
+    RequestKill { rank: u64, op: u64 },
+}
+
+impl Wire for Frame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Frame::Hello { rank } => {
+                out.push(0);
+                rank.encode(out);
+            }
+            Frame::Msg {
+                src,
+                dst,
+                tag,
+                type_tag,
+                bytes,
+                data,
+            } => {
+                out.push(1);
+                src.encode(out);
+                dst.encode(out);
+                tag.encode(out);
+                type_tag.encode(out);
+                bytes.encode(out);
+                data.encode(out);
+            }
+            Frame::Heartbeat { rank, seq } => {
+                out.push(2);
+                rank.encode(out);
+                seq.encode(out);
+            }
+            Frame::Abort { origin, reason } => {
+                out.push(3);
+                origin.encode(out);
+                reason.encode(out);
+            }
+            Frame::Done { rank, result } => {
+                out.push(4);
+                rank.encode(out);
+                result.encode(out);
+            }
+            Frame::Failed {
+                rank,
+                panicked,
+                reason,
+                error,
+            } => {
+                out.push(5);
+                rank.encode(out);
+                panicked.encode(out);
+                reason.encode(out);
+                error.encode(out);
+            }
+            Frame::RequestKill { rank, op } => {
+                out.push(6);
+                rank.encode(out);
+                op.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(Frame::Hello {
+                rank: u64::decode(r)?,
+            }),
+            1 => Ok(Frame::Msg {
+                src: u64::decode(r)?,
+                dst: u64::decode(r)?,
+                tag: u64::decode(r)?,
+                type_tag: u64::decode(r)?,
+                bytes: u64::decode(r)?,
+                data: Vec::decode(r)?,
+            }),
+            2 => Ok(Frame::Heartbeat {
+                rank: u64::decode(r)?,
+                seq: u64::decode(r)?,
+            }),
+            3 => Ok(Frame::Abort {
+                origin: u64::decode(r)?,
+                reason: String::decode(r)?,
+            }),
+            4 => Ok(Frame::Done {
+                rank: u64::decode(r)?,
+                result: Vec::decode(r)?,
+            }),
+            5 => Ok(Frame::Failed {
+                rank: u64::decode(r)?,
+                panicked: bool::decode(r)?,
+                reason: String::decode(r)?,
+                error: Option::decode(r)?,
+            }),
+            6 => Ok(Frame::RequestKill {
+                rank: u64::decode(r)?,
+                op: u64::decode(r)?,
+            }),
+            d => Err(WireError::Invalid(format!("Frame discriminant {d}"))),
+        }
+    }
+}
+
+/// Why reading a frame off a stream failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum FrameError {
+    /// Clean EOF on a frame boundary: the peer closed in an orderly
+    /// way (or was killed between frames — the caller decides whether
+    /// that was expected).
+    Eof,
+    /// EOF in the middle of a frame: the peer died mid-write.
+    TruncatedEof { got: usize, wanted: usize },
+    /// Length prefix exceeds [`MAX_FRAME_LEN`]; rejected before any
+    /// allocation.
+    Oversized { len: u32 },
+    /// Payload bytes do not match the header CRC.
+    Crc { expected: u32, got: u32 },
+    /// Payload failed Wire decoding (carries the inner error text).
+    Decode(String),
+    /// Underlying socket error other than timeout/EOF.
+    Io(String),
+    /// The reader's stop flag was raised while waiting for bytes.
+    Stopped,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Eof => write!(f, "connection closed"),
+            FrameError::TruncatedEof { got, wanted } => {
+                write!(f, "connection closed mid-frame ({got}/{wanted} bytes)")
+            }
+            FrameError::Oversized { len } => {
+                write!(f, "frame length {len} exceeds cap {MAX_FRAME_LEN}")
+            }
+            FrameError::Crc { expected, got } => {
+                write!(
+                    f,
+                    "frame CRC mismatch (header {expected:#010x}, payload {got:#010x})"
+                )
+            }
+            FrameError::Decode(e) => write!(f, "frame payload decode failed: {e}"),
+            FrameError::Io(e) => write!(f, "socket error: {e}"),
+            FrameError::Stopped => write!(f, "reader stopped"),
+        }
+    }
+}
+
+/// Encode `frame` as `[len][crc][payload]` ready to write.
+pub(crate) fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let payload = frame.to_wire();
+    debug_assert!(payload.len() <= MAX_FRAME_LEN as usize);
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Fill `buf` from `stream`, tolerating read timeouts (the socket has
+/// a short `read_timeout` so readers can poll `stop`). Returns the
+/// byte count actually read when EOF arrives early.
+fn read_full(
+    stream: &mut impl Read,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+) -> Result<(), (usize, FrameErrorKind)> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if stop.load(Ordering::Relaxed) {
+            return Err((filled, FrameErrorKind::Stopped));
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err((filled, FrameErrorKind::Eof)),
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err((filled, FrameErrorKind::Io(e.to_string()))),
+        }
+    }
+    Ok(())
+}
+
+enum FrameErrorKind {
+    Eof,
+    Io(String),
+    Stopped,
+}
+
+/// Read and decode one frame. `stop` lets the owner retire the reader
+/// thread without closing the socket.
+pub(crate) fn read_frame(stream: &mut impl Read, stop: &AtomicBool) -> Result<Frame, FrameError> {
+    let mut header = [0u8; 8];
+    match read_full(stream, &mut header, stop) {
+        Ok(()) => {}
+        // EOF before any header byte is a clean close; anything later
+        // is a mid-frame death
+        Err((0, FrameErrorKind::Eof)) => return Err(FrameError::Eof),
+        Err((got, FrameErrorKind::Eof)) => return Err(FrameError::TruncatedEof { got, wanted: 8 }),
+        Err((_, FrameErrorKind::Stopped)) => return Err(FrameError::Stopped),
+        Err((_, FrameErrorKind::Io(e))) => return Err(FrameError::Io(e)),
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    let expected_crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized { len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    match read_full(stream, &mut payload, stop) {
+        Ok(()) => {}
+        Err((got, FrameErrorKind::Eof)) => {
+            return Err(FrameError::TruncatedEof {
+                got: 8 + got,
+                wanted: 8 + len as usize,
+            })
+        }
+        Err((_, FrameErrorKind::Stopped)) => return Err(FrameError::Stopped),
+        Err((_, FrameErrorKind::Io(e))) => return Err(FrameError::Io(e)),
+    }
+    let got_crc = crc32(&payload);
+    if got_crc != expected_crc {
+        return Err(FrameError::Crc {
+            expected: expected_crc,
+            got: got_crc,
+        });
+    }
+    Frame::from_wire(&payload).map_err(|e| FrameError::Decode(e.to_string()))
+}
+
+/// Blocking wrapper used during the connection handshake: read one
+/// frame or give up after `timeout`.
+pub(crate) fn read_frame_timeout(
+    stream: &mut impl Read,
+    timeout: Duration,
+) -> Result<Frame, FrameError> {
+    // reuse the stop flag as a deadline: a watcher thread would be
+    // overkill for a handshake, so poll wall clock between reads
+    struct DeadlineRead<'a, R> {
+        inner: &'a mut R,
+        deadline: Instant,
+    }
+    impl<R: Read> Read for DeadlineRead<'_, R> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if Instant::now() >= self.deadline {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "handshake timeout",
+                ));
+            }
+            self.inner.read(buf)
+        }
+    }
+    let stop = AtomicBool::new(false);
+    let mut dr = DeadlineRead {
+        inner: stream,
+        deadline: Instant::now() + timeout,
+    };
+    read_frame(&mut dr, &stop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn no_stop() -> AtomicBool {
+        AtomicBool::new(false)
+    }
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello { rank: 3 },
+            Frame::Msg {
+                src: 1,
+                dst: 2,
+                tag: 77,
+                type_tag: 0xABCD,
+                bytes: 4,
+                data: vec![1, 2, 3, 4],
+            },
+            Frame::Heartbeat { rank: 0, seq: 41 },
+            Frame::Abort {
+                origin: 2,
+                reason: "recv timeout".into(),
+            },
+            Frame::Done {
+                rank: 1,
+                result: vec![9; 32],
+            },
+            Frame::Failed {
+                rank: 0,
+                panicked: true,
+                reason: "panicked: boom".into(),
+                error: None,
+            },
+            Frame::Failed {
+                rank: 2,
+                panicked: false,
+                reason: "aborted".into(),
+                error: Some(crate::CommError::Aborted {
+                    origin: 1,
+                    reason: "first".into(),
+                }),
+            },
+            Frame::RequestKill { rank: 1, op: 12 },
+        ]
+    }
+
+    #[test]
+    fn frames_roundtrip_through_codec() {
+        for frame in sample_frames() {
+            let bytes = encode_frame(&frame);
+            let mut cur = Cursor::new(bytes);
+            let back = read_frame(&mut cur, &no_stop()).expect("decode");
+            assert_eq!(frame, back);
+            // and the stream is fully consumed: next read is clean EOF
+            assert_eq!(read_frame(&mut cur, &no_stop()), Err(FrameError::Eof));
+        }
+    }
+
+    #[test]
+    fn back_to_back_frames_parse_in_order() {
+        let frames = sample_frames();
+        let mut bytes = Vec::new();
+        for f in &frames {
+            bytes.extend_from_slice(&encode_frame(f));
+        }
+        let mut cur = Cursor::new(bytes);
+        for f in &frames {
+            assert_eq!(&read_frame(&mut cur, &no_stop()).expect("frame"), f);
+        }
+        assert_eq!(read_frame(&mut cur, &no_stop()), Err(FrameError::Eof));
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_typed_never_a_panic() {
+        let full = encode_frame(&Frame::Msg {
+            src: 0,
+            dst: 1,
+            tag: 5,
+            type_tag: 7,
+            bytes: 3,
+            data: vec![10, 20, 30],
+        });
+        for cut in 1..full.len() {
+            let mut cur = Cursor::new(full[..cut].to_vec());
+            let err = read_frame(&mut cur, &no_stop()).expect_err("truncated");
+            match err {
+                FrameError::TruncatedEof { got, wanted } => {
+                    assert_eq!(got, cut);
+                    assert!(wanted > got);
+                }
+                other => panic!("cut at {cut}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_allocation() {
+        // claim a 3 GiB payload; decode must fail fast on the header
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(3u32 << 30).to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let mut cur = Cursor::new(bytes);
+        assert_eq!(
+            read_frame(&mut cur, &no_stop()),
+            Err(FrameError::Oversized { len: 3 << 30 })
+        );
+    }
+
+    #[test]
+    fn crc_mismatch_is_detected() {
+        let mut bytes = encode_frame(&Frame::Heartbeat { rank: 4, seq: 9 });
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40; // flip one payload bit
+        let mut cur = Cursor::new(bytes);
+        match read_frame(&mut cur, &no_stop()) {
+            Err(FrameError::Crc { .. }) => {}
+            other => panic!("expected CRC error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_discriminant_is_a_decode_error() {
+        let payload = vec![250u8]; // no such Frame variant
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let mut cur = Cursor::new(bytes);
+        match read_frame(&mut cur, &no_stop()) {
+            Err(FrameError::Decode(e)) => assert!(e.contains("discriminant")),
+            other => panic!("expected decode error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_inside_payload_is_rejected() {
+        // valid Heartbeat payload plus junk, CRC recomputed so only the
+        // strict from_wire trailing check can catch it
+        let mut payload = Frame::Heartbeat { rank: 1, seq: 2 }.to_wire();
+        payload.extend_from_slice(&[0xAA, 0xBB]);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let mut cur = Cursor::new(bytes);
+        match read_frame(&mut cur, &no_stop()) {
+            Err(FrameError::Decode(e)) => assert!(e.contains("trailing")),
+            other => panic!("expected decode error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_inner_length_in_msg_data_is_rejected() {
+        // hand-craft a Msg frame whose Vec<u8> length claims far more
+        // than the payload holds — the Wire seq_len guard must reject
+        // it without allocating
+        let mut payload = Vec::new();
+        payload.push(1u8); // Msg discriminant
+        for v in [0u64, 1, 5, 7, 3] {
+            payload.extend_from_slice(&v.to_le_bytes()); // src dst tag type_tag bytes
+        }
+        payload.extend_from_slice(&u64::MAX.to_le_bytes()); // data len: 2^64-1
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let mut cur = Cursor::new(bytes);
+        match read_frame(&mut cur, &no_stop()) {
+            Err(FrameError::Decode(_)) => {}
+            other => panic!("expected decode error, got {other:?}"),
+        }
+    }
+
+    // Byte-mutation property, mirroring the checkpoint corruption
+    // suite: flip any single byte of a valid frame stream anywhere —
+    // length prefix, CRC guard, or payload — and reading it back must
+    // yield a typed error or the untouched original, never a panic,
+    // a hang, or a silently different frame. CRC32 catches every
+    // single-byte payload/guard corruption; length corruption lands in
+    // the Oversized/Truncated/Crc paths.
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(256))]
+        #[test]
+        fn single_byte_mutations_never_panic_or_misparse(
+            which in 0usize..7,
+            pos in 0usize..4096,
+            xor in 1u8..=255,
+        ) {
+            let frames = sample_frames();
+            let original = &frames[which % frames.len()];
+            let mut bytes = encode_frame(original);
+            let pos = pos % bytes.len();
+            bytes[pos] ^= xor;
+            let mut cur = Cursor::new(bytes);
+            match read_frame(&mut cur, &no_stop()) {
+                Ok(frame) => proptest::prop_assert_eq!(&frame, original),
+                Err(
+                    FrameError::Oversized { .. }
+                    | FrameError::TruncatedEof { .. }
+                    | FrameError::Crc { .. }
+                    | FrameError::Decode(_)
+                    | FrameError::Eof,
+                ) => {}
+                Err(other) => {
+                    proptest::prop_assert!(false, "untyped failure: {:?}", other);
+                }
+            }
+        }
+    }
+}

@@ -43,13 +43,16 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod batch;
+pub mod crc;
 pub mod deep;
 pub mod linear;
 pub mod morton;
 pub mod quadrant;
 pub mod scalar_ref;
 pub mod simd;
+pub mod wire;
 pub mod workload;
 pub mod zrange;
 
 pub use quadrant::Quadrant;
+pub use wire::Wire;

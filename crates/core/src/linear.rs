@@ -56,10 +56,7 @@ pub fn is_complete<Q: Quadrant>(quads: &[Q]) -> bool {
 /// integer key order is exactly `compare_sfc` order, and dedup plus the
 /// ancestor sweep run on the keys alone without touching the quadrants
 /// again.
-pub fn linearize<Q: Quadrant>(quads: Vec<Q>) -> Vec<Q> {
-    let keys = Q::sfc_keys(&quads);
-    let mut order: Vec<(u64, Q)> = keys.into_iter().zip(quads).collect();
-    order.sort_unstable_by_key(|&(k, _)| k);
+pub fn linearize<Q: Quadrant>(mut quads: Vec<Q>) -> Vec<Q> {
     // In SFC order an ancestor immediately precedes its descendants, but
     // several nested ancestors may chain; sweep backwards keeping the
     // last (deepest-first-corner) of each nesting chain. Equal keys are
@@ -73,6 +70,27 @@ pub fn linearize<Q: Quadrant>(quads: Vec<Q>) -> Vec<Q> {
         let (la, lb) = (ka & 63, kb & 63);
         la <= lb && (ka >> 6) == (kb >> 6) & !((1u64 << (dim as u64 * (max_level - la))) - 1)
     };
+    if Q::SFC_KEY_IS_IDENTITY {
+        // Key extraction is a re-reading of the stored word: sorting the
+        // quadrants directly moves half the bytes of the `(key, quad)`
+        // pair sort below, and the sweep re-derives each key for the
+        // price of a shift.
+        quads.sort_unstable_by_key(Q::sfc_key);
+        let mut kept: Vec<Q> = Vec::with_capacity(quads.len());
+        for q in quads.into_iter().rev() {
+            if let Some(last) = kept.last() {
+                if covered_by(q.sfc_key(), last.sfc_key()) {
+                    continue; // drop the duplicate or coarser copy
+                }
+            }
+            kept.push(q);
+        }
+        kept.reverse();
+        return kept;
+    }
+    let keys = Q::sfc_keys(&quads);
+    let mut order: Vec<(u64, Q)> = keys.into_iter().zip(quads).collect();
+    order.sort_unstable_by_key(|&(k, _)| k);
     let mut kept: Vec<(u64, Q)> = Vec::with_capacity(order.len());
     for (k, q) in order.into_iter().rev() {
         if let Some((lk, _)) = kept.last() {

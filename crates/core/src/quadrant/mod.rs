@@ -84,7 +84,7 @@ pub mod boundary {
 /// the posture of the C original. The checked [`Quadrant::try_child`] /
 /// [`Quadrant::try_parent`] variants return `None` instead.
 pub trait Quadrant:
-    Copy + Clone + Eq + PartialEq + Hash + Debug + Send + Sync + Sized + 'static
+    Copy + Clone + Eq + PartialEq + Hash + Debug + Send + Sync + Sized + 'static + crate::wire::Wire
 {
     /// Spatial dimension `d` (2 or 3).
     const DIM: u32;
@@ -103,6 +103,15 @@ pub trait Quadrant:
     const NUM_FACES: u32 = 2 * Self::DIM;
     /// Short human-readable name used in benchmark tables.
     const NAME: &'static str;
+    /// True when [`Quadrant::sfc_key`] is (up to a constant-time mask /
+    /// shift) a re-reading of the stored word itself — the raw-Morton
+    /// representations, where the quadrant *is* its curve position.
+    /// `linear::linearize` uses this to sort the quadrant array
+    /// directly instead of materializing a separate `(key, quadrant)`
+    /// pair array: for an 8-byte quadrant whose key extraction is the
+    /// identity, the pair detour doubles the bytes moved by the sort
+    /// for nothing.
+    const SFC_KEY_IS_IDENTITY: bool = false;
 
     // -- construction --------------------------------------------------
 
@@ -581,6 +590,126 @@ pub fn convert<A: Quadrant, B: Quadrant>(q: &A) -> B {
     debug_assert_eq!(A::DIM, B::DIM);
     debug_assert_eq!(A::MAX_LEVEL, B::MAX_LEVEL);
     B::from_coords(q.coords(), q.level())
+}
+
+// ---------------------------------------------------------------------------
+// Wire encoding: every representation serializes through its normal
+// form — level byte plus level-relative Morton index — so peers running
+// different representations (or the same one on the far side of a
+// process boundary) agree on the bytes. Decoding is strict: an invalid
+// level or an index outside the level's range is a typed WireError,
+// never a debug_assert trip inside `from_morton`.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_wire_via_morton_generic {
+    ($($family:ident),* $(,)?) => {$(
+        impl<const D: usize> crate::wire::Wire for $family<D> {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.push(self.level());
+                out.extend_from_slice(&self.morton_index().to_le_bytes());
+            }
+            fn decode(
+                r: &mut crate::wire::WireReader<'_>,
+            ) -> Result<Self, crate::wire::WireError> {
+                decode_morton_form::<Self>(r)
+            }
+        }
+    )*};
+}
+
+impl_wire_via_morton_generic!(StandardQuad, MortonQuad, AvxQuad, Morton128Quad);
+
+impl crate::wire::Wire for HilbertQuad {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.level());
+        out.extend_from_slice(&self.morton_index().to_le_bytes());
+    }
+    fn decode(r: &mut crate::wire::WireReader<'_>) -> Result<Self, crate::wire::WireError> {
+        decode_morton_form::<Self>(r)
+    }
+}
+
+/// Shared strict decoder behind the per-representation [`crate::wire::Wire`]
+/// impls: validates the level and index range before touching
+/// `from_morton` (whose contract is `debug_assert`-only).
+fn decode_morton_form<Q: Quadrant>(
+    r: &mut crate::wire::WireReader<'_>,
+) -> Result<Q, crate::wire::WireError> {
+    use crate::wire::{Wire, WireError};
+    let level = u8::decode(r)?;
+    let index = u64::decode(r)?;
+    if level > Q::MAX_LEVEL {
+        return Err(WireError::Invalid(format!(
+            "quadrant level {level} exceeds max {}",
+            Q::MAX_LEVEL
+        )));
+    }
+    // DIM * level <= 3*18 = 54 or 2*28 = 56 < 64, so the shift is safe
+    let bound = 1u64 << (Q::DIM * level as u32);
+    if index >= bound {
+        return Err(WireError::Invalid(format!(
+            "morton index {index} out of range for level {level} (bound {bound})"
+        )));
+    }
+    Ok(Q::from_morton(index, level))
+}
+
+#[cfg(test)]
+mod wire_tests {
+    use super::*;
+    use crate::wire::{Wire, WireError};
+
+    fn roundtrip_repr<Q: Quadrant>() {
+        for (idx, level) in [(0u64, 0u8), (0, 3), (5, 2), (123, 5), (1, 9)] {
+            let q = Q::from_morton(idx, level);
+            let bytes = q.to_wire();
+            assert_eq!(bytes.len(), 9, "{}: level byte + u64 index", Q::NAME);
+            assert_eq!(Q::from_wire(&bytes).unwrap(), q, "{}", Q::NAME);
+        }
+    }
+
+    #[test]
+    fn all_representations_roundtrip() {
+        roundtrip_repr::<StandardQuad<2>>();
+        roundtrip_repr::<StandardQuad<3>>();
+        roundtrip_repr::<MortonQuad<2>>();
+        roundtrip_repr::<MortonQuad<3>>();
+        roundtrip_repr::<AvxQuad<2>>();
+        roundtrip_repr::<AvxQuad<3>>();
+        roundtrip_repr::<Morton128Quad<2>>();
+        roundtrip_repr::<Morton128Quad<3>>();
+        roundtrip_repr::<HilbertQuad>();
+    }
+
+    #[test]
+    fn representations_share_one_encoding() {
+        let m = MortonQuad::<3>::from_morton(777, 6);
+        let s: StandardQuad<3> = convert(&m);
+        assert_eq!(m.to_wire(), s.to_wire());
+    }
+
+    #[test]
+    fn hostile_level_and_index_are_typed_errors() {
+        // level beyond MAX_LEVEL
+        let mut bytes = vec![Morton3::MAX_LEVEL + 1];
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            Morton3::from_wire(&bytes),
+            Err(WireError::Invalid(_))
+        ));
+        // index out of range for the level
+        let mut bytes = vec![1u8];
+        bytes.extend_from_slice(&8u64.to_le_bytes()); // level 1 holds 8 octants: 8 is out
+        assert!(matches!(
+            Morton3::from_wire(&bytes),
+            Err(WireError::Invalid(_))
+        ));
+        // truncated
+        assert!(matches!(
+            Morton3::from_wire(&[3u8, 1, 2]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
 }
 
 #[cfg(test)]

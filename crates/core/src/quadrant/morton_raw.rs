@@ -106,6 +106,11 @@ impl<const D: usize> Quadrant for MortonQuad<D> {
     const MAX_LEVEL: u8 = shared_max_level(D as u32);
     const REPR_MAX_LEVEL: u8 = shared_max_level(D as u32);
     const NAME: &'static str = "morton";
+    /// The stored word *is* the curve position: the trait's
+    /// `(morton_abs << 6) | level` key is one mask-shift-or away from
+    /// it, so `linearize` sorts the 8-byte quadrants directly instead
+    /// of materializing 16-byte `(key, quad)` pairs.
+    const SFC_KEY_IS_IDENTITY: bool = true;
 
     #[inline]
     fn root() -> Self {

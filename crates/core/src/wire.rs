@@ -1,0 +1,525 @@
+//! Byte-level serialization for values that cross a process boundary.
+//!
+//! The in-process communicator moves messages as `Box<dyn Any>` — zero
+//! serialization cost, but only possible when every rank shares one
+//! address space. The Unix-socket transport runs each rank as a child
+//! process, so every message payload, program argument and program
+//! result must round-trip through bytes. [`Wire`] is that contract:
+//! a deliberately small, dependency-free, little-endian encoding with
+//! *strict* decoding — hostile or truncated bytes must yield a typed
+//! [`WireError`], never a panic, an unbounded allocation, or an
+//! unbounded loop.
+//!
+//! Design rules (all load-bearing for the hostile-frame guarantees):
+//!
+//! * every encodable value occupies **at least one byte** (even `()`),
+//!   so a sequence of claimed length `n` needs at least `n` bytes of
+//!   input — the length-prefix sanity check in [`WireReader::seq_len`]
+//!   rejects oversized claims *before* any allocation or iteration;
+//! * enum discriminants and `bool` are strict: any byte outside the
+//!   declared set is an error, not a silent default;
+//! * [`Wire::from_wire`] rejects trailing bytes, so a frame that
+//!   decodes is exactly one value.
+//!
+//! The trait is implemented here for the std building blocks the forest
+//! algorithms send (integers, tuples, `Vec`, `Option`, `Result`,
+//! `String`, arrays, `Duration`) and for the telemetry snapshot types
+//! (so `aggregate_metrics` works across processes). Quadrant
+//! representations implement it in `quadrant` via their level +
+//! Morton-index normal form.
+
+use std::time::Duration;
+
+/// Decoding failure: what the bytes claimed vs. what they could back.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the value did.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes actually remaining.
+        have: usize,
+    },
+    /// The bytes were well-formed length-wise but semantically invalid
+    /// (bad discriminant, bad UTF-8, out-of-range value, …).
+    Invalid(String),
+    /// A top-level decode consumed the value but left bytes behind.
+    Trailing {
+        /// Number of unconsumed bytes.
+        extra: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { needed, have } => {
+                write!(
+                    f,
+                    "truncated input: needed {needed} more bytes, have {have}"
+                )
+            }
+            WireError::Invalid(why) => write!(f, "invalid encoding: {why}"),
+            WireError::Trailing { extra } => {
+                write!(f, "{extra} trailing byte(s) after a complete value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A bounds-checked cursor over immutable input bytes.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Start reading at the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consume exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                needed: n,
+                have: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Consume a fixed-size array (the primitive-integer path).
+    pub fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let s = self.take(N)?;
+        let mut a = [0u8; N];
+        a.copy_from_slice(s);
+        Ok(a)
+    }
+
+    /// Read a `u64` sequence-length prefix and validate it against the
+    /// remaining input: every element encodes to at least one byte, so
+    /// a claimed length exceeding the bytes left is hostile and is
+    /// rejected *before* any allocation. Returns the length as `usize`.
+    pub fn seq_len(&mut self) -> Result<usize, WireError> {
+        let len = u64::decode(self)?;
+        if len > self.remaining() as u64 {
+            return Err(WireError::Invalid(format!(
+                "sequence claims {len} elements but only {} bytes remain",
+                self.remaining()
+            )));
+        }
+        Ok(len as usize)
+    }
+}
+
+/// Flat little-endian byte serialization with strict decoding. See the
+/// module docs for the encoding rules.
+pub trait Wire: Sized {
+    /// Append this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decode one value from the cursor, consuming exactly its bytes.
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+
+    /// Encode into a fresh buffer.
+    fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decode a complete value from `bytes`, rejecting trailing input.
+    fn from_wire(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(WireError::Trailing {
+                extra: r.remaining(),
+            });
+        }
+        Ok(v)
+    }
+}
+
+macro_rules! impl_wire_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Wire for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                Ok(<$t>::from_le_bytes(r.take_array()?))
+            }
+        }
+    )*};
+}
+
+impl_wire_int!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128, f32, f64);
+
+/// `usize` travels as `u64` so 32- and 64-bit peers agree on layout.
+impl Wire for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        usize::try_from(u64::decode(r)?)
+            .map_err(|_| WireError::Invalid("usize out of range for this platform".into()))
+    }
+}
+
+/// `isize` travels as `i64`.
+impl Wire for isize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as i64).encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        isize::try_from(i64::decode(r)?)
+            .map_err(|_| WireError::Invalid("isize out of range for this platform".into()))
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError::Invalid(format!("bool byte {b:#x}"))),
+        }
+    }
+}
+
+/// `()` encodes as one zero byte, *not* zero bytes: the "every value is
+/// at least one byte" rule is what makes sequence-length prefixes
+/// checkable against the input size (a `Vec<()>` of hostile length
+/// would otherwise decode by looping without consuming anything).
+impl Wire for () {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(0);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(()),
+            b => Err(WireError::Invalid(format!("unit byte {b:#x}"))),
+        }
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = r.seq_len()?;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| WireError::Invalid(format!("string is not UTF-8: {e}")))
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for v in self {
+            v.encode(out);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = r.seq_len()?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            b => Err(WireError::Invalid(format!("Option discriminant {b:#x}"))),
+        }
+    }
+}
+
+impl<T: Wire, E: Wire> Wire for Result<T, E> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Ok(v) => {
+                out.push(0);
+                v.encode(out);
+            }
+            Err(e) => {
+                out.push(1);
+                e.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(Ok(T::decode(r)?)),
+            1 => Ok(Err(E::decode(r)?)),
+            b => Err(WireError::Invalid(format!("Result discriminant {b:#x}"))),
+        }
+    }
+}
+
+impl<T: Wire, const N: usize> Wire for [T; N] {
+    fn encode(&self, out: &mut Vec<u8>) {
+        for v in self {
+            v.encode(out);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        // build through a Vec to avoid requiring T: Default/Copy
+        let mut vals = Vec::with_capacity(N);
+        for _ in 0..N {
+            vals.push(T::decode(r)?);
+        }
+        vals.try_into()
+            .map_err(|_| WireError::Invalid("array length".into()))
+    }
+}
+
+macro_rules! impl_wire_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Wire),+> Wire for ($($name,)+) {
+            fn encode(&self, out: &mut Vec<u8>) {
+                $(self.$idx.encode(out);)+
+            }
+            fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                Ok(($($name::decode(r)?,)+))
+            }
+        }
+    };
+}
+
+impl_wire_tuple!(A: 0);
+impl_wire_tuple!(A: 0, B: 1);
+impl_wire_tuple!(A: 0, B: 1, C: 2);
+impl_wire_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_wire_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_wire_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+impl Wire for Duration {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_secs().encode(out);
+        self.subsec_nanos().encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let secs = u64::decode(r)?;
+        let nanos = u32::decode(r)?;
+        if nanos >= 1_000_000_000 {
+            return Err(WireError::Invalid(format!("Duration nanos {nanos}")));
+        }
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry snapshot types: `Comm::aggregate_metrics` allgathers one
+// `MetricsSnapshot` per rank, which must survive the socket transport.
+// The impls live here (not in quadforest-telemetry) because `Wire` is
+// this crate's trait and core already depends on telemetry.
+// ---------------------------------------------------------------------------
+
+use quadforest_telemetry::{MetricEntry, MetricKind, MetricsSnapshot};
+
+impl Wire for MetricKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            MetricKind::Counter => 0,
+            MetricKind::Gauge => 1,
+            MetricKind::Histogram => 2,
+        });
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(MetricKind::Counter),
+            1 => Ok(MetricKind::Gauge),
+            2 => Ok(MetricKind::Histogram),
+            b => Err(WireError::Invalid(format!(
+                "MetricKind discriminant {b:#x}"
+            ))),
+        }
+    }
+}
+
+impl Wire for MetricEntry {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.name.to_string().encode(out);
+        self.kind.encode(out);
+        self.values.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let name = String::decode(r)?;
+        let kind = MetricKind::decode(r)?;
+        let values = Vec::<u64>::decode(r)?;
+        Ok(MetricEntry {
+            // metric names are `&'static str` throughout telemetry; a
+            // decoded name is interned (leaked once per novel string,
+            // bounded by the metric-name universe of the program)
+            name: quadforest_telemetry::intern_name(&name),
+            kind,
+            values,
+        })
+    }
+}
+
+impl Wire for MetricsSnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.entries.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(MetricsSnapshot {
+            entries: Vec::<MetricEntry>::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_wire();
+        assert!(!bytes.is_empty(), "every value is at least one byte");
+        assert_eq!(T::from_wire(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(u64::MAX);
+        roundtrip(-5i64);
+        roundtrip(123456789usize);
+        roundtrip(3.25f64);
+        roundtrip(true);
+        roundtrip(());
+        roundtrip(u128::MAX - 7);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip("hello wörld".to_string());
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(Some(vec![(1u32, "x".to_string())]));
+        roundtrip(Option::<u8>::None);
+        roundtrip(Result::<u32, String>::Ok(7));
+        roundtrip(Result::<u32, String>::Err("boom".into()));
+        roundtrip([1i32, -2, 3]);
+        roundtrip((1u8, 2u16, 3u32, 4u64, "five".to_string()));
+        roundtrip(Duration::from_nanos(1_234_567_891));
+        roundtrip(vec![(), (), ()]);
+    }
+
+    #[test]
+    fn truncated_input_is_typed() {
+        let bytes = 0xDEAD_BEEFu64.to_wire();
+        for cut in 0..bytes.len() {
+            match u64::from_wire(&bytes[..cut]) {
+                Err(WireError::Truncated { .. }) => {}
+                other => panic!("cut at {cut}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = 5u32.to_wire();
+        bytes.push(0);
+        assert!(matches!(
+            u32::from_wire(&bytes),
+            Err(WireError::Trailing { extra: 1 })
+        ));
+    }
+
+    #[test]
+    fn hostile_sequence_length_is_rejected_before_allocation() {
+        // a Vec<u64> claiming u64::MAX elements with 3 bytes of payload
+        let mut bytes = u64::MAX.to_wire();
+        bytes.extend_from_slice(&[1, 2, 3]);
+        match Vec::<u64>::from_wire(&bytes) {
+            Err(WireError::Invalid(why)) => assert!(why.contains("claims")),
+            other => panic!("{other:?}"),
+        }
+        // same for Vec<()> — the unit's one-byte encoding keeps the
+        // length check sound even for "zero-size" elements
+        match Vec::<()>::from_wire(&bytes) {
+            Err(WireError::Invalid(_)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_discriminants() {
+        assert!(matches!(bool::from_wire(&[2]), Err(WireError::Invalid(_))));
+        assert!(matches!(
+            Option::<u8>::from_wire(&[9, 1]),
+            Err(WireError::Invalid(_))
+        ));
+        assert!(matches!(
+            Result::<u8, u8>::from_wire(&[7, 1]),
+            Err(WireError::Invalid(_))
+        ));
+        let bad_utf8 = {
+            let mut b = 2u64.to_wire();
+            b.extend_from_slice(&[0xFF, 0xFE]);
+            b
+        };
+        assert!(matches!(
+            String::from_wire(&bad_utf8),
+            Err(WireError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn telemetry_snapshot_roundtrips() {
+        use quadforest_telemetry as telemetry;
+        let snap = MetricsSnapshot {
+            entries: vec![
+                MetricEntry {
+                    name: "comm.msgs_sent",
+                    kind: MetricKind::Counter,
+                    values: vec![42],
+                },
+                MetricEntry {
+                    name: telemetry::intern_name("a.decoded.metric"),
+                    kind: MetricKind::Histogram,
+                    values: vec![0; 66],
+                },
+            ],
+        };
+        let back = MetricsSnapshot::from_wire(&snap.to_wire()).unwrap();
+        assert_eq!(back.entries.len(), 2);
+        assert_eq!(back.entries[0].name, "comm.msgs_sent");
+        assert_eq!(back.entries[0].values, vec![42]);
+        assert_eq!(back.entries[1].kind, MetricKind::Histogram);
+    }
+}

@@ -599,3 +599,49 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
+
+// Wire encodings so recovery programs can ship manifests between rank
+// processes on the socket backend (the manifest's own on-disk format
+// above stays the CRC-framed layout, unchanged).
+
+impl quadforest_core::Wire for ShardMeta {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.leaf_count.encode(out);
+        self.byte_len.encode(out);
+        self.crc.encode(out);
+    }
+
+    fn decode(
+        r: &mut quadforest_core::wire::WireReader<'_>,
+    ) -> Result<Self, quadforest_core::wire::WireError> {
+        Ok(ShardMeta {
+            leaf_count: u64::decode(r)?,
+            byte_len: u64::decode(r)?,
+            crc: u32::decode(r)?,
+        })
+    }
+}
+
+impl quadforest_core::Wire for CheckpointManifest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.generation.encode(out);
+        self.dim.encode(out);
+        self.num_trees.encode(out);
+        self.global_count.encode(out);
+        self.size.encode(out);
+        self.shards.encode(out);
+    }
+
+    fn decode(
+        r: &mut quadforest_core::wire::WireReader<'_>,
+    ) -> Result<Self, quadforest_core::wire::WireError> {
+        Ok(CheckpointManifest {
+            generation: u64::decode(r)?,
+            dim: u32::decode(r)?,
+            num_trees: u64::decode(r)?,
+            global_count: u64::decode(r)?,
+            size: u64::decode(r)?,
+            shards: Vec::<ShardMeta>::decode(r)?,
+        })
+    }
+}

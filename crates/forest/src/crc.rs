@@ -1,67 +1,9 @@
-//! CRC-32 (ISO-HDLC / zlib polynomial), table-driven, dependency-free.
+//! CRC-32 re-export shim.
 //!
-//! Guards every checkpoint section against bit rot and torn writes.
-//! CRC-32 detects all single-bit flips and all burst errors up to 32
-//! bits, which covers the failure modes a local filesystem can inject
-//! (partial sector writes, bit rot) — stronger adversaries are out of
-//! scope for a crash-consistency layer.
+//! The implementation moved to [`quadforest_core::crc`] when the
+//! socket transport (below this crate in the dependency graph) started
+//! framing messages with the same checksum the checkpoint shards use.
+//! Existing `forest::crc::crc32` callers keep working through this
+//! re-export.
 
-/// Lazily built 256-entry lookup table for the reflected polynomial
-/// `0xEDB88320`.
-fn table() -> &'static [u32; 256] {
-    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, entry) in t.iter_mut().enumerate() {
-            let mut c = i as u32;
-            for _ in 0..8 {
-                c = if c & 1 != 0 {
-                    0xEDB8_8320 ^ (c >> 1)
-                } else {
-                    c >> 1
-                };
-            }
-            *entry = c;
-        }
-        t
-    })
-}
-
-/// CRC-32 of `data` (same parameters as zlib's `crc32`).
-pub fn crc32(data: &[u8]) -> u32 {
-    let t = table();
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in data {
-        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    c ^ 0xFFFF_FFFF
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn known_vectors() {
-        // reference values from zlib's crc32()
-        assert_eq!(crc32(b""), 0);
-        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(
-            crc32(b"The quick brown fox jumps over the lazy dog"),
-            0x414F_A339
-        );
-    }
-
-    #[test]
-    fn every_single_bit_flip_changes_the_crc() {
-        let data = b"quadforest checkpoint shard".to_vec();
-        let base = crc32(&data);
-        for i in 0..data.len() {
-            for bit in 0..8 {
-                let mut flipped = data.clone();
-                flipped[i] ^= 1 << bit;
-                assert_ne!(crc32(&flipped), base, "flip at byte {i} bit {bit}");
-            }
-        }
-    }
-}
+pub use quadforest_core::crc::crc32;

@@ -501,3 +501,19 @@ mod tests {
         assert_eq!(d.coords, [0, h, 0]);
     }
 }
+
+impl quadforest_core::Wire for Box3 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.lo.encode(out);
+        self.hi.encode(out);
+    }
+
+    fn decode(
+        r: &mut quadforest_core::wire::WireReader<'_>,
+    ) -> Result<Self, quadforest_core::wire::WireError> {
+        Ok(Box3 {
+            lo: <[i32; 3]>::decode(r)?,
+            hi: <[i32; 3]>::decode(r)?,
+        })
+    }
+}

@@ -288,3 +288,243 @@ impl std::error::Error for IoError {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Wire encoding: both error types travel across rank boundaries on the
+// socket transport (e.g. as a `Result<_, IoError>` program outcome), so
+// they get the same strict, discriminant-checked treatment as the comm
+// layer's own errors.
+
+use quadforest_core::wire::{Wire, WireError, WireReader};
+
+impl Wire for InvariantError {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            InvariantError::MarkerLength { got, expected } => {
+                out.push(0);
+                got.encode(out);
+                expected.encode(out);
+            }
+            InvariantError::MarkersNotMonotone {
+                index,
+                marker,
+                next,
+            } => {
+                out.push(1);
+                index.encode(out);
+                marker.encode(out);
+                next.encode(out);
+            }
+            InvariantError::BadEndSentinel { got, expected } => {
+                out.push(2);
+                got.encode(out);
+                expected.encode(out);
+            }
+            InvariantError::InvalidLeaf {
+                tree,
+                coords,
+                level,
+            } => {
+                out.push(3);
+                tree.encode(out);
+                coords.encode(out);
+                level.encode(out);
+            }
+            InvariantError::GapOrOverlap {
+                tree,
+                expected,
+                found,
+            } => {
+                out.push(4);
+                tree.encode(out);
+                expected.encode(out);
+                found.encode(out);
+            }
+            InvariantError::IncompleteRange {
+                walked_to,
+                range_end,
+            } => {
+                out.push(5);
+                walked_to.encode(out);
+                range_end.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::decode(r)? {
+            0 => InvariantError::MarkerLength {
+                got: usize::decode(r)?,
+                expected: usize::decode(r)?,
+            },
+            1 => InvariantError::MarkersNotMonotone {
+                index: usize::decode(r)?,
+                marker: SfcPosition::decode(r)?,
+                next: SfcPosition::decode(r)?,
+            },
+            2 => InvariantError::BadEndSentinel {
+                got: SfcPosition::decode(r)?,
+                expected: SfcPosition::decode(r)?,
+            },
+            3 => InvariantError::InvalidLeaf {
+                tree: u32::decode(r)?,
+                coords: <[i32; 3]>::decode(r)?,
+                level: u8::decode(r)?,
+            },
+            4 => InvariantError::GapOrOverlap {
+                tree: u32::decode(r)?,
+                expected: SfcPosition::decode(r)?,
+                found: SfcPosition::decode(r)?,
+            },
+            5 => InvariantError::IncompleteRange {
+                walked_to: SfcPosition::decode(r)?,
+                range_end: SfcPosition::decode(r)?,
+            },
+            d => {
+                return Err(WireError::Invalid(format!(
+                    "bad InvariantError discriminant {d}"
+                )))
+            }
+        })
+    }
+}
+
+impl Wire for IoError {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            IoError::Truncated { needed, remaining } => {
+                out.push(0);
+                needed.encode(out);
+                remaining.encode(out);
+            }
+            IoError::BadMagic { found } => {
+                out.push(1);
+                found.encode(out);
+            }
+            IoError::UnsupportedVersion { found, supported } => {
+                out.push(2);
+                found.encode(out);
+                supported.encode(out);
+            }
+            IoError::ChecksumMismatch { stored, computed } => {
+                out.push(3);
+                stored.encode(out);
+                computed.encode(out);
+            }
+            IoError::CountMismatch {
+                what,
+                found,
+                expected,
+            } => {
+                out.push(4);
+                what.to_string().encode(out);
+                found.encode(out);
+                expected.encode(out);
+            }
+            IoError::CorruptLeaf {
+                tree,
+                coords,
+                level,
+            } => {
+                out.push(5);
+                tree.encode(out);
+                coords.encode(out);
+                level.encode(out);
+            }
+            IoError::DimensionMismatch {
+                stream,
+                representation,
+            } => {
+                out.push(6);
+                stream.encode(out);
+                representation.encode(out);
+            }
+            IoError::TreeCountMismatch {
+                stream,
+                connectivity,
+            } => {
+                out.push(7);
+                stream.encode(out);
+                connectivity.encode(out);
+            }
+            IoError::SizeMismatch {
+                stream,
+                communicator,
+            } => {
+                out.push(8);
+                stream.encode(out);
+                communicator.encode(out);
+            }
+            IoError::Invariant(e) => {
+                out.push(9);
+                e.encode(out);
+            }
+            IoError::Storage { path, message } => {
+                out.push(10);
+                path.encode(out);
+                message.encode(out);
+            }
+            IoError::NoCheckpoint { dir } => {
+                out.push(11);
+                dir.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::decode(r)? {
+            0 => IoError::Truncated {
+                needed: usize::decode(r)?,
+                remaining: usize::decode(r)?,
+            },
+            1 => IoError::BadMagic {
+                found: <[u8; 4]>::decode(r)?,
+            },
+            2 => IoError::UnsupportedVersion {
+                found: u32::decode(r)?,
+                supported: u32::decode(r)?,
+            },
+            3 => IoError::ChecksumMismatch {
+                stored: u32::decode(r)?,
+                computed: u32::decode(r)?,
+            },
+            4 => {
+                // `what` is a &'static str naming the inconsistent
+                // count; intern the decoded copy to get the lifetime
+                // back (the name set is small and closed).
+                let what = quadforest_telemetry::intern_name(&String::decode(r)?);
+                IoError::CountMismatch {
+                    what,
+                    found: u64::decode(r)?,
+                    expected: u64::decode(r)?,
+                }
+            }
+            5 => IoError::CorruptLeaf {
+                tree: u32::decode(r)?,
+                coords: <[i32; 3]>::decode(r)?,
+                level: u8::decode(r)?,
+            },
+            6 => IoError::DimensionMismatch {
+                stream: u32::decode(r)?,
+                representation: u32::decode(r)?,
+            },
+            7 => IoError::TreeCountMismatch {
+                stream: u64::decode(r)?,
+                connectivity: u64::decode(r)?,
+            },
+            8 => IoError::SizeMismatch {
+                stream: u64::decode(r)?,
+                communicator: u64::decode(r)?,
+            },
+            9 => IoError::Invariant(InvariantError::decode(r)?),
+            10 => IoError::Storage {
+                path: String::decode(r)?,
+                message: String::decode(r)?,
+            },
+            11 => IoError::NoCheckpoint {
+                dir: String::decode(r)?,
+            },
+            d => return Err(WireError::Invalid(format!("bad IoError discriminant {d}"))),
+        })
+    }
+}

@@ -162,7 +162,7 @@ impl<Q: Quadrant> GhostLayer<Q> {
     /// `p4est_ghost_exchange_data` equivalent. `local_data` must hold
     /// one value per local leaf in forest iteration order; the result
     /// holds one value per ghost in ghost order. Collective.
-    pub fn exchange_data<T: Clone + Send + 'static>(
+    pub fn exchange_data<T: Clone + quadforest_core::Wire + Send + 'static>(
         &self,
         forest: &Forest<Q>,
         comm: &Comm,

@@ -10,7 +10,9 @@
 //! ghost alike — and asserts that the scan actually covered a
 //! mid-balance death, the scenario named in the acceptance criteria.
 
-use quadforest_comm::{run, run_with_recovery, Attempt, Comm, FaultPlan, RecoveryOptions};
+use quadforest_comm::{
+    run, run_with_recovery, Attempt, Comm, FaultPlan, RecoveryOptions, RecoveryPolicy,
+};
 use quadforest_connectivity::Connectivity;
 use quadforest_core::quadrant::{MortonQuad, Quadrant};
 use quadforest_forest::{BalanceKind, Forest, IoError};
@@ -105,8 +107,11 @@ fn scan_kill_points(p: usize, victim: usize, seed: u64) -> Vec<String> {
     loop {
         let dir = scratch_dir("scan");
         let opts = RecoveryOptions {
-            max_attempts: 2,
-            backoff_base: Duration::from_micros(200),
+            policy: RecoveryPolicy {
+                max_attempts: 2,
+                base_delay: Duration::from_micros(200),
+                ..RecoveryPolicy::default()
+            },
             plans: vec![Some(FaultPlan::new(seed).with_panic_at(victim, op))],
             ..RecoveryOptions::default()
         };
@@ -334,8 +339,11 @@ fn recovery_attempts_are_counted_globally() {
         .map(|e| e.scalar())
         .unwrap_or(0);
     let opts = RecoveryOptions {
-        max_attempts: 3,
-        backoff_base: Duration::from_micros(100),
+        policy: RecoveryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_micros(100),
+            ..RecoveryPolicy::default()
+        },
         plans: vec![Some(FaultPlan::new(9).with_panic_at(0, 4))],
         ..RecoveryOptions::default()
     };

@@ -434,3 +434,25 @@ mod tests {
         });
     }
 }
+
+impl quadforest_core::Wire for LeafHit {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.tree.encode(out);
+        self.index.encode(out);
+        self.payload.encode(out);
+        self.key.encode(out);
+        self.level.encode(out);
+    }
+
+    fn decode(
+        r: &mut quadforest_core::wire::WireReader<'_>,
+    ) -> Result<Self, quadforest_core::wire::WireError> {
+        Ok(LeafHit {
+            tree: TreeId::decode(r)?,
+            index: u32::decode(r)?,
+            payload: u32::decode(r)?,
+            key: u64::decode(r)?,
+            level: u8::decode(r)?,
+        })
+    }
+}

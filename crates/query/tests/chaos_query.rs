@@ -8,7 +8,7 @@
 //! answers stay geometrically exact, the generation gauge only moves
 //! forward.
 
-use quadforest_comm::{run_with_recovery, FaultPlan, RecoveryOptions};
+use quadforest_comm::{run_with_recovery, FaultPlan, RecoveryOptions, RecoveryPolicy};
 use quadforest_connectivity::Connectivity;
 use quadforest_core::quadrant::{MortonQuad, Quadrant};
 use quadforest_forest::{BalanceKind, Forest};
@@ -98,8 +98,11 @@ fn queries_survive_rank_death_and_recovery() {
     // refine/balance, after some generations already published. The
     // supervisor rebuilds the world; attempt 1 runs clean.
     let opts = RecoveryOptions {
-        max_attempts: 3,
-        backoff_base: Duration::from_millis(5),
+        policy: RecoveryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(5),
+            ..RecoveryPolicy::default()
+        },
         plans: vec![Some(FaultPlan::new(11).with_panic_at(1, 8))],
         ..RecoveryOptions::default()
     };

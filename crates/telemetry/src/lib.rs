@@ -92,6 +92,33 @@ pub fn global() -> &'static Registry {
 }
 
 // ---------------------------------------------------------------------------
+// Metric-name interning
+// ---------------------------------------------------------------------------
+
+/// Intern a metric name into a `&'static str`.
+///
+/// Every name in the telemetry API is `&'static str` (lock-free hot
+/// path, no per-sample allocation). Snapshots arriving from *another
+/// process* — the socket transport's cross-rank `aggregate_metrics` —
+/// carry names as bytes, so decoding needs a static string back. Known
+/// names resolve to the already-interned pointer; a novel name is
+/// leaked exactly once. The leak is bounded by the universe of metric
+/// names the program ever emits, which is static in practice.
+pub fn intern_name(name: &str) -> &'static str {
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
+    static INTERNED: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let set = INTERNED.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut set = set.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(existing) = set.get(name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+// ---------------------------------------------------------------------------
 // Thread-local rank recorder
 // ---------------------------------------------------------------------------
 
