@@ -858,19 +858,25 @@ fn run_trace(path: &str, opts: &Opts) {
 /// refined forest, flatten it into a [`quadforest_query::ForestSnapshot`],
 /// and measure point-location and box-query throughput (a) directly on
 /// the caller thread and (b) through a [`quadforest_query::QueryExecutor`]
-/// at 2 and 4 workers. Multithreaded answers are asserted identical to
-/// the single-threaded ones before any number is reported. Writes
-/// `BENCH_query.json`.
+/// at 2 and 4 workers, plus a batch-path sweep
+/// ([`ForestSnapshot::locate_many`] and the Z-sharded executor) over
+/// batch sizes 1 / 64 / 4k / 256k at 1–8 workers. Multithreaded
+/// answers are asserted identical to the single-threaded ones before
+/// any number is reported. Writes `BENCH_query.json`.
 fn run_queries(opts: &Opts) {
     use quadforest_connectivity::Connectivity;
     use quadforest_forest::Forest;
     use quadforest_query::{ForestSnapshot, QueryExecutor, SnapshotHandle};
     use std::sync::Arc;
 
-    const N_POINTS: usize = 1 << 17;
+    const N_POINTS: usize = 1 << 18;
     const BATCH: usize = 4096;
     const N_BOXES: usize = 512;
     const WORKER_COUNTS: [usize; 2] = [2, 4];
+    /// Batch sizes for the sharded batch-path sweep.
+    const BATCH_SIZES: [usize; 4] = [1, 64, 4096, 1 << 18];
+    /// Worker counts for the sharded batch-path sweep.
+    const SWEEP_WORKERS: [usize; 4] = [1, 2, 4, 8];
 
     fn mix(seed: u64, a: u64, b: u64) -> u64 {
         let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
@@ -1061,6 +1067,77 @@ fn run_queries(opts: &Opts) {
             }
         });
         records.push(JsonRecord::wall("level_histogram", name, boxes.len(), hist));
+
+        // Batch-path sweep: locate_many (sort → gallop-resume sweep →
+        // un-permute) on the caller thread, then the Z-sharded executor
+        // at each worker count, across batch sizes. Small batches use a
+        // proportionally smaller point total so the per-submit overhead
+        // configs stay measurable without dominating the run.
+        println!(
+            "\n| {name} batch sweep | batch | single ns/elem | w1 | w2 | w4 | w8 | w4 speedup |"
+        );
+        println!("|---|---|---|---|---|---|---|---|");
+        for &b in &BATCH_SIZES {
+            let total = points.len().min(b.saturating_mul(8192));
+            let pts = &points[..total];
+            let expect: Vec<_> = pts.chunks(b).flat_map(|c| snap.locate_many(c)).collect();
+            assert_eq!(
+                expect,
+                expect_points[..total],
+                "locate_many diverged from per-element path ({name}, batch {b})"
+            );
+            let single = time_best_of(opts.iters, || {
+                for c in pts.chunks(b) {
+                    std::hint::black_box(snap.locate_many(c));
+                }
+            });
+            let mut ws = Vec::new();
+            for &workers in &SWEEP_WORKERS {
+                let exec = QueryExecutor::new(Arc::clone(&handle), workers);
+                let got: Vec<_> = pts
+                    .chunks(b)
+                    .map(|c| exec.submit_points(c.to_vec()))
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .flat_map(|t| t.wait())
+                    .collect();
+                assert_eq!(
+                    got, expect,
+                    "sharded executor diverged ({name}, batch {b}, {workers} workers)"
+                );
+                ws.push(time_best_of(opts.iters, || {
+                    let tickets: Vec<_> = pts
+                        .chunks(b)
+                        .map(|c| exec.submit_points(c.to_vec()))
+                        .collect();
+                    for t in tickets {
+                        std::hint::black_box(t.wait());
+                    }
+                }));
+            }
+            let w4 = single.as_secs_f64() / ws[2].as_secs_f64();
+            println!(
+                "| {name} | {b} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} | {w4:.2}x |",
+                per(single, total),
+                per(ws[0], total),
+                per(ws[1], total),
+                per(ws[2], total),
+                per(ws[3], total),
+            );
+            records.push(JsonRecord {
+                op: "point_locate_batch",
+                representation: name,
+                n: b,
+                variants: vec![
+                    ("single", per(single, total)),
+                    ("workers1", per(ws[0], total)),
+                    ("workers2", per(ws[1], total)),
+                    ("workers4", per(ws[2], total)),
+                    ("workers8", per(ws[3], total)),
+                ],
+                speedup: Some(w4),
+            });
+        }
     }
 
     bench_one::<StandardQuad<2>>("standard", opts, &points, &boxes, &mut records);

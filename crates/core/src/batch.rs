@@ -140,6 +140,27 @@ pub fn sfc_keys_all(soa: &QuadSoA, dim: u32, out: &mut [u64]) {
     }))(soa, dim, out)
 }
 
+/// Maximum-level Morton probe keys for a batch of integer points — the
+/// batched form of `zrange::point_key`, dispatched to the BMI2 `pdep`
+/// interleave like [`sfc_keys_all`]. Coordinates must already be
+/// validated non-negative and inside the unit tree.
+pub fn point_keys_all(xs: &[i32], ys: &[i32], zs: &[i32], dim: u32, out: &mut [u64]) {
+    type PointKeysFn = fn(&[i32], &[i32], &[i32], u32, &mut [u64]);
+    static ACTIVE: OnceLock<PointKeysFn> = OnceLock::new();
+    crate::simd::note_dispatch(if crate::simd::has_bmi2() {
+        crate::simd::Tier::Bmi2
+    } else {
+        crate::simd::Tier::Scalar
+    });
+    (ACTIVE.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::has_bmi2() {
+            return bmi2_keys::point_keys_all_rt;
+        }
+        scalar_ref::point_keys_all
+    }))(xs, ys, zs, dim, out)
+}
+
 #[cfg(target_arch = "x86_64")]
 mod avx2 {
     use super::QuadSoA;
@@ -439,6 +460,30 @@ mod bmi2_keys {
     pub fn sfc_keys_all_rt(soa: &QuadSoA, dim: u32, out: &mut [u64]) {
         unsafe { sfc_keys_all(soa, dim, out) }
     }
+
+    #[target_feature(enable = "bmi2")]
+    fn point_keys_all(xs: &[i32], ys: &[i32], zs: &[i32], dim: u32, out: &mut [u64]) {
+        let n = xs.len();
+        assert!(
+            ys.len() >= n && zs.len() >= n && out.len() >= n,
+            "point_keys_all: lanes must hold >= {n} entries"
+        );
+        if dim == 2 {
+            for i in 0..n {
+                out[i] = crate::morton::bmi2::encode2(xs[i] as u32, ys[i] as u32);
+            }
+        } else {
+            for i in 0..n {
+                out[i] = crate::morton::bmi2::encode3(xs[i] as u32, ys[i] as u32, zs[i] as u32);
+            }
+        }
+    }
+
+    /// Safe trampoline. SAFETY: installed by `super::point_keys_all`
+    /// only after `crate::simd::has_bmi2()` confirmed BMI2 on this CPU.
+    pub fn point_keys_all_rt(xs: &[i32], ys: &[i32], zs: &[i32], dim: u32, out: &mut [u64]) {
+        unsafe { point_keys_all(xs, ys, zs, dim, out) }
+    }
 }
 
 #[cfg(test)]
@@ -565,6 +610,27 @@ mod tests {
         sfc_keys_all(&s2, 2, &mut keys2);
         for (i, q) in quads2.iter().enumerate() {
             assert_eq!(keys2[i], (q.morton_abs() << 6) | q.level() as u64);
+        }
+    }
+
+    #[test]
+    fn batch_point_keys_match_zrange_point_key() {
+        let pts: Vec<[i32; 3]> = (0..173)
+            .map(|i: i32| [(i * 7) % 256, (i * 13) % 256, (i * 29) % 256])
+            .collect();
+        let xs: Vec<i32> = pts.iter().map(|p| p[0]).collect();
+        let ys: Vec<i32> = pts.iter().map(|p| p[1]).collect();
+        let zs: Vec<i32> = pts.iter().map(|p| p[2]).collect();
+        for dim in [2u32, 3] {
+            let mut keys = vec![0u64; pts.len()];
+            point_keys_all(&xs, &ys, &zs, dim, &mut keys);
+            for (i, p) in pts.iter().enumerate() {
+                assert_eq!(
+                    keys[i],
+                    crate::zrange::point_key(*p, dim),
+                    "dim {dim} pt {i}"
+                );
+            }
         }
     }
 

@@ -74,12 +74,21 @@ pub fn linearize<Q: Quadrant>(mut quads: Vec<Q>) -> Vec<Q> {
         // Key extraction is a re-reading of the stored word: sorting the
         // quadrants directly moves half the bytes of the `(key, quad)`
         // pair sort below, and the sweep re-derives each key for the
-        // price of a shift.
-        quads.sort_unstable_by_key(Q::sfc_key);
+        // price of a rotate. `sort_word` is the representation's
+        // cheapest monotone self-reading (one `rol` for raw Morton, vs
+        // the mask–shift–or trait packing), with the level in its low
+        // `SORT_WORD_LEVEL_BITS` — the ancestor check adjusts its shifts
+        // to that packing.
+        let lb = Q::SORT_WORD_LEVEL_BITS;
+        let covered_by_word = |wa: u64, wb: u64| -> bool {
+            let (la, lbv) = (wa & ((1u64 << lb) - 1), wb & ((1u64 << lb) - 1));
+            la <= lbv && (wa >> lb) == (wb >> lb) & !((1u64 << (dim as u64 * (max_level - la))) - 1)
+        };
+        quads.sort_unstable_by_key(Q::sort_word);
         let mut kept: Vec<Q> = Vec::with_capacity(quads.len());
         for q in quads.into_iter().rev() {
             if let Some(last) = kept.last() {
-                if covered_by(q.sfc_key(), last.sfc_key()) {
+                if covered_by_word(q.sort_word(), last.sort_word()) {
                     continue; // drop the duplicate or coarser copy
                 }
             }
@@ -248,6 +257,48 @@ mod tests {
         let out = linearize(vec![coarse, other, deep, mid, deep]);
         assert_eq!(out, vec![deep, other]);
         assert!(is_linear(&out));
+    }
+
+    #[test]
+    fn identity_sort_word_path_matches_keyed_path() {
+        // the same scrambled multiset (duplicates, nested ancestor
+        // chains) linearized through the raw-Morton identity path (sorts
+        // rotated words) and the Standard keyed path must agree leaf for
+        // leaf — and the sort words themselves must order like the keys
+        let mut rng = 0x5DEE_CE66_D00D_F00Du64;
+        let mut ms: Vec<MortonQuad<2>> = Vec::new();
+        let mut ss: Vec<StandardQuad<2>> = Vec::new();
+        for _ in 0..400 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let level = 1 + (rng >> 60) as u8 % 5;
+            let idx = (rng >> 7) % (1u64 << (2 * level as u32));
+            ms.push(MortonQuad::from_morton(idx, level));
+            ss.push(StandardQuad::from_morton(idx, level));
+            if rng % 5 == 0 {
+                ms.push(*ms.last().unwrap()); // duplicate
+                ss.push(*ss.last().unwrap());
+                ms.push(ms.last().unwrap().parent()); // nested ancestor
+                ss.push(ss.last().unwrap().parent());
+            }
+        }
+        let lm = linearize(ms.clone());
+        let ls = linearize(ss);
+        assert_eq!(lm.len(), ls.len());
+        for (m, s) in lm.iter().zip(&ls) {
+            assert_eq!(m.morton_abs(), s.morton_abs());
+            assert_eq!(m.level(), s.level());
+        }
+        // sort_word is monotone in compare_sfc and packs the level low
+        for (a, b) in ms.iter().zip(ms.iter().skip(1)) {
+            assert_eq!(
+                a.sort_word().cmp(&b.sort_word()),
+                a.compare_sfc(b),
+                "{a:?} vs {b:?}"
+            );
+            let lbits = <MortonQuad<2> as Quadrant>::SORT_WORD_LEVEL_BITS;
+            assert_eq!(a.sort_word() & ((1 << lbits) - 1), a.level() as u64);
+            assert_eq!(a.sort_word() >> lbits, a.morton_abs());
+        }
     }
 
     #[test]

@@ -274,6 +274,26 @@ pub trait Quadrant:
         (self.morton_abs() << 6) | self.level() as u64
     }
 
+    /// Raw monotone sort word: any per-quadrant `u64` whose integer
+    /// order equals [`compare_sfc`](Self::compare_sfc) order and for
+    /// which equal words imply equal quadrants. Defaults to
+    /// [`sfc_key`](Self::sfc_key); representations whose stored word is
+    /// already curve-monotone (the raw-Morton layouts) override it with
+    /// a single rotate instead of the mask–shift–or repacking —
+    /// `linear::linearize`'s identity path re-derives the word `O(n log
+    /// n)` times inside the sort, so every saved instruction multiplies.
+    /// The level sits in the low [`SORT_WORD_LEVEL_BITS`](Self::SORT_WORD_LEVEL_BITS)
+    /// bits, `morton_abs` in the bits above.
+    #[inline]
+    fn sort_word(&self) -> u64 {
+        self.sfc_key()
+    }
+
+    /// Number of low bits of [`sort_word`](Self::sort_word) holding the
+    /// refinement level (6 in the default `(morton_abs << 6) | level`
+    /// packing; 8 for the rotated raw-Morton word).
+    const SORT_WORD_LEVEL_BITS: u32 = 6;
+
     /// Batch [`sfc_key`](Self::sfc_key) extraction. The default loops
     /// per quadrant (correct for every hierarchical curve, including
     /// Hilbert); coordinate-interleave representations override it to

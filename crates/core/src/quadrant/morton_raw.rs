@@ -111,6 +111,9 @@ impl<const D: usize> Quadrant for MortonQuad<D> {
     /// it, so `linearize` sorts the 8-byte quadrants directly instead
     /// of materializing 16-byte `(key, quad)` pairs.
     const SFC_KEY_IS_IDENTITY: bool = true;
+    /// The rotated word keeps the level in the low 8 bits (the stored
+    /// level byte), not the trait default's 6.
+    const SORT_WORD_LEVEL_BITS: u32 = 8;
 
     #[inline]
     fn root() -> Self {
@@ -324,6 +327,16 @@ impl<const D: usize> Quadrant for MortonQuad<D> {
     #[inline]
     fn compare_sfc(&self, other: &Self) -> core::cmp::Ordering {
         self.sfc_key().cmp(&other.sfc_key())
+    }
+
+    /// One rotate of the stored word (the inherent
+    /// [`MortonQuad::sfc_key`]) instead of the trait default's
+    /// mask–shift–or repack: the keyed-linearize sort re-derives this
+    /// word on every comparison, so the identity representation sorts on
+    /// the cheapest monotone reading of itself.
+    #[inline]
+    fn sort_word(&self) -> u64 {
+        self.word.rotate_left(8)
     }
 
     /// Prefix test on the raw words: `self` is an ancestor iff it is

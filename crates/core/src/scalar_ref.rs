@@ -262,6 +262,28 @@ pub fn sfc_keys_all(soa: &QuadSoA, dim: u32, out: &mut [u64]) {
     }
 }
 
+/// Maximum-level Morton probe keys for a batch of integer points — the
+/// query-side twin of [`sfc_keys_all`]: no level pack, just the raw
+/// coordinate interleave `morton_abs` per point. Coordinates must be
+/// non-negative and below `2^L` (the caller validates and routes
+/// out-of-domain points around the kernel).
+pub fn point_keys_all(xs: &[i32], ys: &[i32], zs: &[i32], dim: u32, out: &mut [u64]) {
+    let n = xs.len();
+    assert!(
+        ys.len() >= n && zs.len() >= n && out.len() >= n,
+        "point_keys_all: lanes must hold >= {n} entries"
+    );
+    if dim == 2 {
+        for i in 0..n {
+            out[i] = crate::morton::encode2(xs[i] as u32, ys[i] as u32);
+        }
+    } else {
+        for i in 0..n {
+            out[i] = crate::morton::encode3(xs[i] as u32, ys[i] as u32, zs[i] as u32);
+        }
+    }
+}
+
 /// `tree_boundaries` over a whole SoA array; the three output slices
 /// receive the per-axis classification of Algorithm 12.
 pub fn tree_boundaries_all(soa: &QuadSoA, dim: u32, max_level: u8, out: [&mut [i32]; 3]) {

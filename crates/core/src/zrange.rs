@@ -134,6 +134,67 @@ pub fn locate_by(
     (key_at(i) >> shift == probe >> shift).then_some(i)
 }
 
+/// [`locate_by`] with a resumable cursor — the merge/gallop kernel
+/// behind batched point location over *sorted* probe streams.
+///
+/// `hint` must be a lower bound on the probe's partition point (the
+/// first index whose key exceeds `probe`): every index below `hint`
+/// holds a key `<= probe`. Returns the located leaf (as [`locate_by`])
+/// *and* the probe's partition point, which is a valid `hint` for any
+/// subsequent probe `>= probe` — leaves are disjoint and sorted, so
+/// partition points are monotone in the probe. Instead of an
+/// `O(log n)` binary search from scratch per probe, the cursor gallops
+/// (doubling steps) from the previous hit and binary-searches only the
+/// bracketed window: `O(log gap)` per probe, and cache-coherent left to
+/// right when the batch is Morton-sorted.
+#[inline]
+pub fn locate_from(
+    n: usize,
+    key_at: impl Fn(usize) -> u64,
+    level_at: impl Fn(usize) -> u8,
+    dim: u32,
+    max_level: u8,
+    probe: u64,
+    hint: usize,
+) -> (Option<usize>, usize) {
+    let mut lo = hint.min(n);
+    debug_assert!(lo == 0 || key_at(lo - 1) <= probe, "hint overshoots probe");
+    if lo < n && key_at(lo) <= probe {
+        // gallop right to bracket the partition point ...
+        let mut last = lo;
+        let mut step = 1usize;
+        let mut hi = loop {
+            let next = last + step;
+            if next >= n {
+                break n;
+            }
+            if key_at(next) <= probe {
+                last = next;
+                step <<= 1;
+            } else {
+                break next;
+            }
+        };
+        // ... then binary search inside the bracket
+        lo = last + 1;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if key_at(mid) <= probe {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+    }
+    // else: every key below `lo` is <= probe (hint contract) and
+    // key_at(lo) > probe, so `lo` already is the partition point.
+    let found = lo.checked_sub(1).and_then(|i| {
+        let shift = dim * (max_level - level_at(i)) as u32;
+        (key_at(i) >> shift == probe >> shift).then_some(i)
+    });
+    (found, lo)
+}
+
 /// [`locate_by`] over flat arrays (the snapshot layout).
 #[inline]
 pub fn locate_in_keys(
@@ -167,9 +228,28 @@ pub fn overlapping_by(
     max_level: u8,
     range: ZRange,
 ) -> core::ops::Range<usize> {
+    overlapping_from(n, key_at, level_at, dim, max_level, range, 0)
+}
+
+/// [`overlapping_by`] with a resume lower bound: `from` must be a lower
+/// bound on the result's start (every leaf below `from` has a subtree
+/// end `< range.0`). The start of a range's overlap slice is monotone
+/// in `range.0`, so batched box serving over covers sorted by range
+/// start passes the previous slice's start and skips re-searching the
+/// prefix it already walked past.
+#[inline]
+pub fn overlapping_from(
+    n: usize,
+    key_at: impl Fn(usize) -> u64,
+    level_at: impl Fn(usize) -> u8,
+    dim: u32,
+    max_level: u8,
+    range: ZRange,
+    from: usize,
+) -> core::ops::Range<usize> {
     let (a, b) = range;
     // lo: first leaf whose subtree end reaches `a`
-    let (mut lo, mut hi) = (0usize, n);
+    let (mut lo, mut hi) = (from.min(n), n);
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
         let end = key_at(mid) + (subtree_cells(level_at(mid), dim, max_level) - 1);
@@ -477,6 +557,68 @@ mod tests {
             locate_in_keys(&keys[1..], &levels[1..], 2, Q::MAX_LEVEL, 0),
             None
         );
+    }
+
+    #[test]
+    fn locate_from_agrees_with_locate_by_on_sorted_probes() {
+        use crate::quadrant::{MortonQuad, Quadrant};
+        type Q = MortonQuad<2>;
+        let mut leaves: Vec<Q> = Vec::new();
+        for i in 0..Q::uniform_count(3) {
+            let q = Q::from_morton(i, 3);
+            if i % 4 == 0 {
+                for c in q.children() {
+                    if c.morton_index() % 3 == 0 {
+                        leaves.extend(c.children());
+                    } else {
+                        leaves.push(c);
+                    }
+                }
+            } else {
+                leaves.push(q);
+            }
+        }
+        let keys: Vec<u64> = leaves.iter().map(|q| q.morton_abs()).collect();
+        let levels: Vec<u8> = leaves.iter().map(|q| q.level()).collect();
+        let n = keys.len();
+        // a sorted probe stream with duplicates and gaps, walked with the
+        // carried cursor, must agree probe-for-probe with cold searches
+        let top = 1u64 << (2 * Q::MAX_LEVEL as u32);
+        let mut probes: Vec<u64> = (0..500u64)
+            .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 12) % top)
+            .collect();
+        probes.push(0);
+        probes.push(top - 1);
+        probes.sort_unstable();
+        let mut hint = 0usize;
+        for &p in &probes {
+            let cold = locate_by(n, |i| keys[i], |i| levels[i], 2, Q::MAX_LEVEL, p);
+            let (hot, next) = locate_from(n, |i| keys[i], |i| levels[i], 2, Q::MAX_LEVEL, p, hint);
+            assert_eq!(hot, cold, "probe {p:#x} hint {hint}");
+            hint = next;
+        }
+    }
+
+    #[test]
+    fn overlapping_from_matches_cold_search() {
+        use crate::quadrant::{MortonQuad, Quadrant};
+        type Q = MortonQuad<2>;
+        let leaves: Vec<Q> = (0..Q::uniform_count(4))
+            .map(|i| Q::from_morton(i, 4))
+            .collect();
+        let keys: Vec<u64> = leaves.iter().map(|q| q.morton_abs()).collect();
+        let levels: Vec<u8> = leaves.iter().map(|q| q.level()).collect();
+        let n = keys.len();
+        let span = 1u64 << (2 * (Q::MAX_LEVEL - 4) as u32);
+        // ranges sorted by start: each resume from the previous start
+        let ranges = [(0u64, span), (span, 4 * span), (7 * span, 11 * span)];
+        let mut from = 0usize;
+        for r in ranges {
+            let cold = overlapping_by(n, |i| keys[i], |i| levels[i], 2, Q::MAX_LEVEL, r);
+            let hot = overlapping_from(n, |i| keys[i], |i| levels[i], 2, Q::MAX_LEVEL, r, from);
+            assert_eq!(hot, cold, "range {r:?}");
+            from = hot.start;
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! one publish per AMR generation inside an existing collective
 //! section).
 
-use crate::{box_cover_for, ForestSnapshot, LeafHit};
+use crate::{box_cover_for, BoxQuery, ForestSnapshot, LeafHit};
 use quadforest_comm::Comm;
 use quadforest_connectivity::TreeId;
 use quadforest_core::zrange::ZRange;
@@ -48,10 +48,16 @@ pub fn locate_global(
             outgoing[owner].push((i as u32, tree, p));
         }
     }
+    // Serve each source rank's request list as ONE batched locate: the
+    // sorted-batch kernel walks the local key arrays coherently instead
+    // of running a cold binary search per forwarded point.
     let replies = comm.exchange(outgoing, |_src, requests| {
+        let batch: Vec<(TreeId, [i32; 3])> =
+            requests.iter().map(|&(_, tree, p)| (tree, p)).collect();
         requests
-            .into_iter()
-            .map(|(i, tree, p)| (i, snap.locate(tree, p)))
+            .iter()
+            .map(|&(i, ..)| i)
+            .zip(snap.locate_many(&batch))
             .collect::<Vec<(u32, Option<LeafHit>)>>()
     });
     let mut answers: Vec<Option<RoutedHit>> = vec![None; points.len()];
@@ -115,10 +121,17 @@ pub fn query_box_global(
             outgoing[owner].push((i as u32, tree, lo, hi));
         }
     }
+    // One batched query_boxes per source rank: covers served in curve
+    // order with the cross-box resume cursor.
     let replies = comm.exchange(outgoing, |_src, requests| {
+        let batch: Vec<BoxQuery> = requests
+            .iter()
+            .map(|&(_, tree, lo, hi)| BoxQuery { tree, lo, hi })
+            .collect();
         requests
-            .into_iter()
-            .map(|(i, tree, lo, hi)| (i, snap.query_box(tree, lo, hi)))
+            .iter()
+            .map(|&(i, ..)| i)
+            .zip(snap.query_boxes(&batch))
             .collect::<Vec<(u32, Vec<LeafHit>)>>()
     });
     let mut answers: Vec<Vec<RoutedHit>> = vec![Vec::new(); boxes.len()];

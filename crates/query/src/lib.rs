@@ -17,14 +17,19 @@
 //!   loop publishes a fresh snapshot each generation; readers
 //!   [`load`](SnapshotHandle::load) lock-free and may be at most one
 //!   generation stale, never torn.
-//! * query kernels — batched point location by binary search on Morton
-//!   keys ([`ForestSnapshot::locate_batch`]), axis-aligned box queries
-//!   by Morton interval decomposition ([`ForestSnapshot::query_box`],
-//!   backed by `quadforest_core::zrange`), and per-region level
-//!   histograms ([`ForestSnapshot::level_histogram_in_box`]).
-//! * [`QueryExecutor`] — a pool of worker threads draining a bounded
-//!   MPSC request queue (backpressure by blocking submit), each request
-//!   served against the latest published snapshot.
+//! * query kernels — batched point location
+//!   ([`ForestSnapshot::locate_many`]: one SIMD-dispatched key-extract
+//!   pass, a `(tree, Morton key)` sort, then one gallop-resume sweep of
+//!   the sorted leaf keys), batched box queries
+//!   ([`ForestSnapshot::query_boxes`], Morton interval decomposition
+//!   backed by `quadforest_core::zrange`, covers served in curve order
+//!   with cross-box resume), and per-region level histograms
+//!   ([`ForestSnapshot::level_histogram_in_box`]).
+//! * [`QueryExecutor`] — a pool of worker threads serving batches from
+//!   a shared job board, each point batch split into per-worker
+//!   Z-interval shards of the snapshot (with chunk stealing), answers
+//!   delivered through a shared slot buffer and one completion-latch
+//!   wakeup per batch (backpressure by bounded in-flight batches).
 //! * distributed routing — [`locate_global`] / [`query_box_global`]
 //!   scatter non-local queries to their owning ranks (decided by the
 //!   snapshot's partition markers) over `Comm::exchange`.
@@ -62,4 +67,4 @@ mod snapshot;
 pub use distributed::{locate_global, query_box_global, RoutedHit};
 pub use executor::{QueryExecutor, Ticket, DEFAULT_QUEUE_CAPACITY};
 pub use handle::SnapshotHandle;
-pub use snapshot::{box_cover_for, ForestSnapshot, LeafHit};
+pub use snapshot::{box_cover_for, BoxQuery, ForestSnapshot, LeafHit};

@@ -35,6 +35,24 @@ pub struct LeafHit {
     pub level: u8,
 }
 
+/// One axis-aligned box query: all leaves of `tree` intersecting the
+/// half-open box `[lo, hi)` — the element type of the batched
+/// [`ForestSnapshot::query_boxes`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BoxQuery {
+    /// Tree to query.
+    pub tree: TreeId,
+    /// Inclusive lower corner (integer coordinates at the maximum
+    /// refinement level; `lo[2]` ignored in 2D).
+    pub lo: [i32; 3],
+    /// Exclusive upper corner.
+    pub hi: [i32; 3],
+}
+
+/// Probe-key sentinel marking an out-of-domain point in the batched
+/// key lane (real `morton_abs` keys need at most 56 bits).
+pub(crate) const INVALID_KEY: u64 = u64::MAX;
+
 /// An immutable, rank-local flattening of one forest generation.
 ///
 /// Snapshots are plain data: build one with [`ForestSnapshot::build`],
@@ -206,9 +224,97 @@ impl ForestSnapshot {
     }
 
     /// Batched point location: one [`ForestSnapshot::locate`] per entry,
-    /// amortizing the snapshot access across the batch.
+    /// amortizing the snapshot access across the batch. This is the
+    /// per-element reference path — [`ForestSnapshot::locate_many`] is
+    /// the sorted batch kernel that beats it.
     pub fn locate_batch(&self, points: &[(TreeId, [i32; 3])]) -> Vec<Option<LeafHit>> {
         points.iter().map(|(t, p)| self.locate(*t, *p)).collect()
+    }
+
+    /// Maximum-level probe keys for a point batch, in input order,
+    /// through the batched (BMI2-dispatched) interleave kernel.
+    /// Out-of-domain points (bad tree id or coordinates off the unit
+    /// tree) get [`INVALID_KEY`]; their lanes are clamped so the kernel
+    /// never sees a negative coordinate.
+    pub(crate) fn probe_keys(&self, points: &[(TreeId, [i32; 3])]) -> Vec<u64> {
+        let n = points.len();
+        let (mut xs, mut ys, mut zs) = (vec![0i32; n], vec![0i32; n], vec![0i32; n]);
+        let mut invalid = Vec::new();
+        for (i, &(tree, p)) in points.iter().enumerate() {
+            if self.in_domain(p) && (tree as usize) < self.num_trees() {
+                xs[i] = p[0];
+                ys[i] = p[1];
+                zs[i] = if self.dim == 3 { p[2] } else { 0 };
+            } else {
+                invalid.push(i);
+            }
+        }
+        let mut keys = vec![0u64; n];
+        quadforest_core::batch::point_keys_all(&xs, &ys, &zs, self.dim, &mut keys);
+        for i in invalid {
+            keys[i] = INVALID_KEY;
+        }
+        keys
+    }
+
+    /// Serve one Morton-sorted run of probes with the gallop-resume
+    /// cursor: `run` holds indices into `points`/`keys`, sorted by
+    /// `(tree, key)` and containing no [`INVALID_KEY`] entries. Emits
+    /// `(index, answer)` per probe. The cursor (the previous probe's
+    /// partition point) carries across probes of the same tree, so a
+    /// sorted batch walks each key array left to right instead of
+    /// restarting a full binary search per point.
+    pub(crate) fn locate_run(
+        &self,
+        points: &[(TreeId, [i32; 3])],
+        keys: &[u64],
+        run: &[u32],
+        mut emit: impl FnMut(u32, Option<LeafHit>),
+    ) {
+        let (mut cur_tree, mut tk, mut tl, mut hint) = (TreeId::MAX, &[][..], &[][..], 0usize);
+        for &i in run {
+            let tree = points[i as usize].0;
+            if tree != cur_tree {
+                let (k, l) = self.tree_keys(tree);
+                (tk, tl, hint, cur_tree) = (k, l, 0, tree);
+            }
+            let probe = keys[i as usize];
+            debug_assert_ne!(probe, INVALID_KEY, "invalid probe in sorted run");
+            let (found, next) = zrange::locate_from(
+                tk.len(),
+                |j| tk[j],
+                |j| tl[j],
+                self.dim,
+                self.max_level,
+                probe,
+                hint,
+            );
+            hint = next;
+            emit(i, found.map(|j| self.hit(tree, j)));
+        }
+    }
+
+    /// Batched point location, sorted and cache-coherent: extract every
+    /// probe key in one dispatched kernel pass, sort an index
+    /// permutation by `(tree, Morton key)`, walk each tree's sorted key
+    /// array once with the gallop-resume cursor, and scatter answers
+    /// back in input order. Answers are element-for-element identical
+    /// to [`ForestSnapshot::locate_batch`] (duplicates and
+    /// out-of-domain points included); the win is the access pattern —
+    /// one coherent sweep instead of `n` cold binary searches.
+    pub fn locate_many(&self, points: &[(TreeId, [i32; 3])]) -> Vec<Option<LeafHit>> {
+        let n = points.len();
+        let mut answers = vec![None; n];
+        if n == 0 {
+            return answers;
+        }
+        let keys = self.probe_keys(points);
+        let mut run: Vec<u32> = (0..n as u32)
+            .filter(|&i| keys[i as usize] != INVALID_KEY)
+            .collect();
+        run.sort_unstable_by_key(|&i| (points[i as usize].0, keys[i as usize]));
+        self.locate_run(points, &keys, &run, |i, hit| answers[i as usize] = hit);
+        answers
     }
 
     // -- box queries -----------------------------------------------------
@@ -237,19 +343,44 @@ impl ForestSnapshot {
         hi: [i32; 3],
         cover: &BoxCover,
     ) -> Vec<LeafHit> {
+        self.query_cover_from(tree, lo, hi, cover, 0).0
+    }
+
+    /// [`ForestSnapshot::query_cover`] with a resume lower bound on the
+    /// first cover range's leaf search (see `zrange::overlapping_from`),
+    /// returning the hits *and* the first range's slice start — the
+    /// valid resume bound for any later box whose first range starts no
+    /// earlier. [`ForestSnapshot::query_boxes`] threads it through a
+    /// batch sorted by `(tree, first range start)`, so consecutive boxes
+    /// skip re-searching the prefix of the key array already passed.
+    pub(crate) fn query_cover_from(
+        &self,
+        tree: TreeId,
+        lo: [i32; 3],
+        hi: [i32; 3],
+        cover: &BoxCover,
+        from: usize,
+    ) -> (Vec<LeafHit>, usize) {
         let (keys, levels) = self.tree_keys(tree);
         let n = keys.len();
         let mut hits = Vec::new();
         let mut next = 0usize; // ranges are sorted: dedup by watermark
-        for &range in &cover.ranges {
-            let r = zrange::overlapping_by(
+        let mut lb = from; // ranges are sorted: resume the start search
+        let mut first_start = from;
+        for (ri, &range) in cover.ranges.iter().enumerate() {
+            let r = zrange::overlapping_from(
                 n,
                 |i| keys[i],
                 |i| levels[i],
                 self.dim,
                 self.max_level,
                 range,
+                lb,
             );
+            lb = r.start;
+            if ri == 0 {
+                first_start = r.start;
+            }
             for i in r.start.max(next)..r.end {
                 if zrange::leaf_intersects_box(keys[i], levels[i], lo, hi, self.dim, self.max_level)
                 {
@@ -258,7 +389,65 @@ impl ForestSnapshot {
             }
             next = next.max(r.end);
         }
-        hits
+        (hits, first_start)
+    }
+
+    /// Batched box queries, sorted and cache-coherent: decompose every
+    /// box into its Z-order cover, sort an index permutation by
+    /// `(tree, first range start)`, serve the boxes in curve order with
+    /// the resume bound carried between them, and un-permute. Each
+    /// answer is element-for-element identical to calling
+    /// [`ForestSnapshot::query_box`] on that entry alone.
+    pub fn query_boxes(&self, boxes: &[BoxQuery]) -> Vec<Vec<LeafHit>> {
+        let mut answers: Vec<Vec<LeafHit>> = vec![Vec::new(); boxes.len()];
+        let covers: Vec<BoxCover> = boxes
+            .iter()
+            .map(|b| {
+                if (b.tree as usize) < self.num_trees() {
+                    box_cover_for(b.lo, b.hi, self.dim, self.max_level)
+                } else {
+                    BoxCover::empty()
+                }
+            })
+            .collect();
+        let mut order: Vec<u32> = (0..boxes.len() as u32)
+            .filter(|&i| !covers[i as usize].ranges.is_empty())
+            .collect();
+        order.sort_unstable_by_key(|&i| (boxes[i as usize].tree, covers[i as usize].ranges[0].0));
+        let (mut cur_tree, mut hint) = (TreeId::MAX, 0usize);
+        for &i in &order {
+            let b = boxes[i as usize];
+            if b.tree != cur_tree {
+                (cur_tree, hint) = (b.tree, 0);
+            }
+            let (hits, first) =
+                self.query_cover_from(b.tree, b.lo, b.hi, &covers[i as usize], hint);
+            hint = first;
+            answers[i as usize] = hits;
+        }
+        answers
+    }
+
+    /// Z-interval shard boundaries splitting the rank's leaves into
+    /// `shards` near-equal contiguous chunks of the global
+    /// `(tree, key)` order: `shards - 1` markers, each the position of
+    /// the leaf opening its shard (marker-style, exactly like the
+    /// partition markers route ranks). A point `(tree, key)` belongs to
+    /// shard `bounds.partition_point(|m| *m <= (tree, key))`.
+    pub fn shard_bounds(&self, shards: usize) -> Vec<(TreeId, u64)> {
+        let total = self.keys.len();
+        let mut bounds = Vec::with_capacity(shards.saturating_sub(1));
+        if shards <= 1 || total == 0 {
+            return bounds;
+        }
+        for s in 1..shards {
+            let pos = (s * total / shards) as u32;
+            // owning tree: last offset <= pos
+            let t = self.tree_offsets.partition_point(|&o| o <= pos) - 1;
+            bounds.push((t as TreeId, self.keys[pos as usize]));
+        }
+        bounds.dedup();
+        bounds
     }
 
     /// Per-level leaf counts (indices `0..=max_level`) over the local

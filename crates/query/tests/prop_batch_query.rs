@@ -1,0 +1,203 @@
+//! Property: the batched query kernels are *element-for-element* the
+//! single-query paths — [`ForestSnapshot::locate_many`] equals
+//! [`ForestSnapshot::locate_batch`] and
+//! [`ForestSnapshot::query_boxes`] equals per-entry
+//! [`ForestSnapshot::query_box`] — for every quadrant representation,
+//! on adaptively refined multi-tree forests, for batches containing
+//! duplicates, out-of-domain points, invalid tree ids, and probes
+//! spanning every Z-interval shard. Plus a hammer test: the sharded
+//! executor under concurrent submitters returns exactly the direct
+//! snapshot answers.
+
+use proptest::prelude::*;
+use quadforest_connectivity::{Connectivity, TreeId};
+use quadforest_core::quadrant::{AvxQuad, MortonQuad, Quadrant, StandardQuad};
+use quadforest_forest::Forest;
+use quadforest_query::{BoxQuery, ForestSnapshot, QueryExecutor, SnapshotHandle};
+use std::sync::Arc;
+
+fn mix(seed: u64, t: u32, pos: u64, level: u8) -> u64 {
+    let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
+    for w in [t as u64, pos, level as u64] {
+        h ^= w;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+    }
+    h
+}
+
+/// An adaptively refined 4-tree (2x2 brick) snapshot for 2D reps, or a
+/// single-tree one for 3D (no 3D brick needed to cover multi-tree: the
+/// 2D reps exercise it).
+fn snapshot_for<Q: Quadrant>(seed: u64) -> ForestSnapshot {
+    quadforest_comm::run(1, move |comm| {
+        let conn = Arc::new(if Q::DIM == 2 {
+            Connectivity::brick2d(2, 2, false, false)
+        } else {
+            Connectivity::unit(3)
+        });
+        let mut f = Forest::<Q>::new_uniform(conn, &comm, 1);
+        f.refine(&comm, true, |t, q| {
+            q.level() < 4 && mix(seed, t, q.morton_abs(), q.level()) % 3 != 0
+        });
+        ForestSnapshot::build(&f, 0)
+    })
+    .pop()
+    .unwrap()
+}
+
+/// Point batch over (and past) the domain: raw lattice points scaled to
+/// the root length, some duplicated, some negative, some past the root,
+/// some on invalid trees.
+fn check_locate_many<Q: Quadrant>(seed: u64, raw: Vec<(u32, [i32; 3])>) {
+    let snap = snapshot_for::<Q>(seed);
+    let root = Q::len_at(0);
+    let mut points: Vec<(TreeId, [i32; 3])> = raw
+        .iter()
+        .map(|&(t, p)| {
+            let s = |v: i32| (v as i64 * root as i64 / 64) as i32;
+            (t, [s(p[0]), s(p[1]), if Q::DIM == 3 { s(p[2]) } else { 0 }])
+        })
+        .collect();
+    // duplicates: echo the first half
+    let half: Vec<_> = points[..points.len() / 2].to_vec();
+    points.extend(half);
+    assert_eq!(
+        snap.locate_many(&points),
+        snap.locate_batch(&points),
+        "seed {seed}"
+    );
+}
+
+fn check_query_boxes<Q: Quadrant>(seed: u64, raw: Vec<(u32, [i32; 3], [i32; 3])>) {
+    let snap = snapshot_for::<Q>(seed);
+    let root = Q::len_at(0);
+    let boxes: Vec<BoxQuery> = raw
+        .iter()
+        .map(|&(t, lo, hi)| {
+            let s = |v: i32| (v as i64 * root as i64 / 16) as i32;
+            let z = |v: i32| if Q::DIM == 3 { s(v) } else { 0 };
+            BoxQuery {
+                tree: t,
+                lo: [s(lo[0]), s(lo[1]), z(lo[2])],
+                hi: [s(hi[0]), s(hi[1]), z(hi[2])],
+            }
+        })
+        .collect();
+    let got = snap.query_boxes(&boxes);
+    for (k, b) in boxes.iter().enumerate() {
+        assert_eq!(
+            got[k],
+            snap.query_box(b.tree, b.lo, b.hi),
+            "seed {seed} box {k}: {b:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// locate_many == locate_batch on every representation, with
+    /// duplicates, out-of-domain coordinates (±), and bad tree ids.
+    #[test]
+    fn locate_many_matches_single_path(
+        seed in any::<u64>(),
+        flat in proptest::collection::vec(
+            (0u32..6, -8i32..72, -8i32..72, -8i32..72), 1..200),
+    ) {
+        let raw: Vec<(u32, [i32; 3])> =
+            flat.into_iter().map(|(t, x, y, z)| (t, [x, y, z])).collect();
+        check_locate_many::<MortonQuad<2>>(seed, raw.clone());
+        check_locate_many::<StandardQuad<2>>(seed, raw.clone());
+        check_locate_many::<AvxQuad<2>>(seed, raw.clone());
+        check_locate_many::<MortonQuad<3>>(seed, raw);
+    }
+
+    /// query_boxes == per-entry query_box on every representation,
+    /// including empty, inverted, and bad-tree boxes.
+    #[test]
+    fn query_boxes_matches_single_path(
+        seed in any::<u64>(),
+        flat in proptest::collection::vec(
+            ((0u32..6, -2i32..18, -2i32..18, -2i32..18), (-2i32..18, -2i32..18, -2i32..18)),
+            1..24),
+    ) {
+        let raw: Vec<(u32, [i32; 3], [i32; 3])> = flat
+            .into_iter()
+            .map(|((t, a, b, c), (d, e, f))| (t, [a, b, c], [d, e, f]))
+            .collect();
+        check_query_boxes::<MortonQuad<2>>(seed, raw.clone());
+        check_query_boxes::<StandardQuad<2>>(seed, raw.clone());
+        check_query_boxes::<AvxQuad<2>>(seed, raw.clone());
+        check_query_boxes::<MortonQuad<3>>(seed, raw);
+    }
+}
+
+/// A shard-spanning batch: probes scattered across the whole multi-tree
+/// domain, large enough to trigger the Z-sharded path, answered
+/// identically to the reference path.
+#[test]
+fn shard_spanning_batch_matches_reference() {
+    let snap = snapshot_for::<MortonQuad<2>>(7);
+    let root = MortonQuad::<2>::len_at(0);
+    let points: Vec<(TreeId, [i32; 3])> = (0u64..4096)
+        .map(|i| {
+            let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            (
+                (h >> 40) as u32 % 5, // tree 4 is invalid: brick has 4
+                [h as i32 & (root - 1), (h >> 20) as i32 & (root - 1), 0],
+            )
+        })
+        .collect();
+    assert_eq!(snap.locate_many(&points), snap.locate_batch(&points));
+}
+
+/// Hammer the executor: several submitter threads firing point and box
+/// batches of jittered sizes at a multi-worker pool; every ticket must
+/// deliver exactly the direct snapshot answers.
+#[test]
+fn executor_hammer_concurrent_submitters() {
+    let snap = snapshot_for::<MortonQuad<2>>(11);
+    let handle = SnapshotHandle::new(snap.clone());
+    // capacity 2 keeps backpressure in play while 4 submitters race
+    let exec = QueryExecutor::with_capacity(handle, 4, 2);
+    let root = MortonQuad::<2>::len_at(0);
+    let snap = Arc::new(snap);
+    std::thread::scope(|scope| {
+        for t in 0u64..4 {
+            let exec = &exec;
+            let snap = Arc::clone(&snap);
+            scope.spawn(move || {
+                for round in 0u64..12 {
+                    let n = 1 + ((t * 977 + round * 613) % 700) as usize;
+                    let points: Vec<(TreeId, [i32; 3])> = (0..n as u64)
+                        .map(|i| {
+                            let h = mix(t, round as u32, i, 0);
+                            (
+                                (h >> 33) as u32 % 5,
+                                [h as i32 & (root - 1), (h >> 16) as i32 & (root - 1), 0],
+                            )
+                        })
+                        .collect();
+                    let ticket = exec.submit_points(points.clone());
+                    let boxes: Vec<BoxQuery> = (0..1 + (round % 3))
+                        .map(|i| {
+                            let h = mix(round, t as u32, i, 1);
+                            let lo = [h as i32 & (root - 1), (h >> 16) as i32 & (root - 1), 0];
+                            BoxQuery {
+                                tree: (h >> 34) as u32 % 4,
+                                lo,
+                                hi: [lo[0] + root / 4, lo[1] + root / 4, 0],
+                            }
+                        })
+                        .collect();
+                    let box_answers = exec.query_boxes(boxes.clone());
+                    assert_eq!(ticket.wait(), snap.locate_batch(&points));
+                    for (b, hits) in boxes.iter().zip(&box_answers) {
+                        assert_eq!(*hits, snap.query_box(b.tree, b.lo, b.hi));
+                    }
+                }
+            });
+        }
+    });
+}

@@ -71,5 +71,5 @@ pub mod prelude {
         Interface, InvariantError, IoError, LeafRef, LocalNodes, Mesh, MeshNeighbor, NodeRef,
         PortableForest, SearchAction,
     };
-    pub use quadforest_query::{ForestSnapshot, LeafHit, QueryExecutor, SnapshotHandle};
+    pub use quadforest_query::{BoxQuery, ForestSnapshot, LeafHit, QueryExecutor, SnapshotHandle};
 }
