@@ -244,12 +244,63 @@ fn span_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// Guard bench for the flight recorder's disabled-cost contract: with the
+/// ring unarmed, a `flight::event` call site must cost under 10 ns (one
+/// `OnceLock` load and an untaken branch — the argument evaluation is
+/// what keeps it above the span guard's bound). Transports and the query
+/// executor carry these sites unconditionally, so this is the price every
+/// un-instrumented run pays.
+fn flight_overhead(c: &mut Criterion) {
+    use quadforest_telemetry::flight;
+    assert!(
+        !flight::armed(),
+        "the recorder may not be armed when the guard bench runs"
+    );
+    // Same differential trick as `span_overhead`: identical loops with and
+    // without the event site, best-of-5 so scheduler noise can only
+    // inflate, never flatter, the measured site cost.
+    const N: u64 = 20_000_000;
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = std::time::Instant::now();
+        for i in 0..N {
+            black_box(i);
+        }
+        let base = t.elapsed();
+        let t = std::time::Instant::now();
+        for i in 0..N {
+            flight::event(flight::FlightKind::Heartbeat, 0, black_box(i), 0);
+            black_box(i);
+        }
+        let with_event = t.elapsed();
+        best = best.min(with_event.saturating_sub(base).as_secs_f64() * 1e9 / N as f64);
+    }
+    println!("disabled flight event site: {best:.3} ns (contract: < 10 ns)");
+    assert!(
+        best < 10.0,
+        "disabled flight event costs {best:.3} ns per site, breaking the 10 ns contract"
+    );
+
+    let mut g = c.benchmark_group("ablation_flight_overhead");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(1_000_000));
+    g.bench_function("disabled", |b| {
+        b.iter(|| {
+            for i in 0..1_000_000u64 {
+                flight::event(flight::FlightKind::Heartbeat, 0, black_box(i), 0);
+            }
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     ablation_suite,
     codec_variants,
     sfc_compare_key,
     register_mixing,
     curve_tradeoff,
-    span_overhead
+    span_overhead,
+    flight_overhead
 );
 criterion_main!(ablation_suite);

@@ -87,6 +87,12 @@ struct Opts {
     ranks: Vec<usize>,
     backend: quadforest_comm::Backend,
     summary: Vec<String>,
+    /// With `--summary`: add p50/p99/p999 columns from rows that carry
+    /// quantile fields (BENCH_query headline records).
+    percentiles: bool,
+    /// `--prom FILE`: run a query workload, self-scrape the live metrics
+    /// endpoint over TCP, and write the exposition body to FILE.
+    prom: Option<String>,
 }
 
 fn parse_args() -> Opts {
@@ -105,6 +111,8 @@ fn parse_args() -> Opts {
         ranks: RANKS.to_vec(),
         backend: quadforest_comm::Backend::Threads,
         summary: Vec::new(),
+        percentiles: false,
+        prom: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -189,6 +197,14 @@ fn parse_args() -> Opts {
             "--summary" => {
                 i += 1;
                 opts.summary = args[i].split(',').map(|s| s.to_string()).collect();
+                any = true;
+            }
+            "--percentiles" => {
+                opts.percentiles = true;
+            }
+            "--prom" => {
+                i += 1;
+                opts.prom = Some(args[i].clone());
                 any = true;
             }
             other => {
@@ -808,6 +824,12 @@ fn run_trace(path: &str, opts: &Opts) {
 
     const P: usize = 4;
     println!("\n## Telemetry: traced refine→balance→partition→ghost pipeline (P = {P})");
+    // Background sampler: periodic snapshots of the global registry
+    // become Chrome counter events at their own timestamps, so counter
+    // tracks show evolution over the pipeline instead of one flat
+    // end-of-run value. The pipeline is short, so sample aggressively.
+    let _ = telemetry::take_metric_samples(); // drop samples from earlier modes
+    let sampler = telemetry::sample_metrics_every(std::time::Duration::from_micros(200));
     let results = quadforest_comm::run(P, |comm| {
         telemetry::begin_rank(comm.rank());
         let conn = Arc::new(Connectivity::unit(2));
@@ -826,7 +848,9 @@ fn run_trace(path: &str, opts: &Opts) {
         (report, rows)
     });
     let (reports, rows): (Vec<_>, Vec<_>) = results.into_iter().unzip();
-    let json = telemetry::chrome_trace(&reports);
+    drop(sampler); // join the sampling thread before draining the store
+    telemetry::sample_metrics_now(); // guarantee at least one sample
+    let json = telemetry::chrome_trace_with_metrics(&reports, &telemetry::global().snapshot());
     std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     println!("wrote {path} (load in Perfetto or chrome://tracing)\n");
     print!("{}", telemetry::summary_table(&reports));
@@ -863,6 +887,62 @@ fn run_trace(path: &str, opts: &Opts) {
 /// batch sizes 1 / 64 / 4k / 256k at 1–8 workers. Multithreaded
 /// answers are asserted identical to the single-threaded ones before
 /// any number is reported. Writes `BENCH_query.json`.
+/// Element-wise histogram delta (buckets + count + sum) between two
+/// registry snapshots; `None` when the metric never appeared. Snapshot
+/// diffing — rather than resetting the registry — keeps cumulative
+/// provenance like `kernel_invocations` intact across the run.
+fn hist_delta(
+    before: &quadforest_telemetry::MetricsSnapshot,
+    after: &quadforest_telemetry::MetricsSnapshot,
+    name: &str,
+) -> Option<Vec<u64>> {
+    use quadforest_telemetry::MetricKind;
+    let a = after.get(name, MetricKind::Histogram)?;
+    Some(match before.get(name, MetricKind::Histogram) {
+        Some(b) => a
+            .values
+            .iter()
+            .zip(&b.values)
+            .map(|(x, y)| x.saturating_sub(*y))
+            .collect(),
+        None => a.values.clone(),
+    })
+}
+
+/// One cell of the batch-path sweep: `(workers, serial fraction,
+/// e2e p50, p99, p999)`.
+type SweepCell = (usize, f64, u64, u64, u64);
+
+/// `(sum, p50, p90, p99, p999)` of a histogram delta from [`hist_delta`].
+fn hist_stats(delta: &[u64]) -> (u64, u64, u64, u64, u64) {
+    use quadforest_telemetry::{quantile_from_buckets, HISTOGRAM_BUCKETS};
+    let buckets = &delta[..HISTOGRAM_BUCKETS];
+    let sum = delta[HISTOGRAM_BUCKETS + 1];
+    let q = |p| quantile_from_buckets(buckets, p).unwrap_or(0);
+    (sum, q(0.5), q(0.9), q(0.99), q(0.999))
+}
+
+/// Flat `p50_ns`/`p90_ns`/`p99_ns`/`p999_ns` JSON fields for one
+/// latency histogram's delta (empty when nothing was recorded).
+fn quantile_extras(
+    before: &quadforest_telemetry::MetricsSnapshot,
+    after: &quadforest_telemetry::MetricsSnapshot,
+    name: &str,
+) -> Vec<(&'static str, String)> {
+    match hist_delta(before, after, name) {
+        Some(d) => {
+            let (_, p50, p90, p99, p999) = hist_stats(&d);
+            vec![
+                ("p50_ns", p50.to_string()),
+                ("p90_ns", p90.to_string()),
+                ("p99_ns", p99.to_string()),
+                ("p999_ns", p999.to_string()),
+            ]
+        }
+        None => Vec::new(),
+    }
+}
+
 fn run_queries(opts: &Opts) {
     use quadforest_connectivity::Connectivity;
     use quadforest_forest::Forest;
@@ -986,6 +1066,8 @@ fn run_queries(opts: &Opts) {
         let handle = SnapshotHandle::new(build_snapshot::<Q>());
         let mut mt_pts = Vec::new();
         let mut mt_box = Vec::new();
+        let reg = quadforest_telemetry::global();
+        let head0 = reg.snapshot();
         for &workers in &WORKER_COUNTS {
             let exec = QueryExecutor::new(Arc::clone(&handle), workers);
             let got: Vec<_> = points
@@ -1019,6 +1101,7 @@ fn run_queries(opts: &Opts) {
             }));
         }
 
+        let head1 = reg.snapshot();
         let per = |d: Duration, n: usize| d.as_secs_f64() * 1e9 / n as f64;
         let mqs = |d: Duration, n: usize| n as f64 / d.as_secs_f64() / 1e6;
         let best_pts = *mt_pts.iter().min().unwrap();
@@ -1046,6 +1129,7 @@ fn run_queries(opts: &Opts) {
                 ("workers2", per(mt_pts[0], points.len())),
                 ("workers4", per(mt_pts[1], points.len())),
             ],
+            extras: quantile_extras(&head0, &head1, "query.point.latency_ns"),
             speedup: Some(single_pts.as_secs_f64() / best_pts.as_secs_f64()),
         });
         records.push(JsonRecord {
@@ -1057,6 +1141,7 @@ fn run_queries(opts: &Opts) {
                 ("workers2", per(mt_box[0], boxes.len())),
                 ("workers4", per(mt_box[1], boxes.len())),
             ],
+            extras: quantile_extras(&head0, &head1, "query.box.latency_ns"),
             speedup: Some(single_box.as_secs_f64() / best_box.as_secs_f64()),
         });
 
@@ -1077,6 +1162,7 @@ fn run_queries(opts: &Opts) {
             "\n| {name} batch sweep | batch | single ns/elem | w1 | w2 | w4 | w8 | w4 speedup |"
         );
         println!("|---|---|---|---|---|---|---|---|");
+        let mut sf_rows: Vec<(usize, Vec<f64>)> = Vec::new();
         for &b in &BATCH_SIZES {
             let total = points.len().min(b.saturating_mul(8192));
             let pts = &points[..total];
@@ -1092,6 +1178,12 @@ fn run_queries(opts: &Opts) {
                 }
             });
             let mut ws = Vec::new();
+            // Per-cell stage profile: (workers, serial fraction,
+            // e2e p50/p99/p999) from the registry delta around the
+            // timed runs. The serial fraction is the submit-side
+            // classify time over batch end-to-end time — the Amdahl
+            // bound on what adding workers can buy at this batch size.
+            let mut cells: Vec<SweepCell> = Vec::new();
             for &workers in &SWEEP_WORKERS {
                 let exec = QueryExecutor::new(Arc::clone(&handle), workers);
                 let got: Vec<_> = pts
@@ -1105,6 +1197,7 @@ fn run_queries(opts: &Opts) {
                     got, expect,
                     "sharded executor diverged ({name}, batch {b}, {workers} workers)"
                 );
+                let s0 = reg.snapshot();
                 ws.push(time_best_of(opts.iters, || {
                     let tickets: Vec<_> = pts
                         .chunks(b)
@@ -1114,6 +1207,19 @@ fn run_queries(opts: &Opts) {
                         std::hint::black_box(t.wait());
                     }
                 }));
+                let s1 = reg.snapshot();
+                let classify = hist_delta(&s0, &s1, "query.stage.classify_ns")
+                    .map(|d| hist_stats(&d).0)
+                    .unwrap_or(0);
+                let (e2e_sum, p50, _p90, p99, p999) = hist_delta(&s0, &s1, "query.batch.e2e_ns")
+                    .map(|d| hist_stats(&d))
+                    .unwrap_or_default();
+                let sf = if e2e_sum > 0 {
+                    classify as f64 / e2e_sum as f64
+                } else {
+                    0.0
+                };
+                cells.push((workers, sf, p50, p99, p999));
             }
             let w4 = single.as_secs_f64() / ws[2].as_secs_f64();
             println!(
@@ -1124,6 +1230,17 @@ fn run_queries(opts: &Opts) {
                 per(ws[2], total),
                 per(ws[3], total),
             );
+            let obj = |f: &dyn Fn(&SweepCell) -> String| {
+                format!(
+                    "{{{}}}",
+                    cells
+                        .iter()
+                        .map(|c| format!("\"workers{}\": {}", c.0, f(c)))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            };
+            sf_rows.push((b, cells.iter().map(|c| c.1).collect()));
             records.push(JsonRecord {
                 op: "point_locate_batch",
                 representation: name,
@@ -1135,8 +1252,29 @@ fn run_queries(opts: &Opts) {
                     ("workers4", per(ws[2], total)),
                     ("workers8", per(ws[3], total)),
                 ],
+                extras: vec![
+                    ("serial_fraction", obj(&|c| format!("{:.4}", c.1))),
+                    ("e2e_p50_ns", obj(&|c| c.2.to_string())),
+                    ("e2e_p99_ns", obj(&|c| c.3.to_string())),
+                    ("e2e_p999_ns", obj(&|c| c.4.to_string())),
+                ],
                 speedup: Some(w4),
             });
+        }
+
+        // The measured Amdahl table for ROADMAP open item 1: the share
+        // of batch end-to-end time spent in the serial submit-side
+        // classify stage, per batch size × worker count. 1/sf bounds
+        // the achievable speedup at that batch size.
+        println!("\n| {name} serial fraction | w1 | w2 | w4 | w8 |");
+        println!("|---|---|---|---|---|");
+        for (b, sfs) in &sf_rows {
+            let cols = sfs
+                .iter()
+                .map(|sf| format!("{:.1}%", sf * 100.0))
+                .collect::<Vec<_>>()
+                .join(" | ");
+            println!("| batch {b} | {cols} |");
         }
     }
 
@@ -1158,6 +1296,10 @@ struct JsonRecord {
     n: usize,
     /// (variant name, ns per element) pairs.
     variants: Vec<(&'static str, f64)>,
+    /// Extra JSON fields `"key": value` (value is pre-rendered JSON),
+    /// emitted between `ns_per_elem` and `speedup` — `speedup` must
+    /// stay the last field on the line, [`run_summary`] splits on it.
+    extras: Vec<(&'static str, String)>,
     /// first variant time / last variant time; `None` for wall-only rows.
     speedup: Option<f64>,
 }
@@ -1177,6 +1319,7 @@ impl JsonRecord {
             representation,
             n,
             variants: vec![(names[0], per(scalar)), (names[1], per(simd))],
+            extras: Vec::new(),
             speedup: Some(scalar.as_secs_f64() / simd.as_secs_f64()),
         }
     }
@@ -1204,6 +1347,7 @@ impl JsonRecord {
                 ("scalar", per(scalar)),
                 ("simd", per(simd)),
             ],
+            extras: Vec::new(),
             speedup: Some(per_quadrant.as_secs_f64() / simd.as_secs_f64()),
         }
     }
@@ -1214,6 +1358,7 @@ impl JsonRecord {
             representation,
             n,
             variants: vec![("wall", d.as_secs_f64() * 1e9 / n as f64)],
+            extras: Vec::new(),
             speedup: None,
         }
     }
@@ -1229,8 +1374,13 @@ impl JsonRecord {
             Some(s) => format!("{s:.4}"),
             None => "null".to_string(),
         };
+        let extras = self
+            .extras
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}, "))
+            .collect::<String>();
         format!(
-            "    {{\"op\": \"{}\", \"representation\": \"{}\", \"n\": {}, \"ns_per_elem\": {{{vars}}}, \"speedup\": {speedup}}}",
+            "    {{\"op\": \"{}\", \"representation\": \"{}\", \"n\": {}, \"ns_per_elem\": {{{vars}}}, {extras}\"speedup\": {speedup}}}",
             self.op, self.representation, self.n
         )
     }
@@ -1559,7 +1709,7 @@ fn main() {
     quadforest_comm::maybe_run_socket_child(&quadforest_bench::transport::registry());
     let opts = parse_args();
     if !opts.summary.is_empty() {
-        run_summary(&opts.summary);
+        run_summary(&opts.summary, opts.percentiles);
         return;
     }
     println!("# quadforest repro — paper evaluation on this machine");
@@ -1603,6 +1753,89 @@ fn main() {
     if opts.queries {
         run_queries(&opts);
     }
+    if let Some(path) = opts.prom.clone() {
+        run_prom(&path);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// --prom: metrics endpoint smoke (serve, self-scrape over TCP, dump)
+// ---------------------------------------------------------------------------
+
+/// Run a small executor workload so the global registry carries live
+/// counters, gauges, and latency histograms, start the opt-in
+/// [`quadforest_telemetry::serve_metrics`] endpoint on an ephemeral
+/// port, scrape it over a real TCP connection exactly as Prometheus
+/// would, and write the exposition body to `path` so CI can validate
+/// the text-format syntax externally. The slow-query threshold is
+/// dropped to 1 ns for the workload, so the scrape also carries a
+/// non-zero `query_slow_count` and the stderr log fires.
+fn run_prom(path: &str) {
+    use quadforest_connectivity::Connectivity;
+    use quadforest_forest::Forest;
+    use quadforest_query::{ForestSnapshot, QueryExecutor, SnapshotHandle};
+    use std::io::{Read as _, Write as _};
+    use std::sync::Arc;
+
+    println!("\n## Metrics endpoint: serve + self-scrape ({path})");
+    let snap = quadforest_comm::run(1, |comm| {
+        let conn = Arc::new(Connectivity::unit(2));
+        let mut f = Forest::<StandardQuad<2>>::new_uniform(conn, &comm, 5);
+        f.refine(&comm, false, |_, q| {
+            q.level() < 6 && q.morton_abs().is_multiple_of(3)
+        });
+        ForestSnapshot::build(&f, 1)
+    })
+    .pop()
+    .unwrap();
+    let root = StandardQuad::<2>::len_at(0);
+    let points: Vec<(u32, [i32; 3])> = (0..4096u64)
+        .map(|i| {
+            let x = (i.wrapping_mul(48271) % root as u64) as i32;
+            let y = (i.wrapping_mul(16807) % root as u64) as i32;
+            (0u32, [x, y, 0])
+        })
+        .collect();
+    quadforest_telemetry::set_slow_query_threshold_ns(1);
+    let handle = SnapshotHandle::new(snap);
+    let exec = QueryExecutor::new(Arc::clone(&handle), 2);
+    for c in points.chunks(512) {
+        std::hint::black_box(exec.submit_points(c.to_vec()).wait());
+    }
+    std::hint::black_box(
+        exec.submit_box(0, [0, 0, 0], [root / 4, root / 4, 0])
+            .wait(),
+    );
+    drop(exec);
+    quadforest_telemetry::set_slow_query_threshold_ns(u64::MAX);
+
+    let server = quadforest_telemetry::serve_metrics("127.0.0.1:0").expect("bind metrics endpoint");
+    let addr = server.local_addr();
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to metrics endpoint");
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\nHost: localhost\r\n\r\n")
+        .expect("send scrape request");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read scrape response");
+    drop(server);
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("malformed HTTP response");
+    assert!(
+        head.starts_with("HTTP/1.0 200 OK"),
+        "scrape did not return 200: {head}"
+    );
+    std::fs::write(path, body).expect("write exposition body");
+    let series = body
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .count();
+    println!(
+        "scraped {} bytes, {series} series from http://{addr}/metrics",
+        body.len()
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -1619,18 +1852,30 @@ fn json_str_field(text: &str, key: &str) -> Option<String> {
     Some(text[start..end].to_string())
 }
 
+/// Pull a flat numeric `"key": value` field out of one result line.
+fn json_num_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    let v = rest[..end].trim();
+    (!v.is_empty()).then(|| v.to_string())
+}
+
 /// Side-by-side speedup table for two or more BENCH_*.json files.
 /// Refuses to compare files measured on different transport backends:
 /// socket-backend runs carry per-frame serialization and real IPC in
 /// every number, so a threads-vs-sockets delta is a backend artifact,
-/// not a regression.
-fn run_summary(files: &[String]) {
+/// not a regression. With `--percentiles`, rows carrying quantile
+/// fields (BENCH_query headline records) get p50/p99/p999 columns.
+fn run_summary(files: &[String], percentiles: bool) {
     struct Loaded {
         path: String,
         backend: String,
         bench: String,
-        /// (op, representation) → speedup column text.
-        rows: Vec<((String, String), String)>,
+        /// (op, representation) → column cells (speedup, then
+        /// p50/p99/p999 when `--percentiles`).
+        rows: Vec<((String, String), Vec<String>)>,
     }
     let loaded: Vec<Loaded> = files
         .iter()
@@ -1655,7 +1900,13 @@ fn run_summary(files: &[String]) {
                         .rsplit("\"speedup\": ")
                         .next()
                         .map(|t| t.trim_end_matches(['}', ',', ' ']).to_string())?;
-                    Some(((op, repr), speedup))
+                    let mut cells = vec![speedup];
+                    if percentiles {
+                        for key in ["p50_ns", "p99_ns", "p999_ns"] {
+                            cells.push(json_num_field(l, key).unwrap_or_else(|| "—".to_string()));
+                        }
+                    }
+                    Some(((op, repr), cells))
                 })
                 .collect();
             Loaded {
@@ -1682,12 +1933,20 @@ fn run_summary(files: &[String]) {
         "# summary — backend: {}",
         backends.iter().next().copied().unwrap_or("?")
     );
+    let cols_per_file = if percentiles { 4 } else { 1 };
     let header: Vec<String> = loaded
         .iter()
-        .map(|l| format!("{} ({})", l.path, l.bench))
+        .map(|l| {
+            let base = format!("{} ({})", l.path, l.bench);
+            if percentiles {
+                format!("{base} | p50 ns | p99 ns | p999 ns")
+            } else {
+                base
+            }
+        })
         .collect();
     println!("| op | representation | {} |", header.join(" | "));
-    println!("|---|---|{}", "---|".repeat(loaded.len()));
+    println!("|---|---|{}", "---|".repeat(loaded.len() * cols_per_file));
     let keys: Vec<(String, String)> = loaded
         .first()
         .map(|l| l.rows.iter().map(|(k, _)| k.clone()).collect())
@@ -1695,12 +1954,12 @@ fn run_summary(files: &[String]) {
     for key in keys {
         let cells: Vec<String> = loaded
             .iter()
-            .map(|l| {
+            .flat_map(|l| {
                 l.rows
                     .iter()
                     .find(|(k, _)| *k == key)
                     .map(|(_, v)| v.clone())
-                    .unwrap_or_else(|| "—".to_string())
+                    .unwrap_or_else(|| vec!["—".to_string(); cols_per_file])
             })
             .collect();
         println!("| {} | {} | {} |", key.0, key.1, cells.join(" | "));

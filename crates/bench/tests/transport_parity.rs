@@ -288,6 +288,79 @@ fn kill_point_scan_recovers_on_both_backends() {
     }
 }
 
+/// ACCEPTANCE (observability): every mid-pipeline death leaves a
+/// decodable flight-recorder postmortem on disk whose rendering names
+/// the victim's last communication operation and phase. Exercised on
+/// both failure mechanisms: a real `SIGKILL` of a rank process (the
+/// supervisor dumps `flight-sup.qfr` carrying the victim's last
+/// heartbeat-reported comm op) and a scheduled panic on the thread
+/// backend (the shared ring dumps with the victim's own events).
+///
+/// The postmortem directory is process-global and tests in this binary
+/// run in parallel, so other kill tests may dump here too once the dir
+/// is set; assertions are therefore existential (some decodable dump
+/// with the expected content), never exhaustive.
+#[test]
+fn mid_pipeline_death_leaves_decodable_postmortem() {
+    use quadforest_telemetry::flight::{FlightDump, FlightKind};
+
+    const SEED: u64 = 0xD0D0;
+    let dump_dir = scratch_dir("postmortem");
+    std::fs::create_dir_all(&dump_dir).expect("create postmortem dir");
+    quadforest_telemetry::flight::set_postmortem_dir(&dump_dir);
+
+    for backend in backends() {
+        let victim = 2usize;
+        let plan = match backend {
+            Backend::Threads => FaultPlan::new(SEED).with_panic_at(victim, 9),
+            Backend::Sockets(_) => FaultPlan::new(SEED).with_sigkill_at(victim, 9),
+        };
+        let err = run_chaos_once(&backend, 4, Some(plan))
+            .expect_err("scheduled death must fail the world");
+        assert_eq!(err.origin, victim, "wrong origin on {}", backend.name());
+
+        let mut decoded = 0usize;
+        let mut named_comm_op = false;
+        for entry in std::fs::read_dir(&dump_dir).expect("read postmortem dir") {
+            let path = entry.expect("dir entry").path();
+            if path.extension().and_then(|e| e.to_str()) != Some("qfr") {
+                continue;
+            }
+            let bytes = std::fs::read(&path).expect("read .qfr");
+            let dump = FlightDump::decode(&bytes)
+                .unwrap_or_else(|e| panic!("{} is not decodable: {e}", path.display()));
+            decoded += 1;
+            let text = dump.render();
+            assert!(!text.is_empty(), "empty rendering for {}", path.display());
+            // The supervisor-side dump records the death as a PeerFailed
+            // event whose rendering names the last comm op and phase; a
+            // victim-side dump names its own comm traffic directly.
+            let has_peer_failed = dump.events.iter().any(|e| e.kind == FlightKind::PeerFailed);
+            let has_comm = dump.events.iter().any(|e| {
+                matches!(
+                    e.kind,
+                    FlightKind::CommSend | FlightKind::CommRecv | FlightKind::Collective
+                )
+            });
+            if (has_peer_failed && text.contains("comm op")) || has_comm {
+                named_comm_op = true;
+            }
+        }
+        assert!(
+            decoded > 0,
+            "{}: death produced no decodable .qfr postmortem in {}",
+            backend.name(),
+            dump_dir.display()
+        );
+        assert!(
+            named_comm_op,
+            "{}: no postmortem names the victim's communication activity",
+            backend.name()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dump_dir);
+}
+
 /// A rank that silently stops heartbeating (but whose socket stays
 /// open) is declared dead by the supervisor's missed-heartbeat window —
 /// the liveness path that EOF detection cannot cover.

@@ -424,6 +424,9 @@ pub struct Comm {
     /// Sequence number for collective operations; identical call order on
     /// every rank yields matching tags without global coordination.
     coll_seq: Cell<u64>,
+    /// Comm ops counted so far (same indexing as [`FaultPlan`] kill
+    /// points) — reported to the transport for liveness context.
+    ops: Cell<u64>,
     /// Compiled fault stream, when running under a [`FaultPlan`].
     faults: Option<RankFaults>,
 }
@@ -439,6 +442,7 @@ impl Comm {
             transport,
             parked: RefCell::new(VecDeque::new()),
             coll_seq: Cell::new(0),
+            ops: Cell::new(0),
             faults,
         }
     }
@@ -462,6 +466,9 @@ impl Comm {
     /// death (and the rank parks awaiting it); the thread backend
     /// cannot, so both degrade to a scheduled panic.
     fn tick(&self) {
+        let op = self.ops.get();
+        self.ops.set(op + 1);
+        self.transport.note_comm_op(op, telemetry::current_span());
         let Some(f) = &self.faults else { return };
         let Some(action) = f.tick_op() else { return };
         let die = |what: &str, op: u64| -> ! {
@@ -576,6 +583,12 @@ impl Comm {
         }
         telemetry::counter_add("comm.msgs_sent", 1);
         telemetry::counter_add("comm.bytes_sent", bytes);
+        telemetry::flight::event(
+            telemetry::flight::FlightKind::CommSend,
+            dest as u32,
+            tag,
+            bytes,
+        );
         let msg = Msg {
             src: self.rank,
             tag,
@@ -701,8 +714,18 @@ impl Comm {
         let seq = self.coll_seq.get();
         self.coll_seq.set(seq + 1);
         telemetry::counter_add("comm.collectives", 1);
-        if let Some(phase) = telemetry::current_span() {
+        let phase = telemetry::current_span();
+        if let Some(phase) = phase {
             self.transport.name_collective(seq, phase);
+        }
+        if telemetry::flight::armed() {
+            let phase_id = phase.map(telemetry::flight::name_id).unwrap_or(0);
+            telemetry::flight::event(
+                telemetry::flight::FlightKind::Collective,
+                0,
+                seq,
+                phase_id as u64,
+            );
         }
         COLL_TAG_BASE + seq
     }
@@ -1073,6 +1096,12 @@ fn comm_panic(e: CommError) -> ! {
 fn downcast_msg<T: Wire + Send + 'static>(msg: Msg) -> Result<T, CommError> {
     telemetry::counter_add("comm.msgs_recv", 1);
     telemetry::counter_add("comm.bytes_recv", msg.bytes);
+    telemetry::flight::event(
+        telemetry::flight::FlightKind::CommRecv,
+        msg.src as u32,
+        msg.tag,
+        msg.bytes,
+    );
     let (src, tag) = (msg.src, msg.tag);
     match msg.payload {
         Payload::Local(boxed) => {
@@ -1146,6 +1175,9 @@ where
     R: Send,
 {
     assert!(size > 0);
+    // Always-on inside worlds: every comm op and phase transition lands
+    // in the flight ring, ready to dump if this world fails.
+    telemetry::flight::arm();
     let world = Arc::new(World::new(size, opts.recv_timeout));
     let mut outcomes: Vec<Option<Result<R, RankError>>> = (0..size).map(|_| None).collect();
     std::thread::scope(|scope| {
@@ -1179,6 +1211,7 @@ where
                             }
                             Ok(Err(e)) => {
                                 let phase = died_in();
+                                record_rank_death(rank);
                                 world.set_status(
                                     rank,
                                     RankState::Failed(format!("{}{phase}", e.kind())),
@@ -1189,6 +1222,7 @@ where
                             Err(payload) => {
                                 let msg = panic_message(payload);
                                 let phase = died_in();
+                                record_rank_death(rank);
                                 world.set_status(
                                     rank,
                                     RankState::Failed(format!("panic{phase}: {msg}")),
@@ -1220,6 +1254,9 @@ where
             let f = &failures[0];
             (f.rank, f.error.to_string())
         });
+        // Postmortem: the shared ring holds every rank's history,
+        // including the victim's last comm op and phase.
+        telemetry::flight::dump_postmortem(origin as u32);
         Err(WorldError {
             size,
             origin,
@@ -1227,6 +1264,24 @@ where
             failures,
         })
     }
+}
+
+/// Record a rank's death into the flight ring, from the dying rank's own
+/// thread: a `PeerFailed` event naming the rank and the phase it died in
+/// (the rank's comm-op history is already in the ring).
+fn record_rank_death(rank: usize) {
+    if !telemetry::flight::armed() {
+        return;
+    }
+    let phase_id = telemetry::failure_phase()
+        .map(telemetry::flight::name_id)
+        .unwrap_or(0);
+    telemetry::flight::event(
+        telemetry::flight::FlightKind::PeerFailed,
+        rank as u32,
+        0,
+        phase_id as u64,
+    );
 }
 
 /// Fallible rank runner with default options: like [`run`], but a rank

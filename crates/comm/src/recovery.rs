@@ -215,6 +215,12 @@ fn supervise<R>(
                 failures.push(world_err);
                 if index + 1 < opts.policy.max_attempts {
                     let backoff = opts.policy.backoff_for(index);
+                    telemetry::flight::event(
+                        telemetry::flight::FlightKind::RecoveryRetry,
+                        failures.last().map(|f| f.origin as u32).unwrap_or(0),
+                        index as u64,
+                        0,
+                    );
                     global.counter("recovery.retries").add(1);
                     global
                         .histogram("recovery.backoff_ns")

@@ -42,8 +42,17 @@ pub(crate) enum Frame {
         bytes: u64,
         data: Vec<u8>,
     },
-    /// Periodic liveness beacon from a child.
-    Heartbeat { rank: u64, seq: u64 },
+    /// Periodic liveness beacon from a child, carrying the rank's last
+    /// counted comm-op index and the telemetry phase it was in — so the
+    /// supervisor can name a SIGKILLed rank's last comm op and phase in
+    /// its flight-recorder postmortem even though the victim cannot
+    /// dump anything itself.
+    Heartbeat {
+        rank: u64,
+        seq: u64,
+        op: u64,
+        phase: String,
+    },
     /// Abort broadcast: either direction. From a child it reports
     /// "this rank failed first"; from the supervisor it spreads the
     /// recorded origin to every surviving rank.
@@ -86,10 +95,17 @@ impl Wire for Frame {
                 bytes.encode(out);
                 data.encode(out);
             }
-            Frame::Heartbeat { rank, seq } => {
+            Frame::Heartbeat {
+                rank,
+                seq,
+                op,
+                phase,
+            } => {
                 out.push(2);
                 rank.encode(out);
                 seq.encode(out);
+                op.encode(out);
+                phase.encode(out);
             }
             Frame::Abort { origin, reason } => {
                 out.push(3);
@@ -137,6 +153,8 @@ impl Wire for Frame {
             2 => Ok(Frame::Heartbeat {
                 rank: u64::decode(r)?,
                 seq: u64::decode(r)?,
+                op: u64::decode(r)?,
+                phase: String::decode(r)?,
             }),
             3 => Ok(Frame::Abort {
                 origin: u64::decode(r)?,
@@ -340,7 +358,12 @@ mod tests {
                 bytes: 4,
                 data: vec![1, 2, 3, 4],
             },
-            Frame::Heartbeat { rank: 0, seq: 41 },
+            Frame::Heartbeat {
+                rank: 0,
+                seq: 41,
+                op: 17,
+                phase: "balance".into(),
+            },
             Frame::Abort {
                 origin: 2,
                 reason: "recv timeout".into(),
@@ -432,7 +455,12 @@ mod tests {
 
     #[test]
     fn crc_mismatch_is_detected() {
-        let mut bytes = encode_frame(&Frame::Heartbeat { rank: 4, seq: 9 });
+        let mut bytes = encode_frame(&Frame::Heartbeat {
+            rank: 4,
+            seq: 9,
+            op: 0,
+            phase: String::new(),
+        });
         let last = bytes.len() - 1;
         bytes[last] ^= 0x40; // flip one payload bit
         let mut cur = Cursor::new(bytes);
@@ -460,7 +488,13 @@ mod tests {
     fn trailing_garbage_inside_payload_is_rejected() {
         // valid Heartbeat payload plus junk, CRC recomputed so only the
         // strict from_wire trailing check can catch it
-        let mut payload = Frame::Heartbeat { rank: 1, seq: 2 }.to_wire();
+        let mut payload = Frame::Heartbeat {
+            rank: 1,
+            seq: 2,
+            op: 0,
+            phase: String::new(),
+        }
+        .to_wire();
         payload.extend_from_slice(&[0xAA, 0xBB]);
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());

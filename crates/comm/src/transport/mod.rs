@@ -67,6 +67,13 @@ pub(crate) trait Transport: Send + Sync {
     /// rank's heartbeats and the rank should park forever, leaving
     /// death detection to the supervisor's missed-heartbeat window.
     fn begin_stall(&self, rank: usize, op: u64) -> bool;
+    /// Liveness context hook, called once per counted comm op with the
+    /// op index and the current telemetry phase. The socket backend
+    /// folds these into its heartbeat frames so the supervisor can name
+    /// a SIGKILLed rank's last comm op and phase in the flight-recorder
+    /// postmortem; the thread backend needs nothing (the victim's own
+    /// events are already in the shared ring).
+    fn note_comm_op(&self, _op: u64, _phase: Option<&'static str>) {}
 }
 
 /// Configuration of the socket (process-per-rank) backend.

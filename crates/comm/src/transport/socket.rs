@@ -85,6 +85,11 @@ struct Router {
     /// writer threads"). `None` once retired.
     writers: Vec<Mutex<Option<mpsc::Sender<Vec<u8>>>>>,
     last_beat: Vec<Mutex<Instant>>,
+    /// Last liveness context heartbeated by each rank: (comm op index,
+    /// telemetry phase). `(u64::MAX, "")` until the first beat that
+    /// carries one. Lets the supervisor name a dead process's last
+    /// known activity in the abort reason and the flight postmortem.
+    last_ctx: Vec<Mutex<(u64, String)>>,
     /// Rank reached a terminal state (Done, Failed, or declared dead).
     terminal: Vec<AtomicBool>,
     results: Mutex<Vec<Option<RankResult>>>,
@@ -102,6 +107,9 @@ impl Router {
             size,
             writers: (0..size).map(|_| Mutex::new(None)).collect(),
             last_beat: (0..size).map(|_| Mutex::new(Instant::now())).collect(),
+            last_ctx: (0..size)
+                .map(|_| Mutex::new((u64::MAX, String::new())))
+                .collect(),
             terminal: (0..size).map(|_| AtomicBool::new(false)).collect(),
             results: Mutex::new((0..size).map(|_| None).collect()),
             abort: Mutex::new(None),
@@ -171,8 +179,40 @@ impl Router {
     /// record must come FIRST — killing first lets the rank's reader
     /// thread observe the EOF and race in a generic "process died"
     /// reason before the real one (e.g. a missed heartbeat window).
+    /// Supervisor-side flight record of a peer death: a `PeerFailed`
+    /// event naming the victim's last known comm op and phase, then
+    /// the postmortem dump (`flight-sup.qfr` — the supervisor has no
+    /// rank of its own).
+    fn flight_peer_failed(&self, rank: usize, op: u64, phase: &str) {
+        if !telemetry::flight::armed() {
+            return;
+        }
+        let phase = if phase.is_empty() { "?" } else { phase };
+        telemetry::flight::event(
+            telemetry::flight::FlightKind::PeerFailed,
+            rank as u32,
+            if op == u64::MAX { 0 } else { op },
+            telemetry::flight::name_id(phase) as u64,
+        );
+        telemetry::flight::dump_postmortem(telemetry::flight::NO_RANK);
+    }
+
     fn declare_dead(&self, rank: usize, reason: String) {
         telemetry::counter_add("comm.peer_failures", 1);
+        let (op, phase) = plock(&self.last_ctx[rank]).clone();
+        let reason = if op != u64::MAX {
+            format!(
+                "{reason}; last heartbeat reported comm op {op} in phase '{}'",
+                if phase.is_empty() {
+                    "?"
+                } else {
+                    phase.as_str()
+                }
+            )
+        } else {
+            reason
+        };
+        self.flight_peer_failed(rank, op, &phase);
         self.record_abort(rank, reason.clone());
         self.finish(
             rank,
@@ -219,9 +259,10 @@ fn reader_loop(router: &Router, rank: usize, stream: &mut UnixStream) {
                     }),
                 );
             }
-            Ok(Frame::Heartbeat { .. }) => {
+            Ok(Frame::Heartbeat { op, phase, .. }) => {
                 telemetry::counter_add("comm.heartbeat.received", 1);
                 *plock(&router.last_beat[rank]) = Instant::now();
+                *plock(&router.last_ctx[rank]) = (op, phase);
             }
             Ok(Frame::Abort { origin, reason }) => {
                 router.record_abort(origin as usize, reason);
@@ -245,6 +286,8 @@ fn reader_loop(router: &Router, rank: usize, stream: &mut UnixStream) {
             }
             Ok(Frame::RequestKill { op, .. }) => {
                 telemetry::counter_add("comm.sigkill.injected", 1);
+                let phase = plock(&router.last_ctx[rank]).1.clone();
+                router.flight_peer_failed(rank, op, &phase);
                 let reason =
                     format!("fault injection: scheduled SIGKILL at comm op {op} on rank {rank}");
                 router.record_abort(rank, reason.clone());
@@ -335,6 +378,7 @@ pub(crate) fn run_socket_world(
     attempt: Attempt,
 ) -> Result<Vec<Vec<u8>>, WorldError> {
     assert!(size > 0);
+    telemetry::flight::arm();
     let path = socket_path();
     let _ = std::fs::remove_file(&path);
     let listener =
@@ -363,6 +407,11 @@ pub(crate) fn run_socket_world(
             )
             .env(ENV_ATTEMPT, attempt.index.to_string())
             .stdin(Stdio::null());
+        // children dump their flight postmortems next to the
+        // supervisor's (set_postmortem_dir only affects this process)
+        if let Some(dir) = telemetry::flight::postmortem_dir() {
+            cmd.env(telemetry::flight::ENV_FLIGHT_DIR, &dir);
+        }
         if let Some(plan) = &opts.faults {
             cmd.env(ENV_FAULTS, hex_encode(&plan.to_wire()));
         }
@@ -576,6 +625,11 @@ struct ChildLink {
     stop: AtomicBool,
     status: Mutex<RankState>,
     tag_names: Mutex<HashMap<u64, &'static str>>,
+    /// Most recent counted comm op (via [`Transport::note_comm_op`]),
+    /// folded into outgoing heartbeats; `u64::MAX` until the first op.
+    last_op: AtomicU64,
+    /// Telemetry phase active at that op (`""` when none).
+    last_phase: Mutex<&'static str>,
 }
 
 impl ChildLink {
@@ -712,6 +766,11 @@ impl Transport for ChildLink {
         self.hb_stop.store(true, Ordering::Release);
         true
     }
+
+    fn note_comm_op(&self, op: u64, phase: Option<&'static str>) {
+        self.last_op.store(op, Ordering::Relaxed);
+        *plock(&self.last_phase) = phase.unwrap_or("");
+    }
 }
 
 /// Reader loop inside a worker: push routed messages into the inbox,
@@ -772,6 +831,12 @@ fn run_child(registry: &ProgramRegistry) -> i32 {
             .expect("fault plan decodes")
     });
 
+    // Flight recorder: every worker records its own ring and, on a
+    // clean failure, dumps it before reporting (a SIGKILLed worker
+    // obviously cannot — the supervisor's dump covers that case).
+    telemetry::flight::arm();
+    telemetry::flight::set_thread_rank(rank as u32);
+
     // connect with retry: the supervisor binds before spawning, but be
     // tolerant of slow filesystems
     let connect_deadline = Instant::now() + Duration::from_secs(10);
@@ -804,6 +869,8 @@ fn run_child(registry: &ProgramRegistry) -> i32 {
         stop: AtomicBool::new(false),
         status: Mutex::new(RankState::Running),
         tag_names: Mutex::new(HashMap::new()),
+        last_op: AtomicU64::new(u64::MAX),
+        last_phase: Mutex::new(""),
     });
 
     link.send_frame(&Frame::Hello { rank: rank as u64 });
@@ -829,6 +896,8 @@ fn run_child(registry: &ProgramRegistry) -> i32 {
                     link.send_frame(&Frame::Heartbeat {
                         rank: link.rank as u64,
                         seq,
+                        op: link.last_op.load(Ordering::Relaxed),
+                        phase: plock(&link.last_phase).to_string(),
                     });
                     telemetry::counter_add("comm.heartbeat.sent", 1);
                     seq += 1;
@@ -867,6 +936,7 @@ fn run_child(registry: &ProgramRegistry) -> i32 {
         }
         Ok(Err(e)) => {
             let reason = format!("{e}{}", died_in());
+            telemetry::flight::dump_postmortem(rank as u32);
             link.send_frame(&Frame::Failed {
                 rank: rank as u64,
                 panicked: false,
@@ -877,6 +947,7 @@ fn run_child(registry: &ProgramRegistry) -> i32 {
         Err(payload) => {
             let msg = crate::panic_message(payload);
             let reason = format!("panicked{}: {msg}", died_in());
+            telemetry::flight::dump_postmortem(rank as u32);
             link.send_frame(&Frame::Failed {
                 rank: rank as u64,
                 panicked: true,

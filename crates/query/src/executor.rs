@@ -30,6 +30,17 @@
 //! entry points ([`submit_points`](QueryExecutor::submit_points),
 //! [`submit_box`](QueryExecutor::submit_box)) are thin wrappers over
 //! the batch path and return identical answers.
+//!
+//! Every stage of the serving path is profiled into global histograms
+//! (`query.stage.{classify,sort,drain,steal,unpermute,latch_wait}_ns`,
+//! `query.batch.e2e_ns`) plus per-worker `query.worker.{w}.*` counters
+//! (batches, probes, steals, busy/steal/idle ns). The classify stage is
+//! the batch's *serial fraction* — the submitter runs it alone — so
+//! `Σ classify_ns / Σ e2e_ns` is the Amdahl bound on worker scaling;
+//! `repro --queries` reports it per batch-size × worker-count cell.
+//! Batch starts and completions also land in the
+//! [`flight`](telemetry::flight) ring when armed, and completions feed
+//! the slow-query log via [`telemetry::note_batch_latency`].
 
 use crate::snapshot::BoxQuery;
 use crate::{ForestSnapshot, LeafHit, SnapshotHandle};
@@ -98,9 +109,14 @@ impl<T> Latch<T> {
     }
 
     fn wait(&self) -> T {
+        let t0 = telemetry::now_ns();
         let mut s = self.state.lock().unwrap_or_else(|p| p.into_inner());
         loop {
             if let Some(v) = s.value.take() {
+                drop(s);
+                telemetry::global()
+                    .histogram("query.stage.latch_wait_ns")
+                    .record(telemetry::now_ns().saturating_sub(t0));
                 return v;
             }
             assert!(!s.abandoned, "query executor dropped the request");
@@ -351,7 +367,7 @@ impl QueryExecutor {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("query-worker-{w}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, w))
                     .expect("spawn query worker")
             })
             .collect();
@@ -393,6 +409,7 @@ impl QueryExecutor {
     /// [`ForestSnapshot::locate_many`] on the snapshot current at
     /// submit).
     pub fn submit_points(&self, points: Vec<(TreeId, [i32; 3])>) -> Ticket<Vec<Option<LeafHit>>> {
+        let t0 = telemetry::now_ns();
         let latch = Latch::new();
         let n = points.len();
         let snap = self.handle.load();
@@ -434,9 +451,23 @@ impl QueryExecutor {
         let g = telemetry::global();
         g.histogram("query.batch.size").record(n as u64);
         let max_len = buckets.iter().map(Vec::len).max().unwrap_or(0);
-        // Imbalance ×1000: 1000 = perfectly even shards.
-        g.gauge("query.batch.shard_imbalance")
-            .set((max_len * buckets.len() * 1000 / valid) as u64);
+        // Imbalance ×1000: 1000 = perfectly even shards. A histogram,
+        // not a gauge — a gauge only remembers the last batch, which
+        // hid every skewed shard split behind the final balanced one.
+        g.histogram("query.batch.shard_imbalance")
+            .record((max_len * buckets.len() * 1000 / valid) as u64);
+        // The submit path up to here — key extraction + shard
+        // classification — is the serial fraction of a batch: one
+        // producer thread does it while every worker waits. Its share
+        // of e2e bounds parallel speedup (Amdahl).
+        g.histogram("query.stage.classify_ns")
+            .record(telemetry::now_ns().saturating_sub(t0));
+        telemetry::flight::event(
+            telemetry::flight::FlightKind::BatchStart,
+            0,
+            n as u64,
+            valid as u64,
+        );
 
         let slot = self.reserve();
         let batch = Arc::new(PointBatch {
@@ -447,7 +478,7 @@ impl QueryExecutor {
             slots: SharedSlots::new(vec![None; n]),
             remaining: AtomicUsize::new(valid),
             latch: Arc::clone(&latch),
-            start_ns: telemetry::now_ns(),
+            start_ns: t0,
             _slot: slot,
         });
         self.enqueue(
@@ -466,6 +497,7 @@ impl QueryExecutor {
     /// Enqueue a batch of box queries; one hit list per box, in input
     /// order — identical to [`ForestSnapshot::query_box`] per entry.
     pub fn submit_boxes(&self, boxes: Vec<BoxQuery>) -> Ticket<Vec<Vec<LeafHit>>> {
+        let t0 = telemetry::now_ns();
         let latch = Latch::new();
         let n = boxes.len();
         if n == 0 {
@@ -486,9 +518,18 @@ impl QueryExecutor {
         let mut order: Vec<u32> = (0..n as u32).collect();
         order.sort_unstable_by_key(|&i| sort_key(&boxes[i as usize]));
 
-        telemetry::global()
-            .histogram("query.batch.size")
-            .record(n as u64);
+        let g = telemetry::global();
+        g.histogram("query.batch.size").record(n as u64);
+        // Serial submit-side prep (the Z-order sort), same Amdahl
+        // accounting as the point path's classification.
+        g.histogram("query.stage.classify_ns")
+            .record(telemetry::now_ns().saturating_sub(t0));
+        telemetry::flight::event(
+            telemetry::flight::FlightKind::BatchStart,
+            0,
+            n as u64,
+            n as u64,
+        );
 
         let slot = self.reserve();
         let batch = Arc::new(BoxBatch {
@@ -499,7 +540,7 @@ impl QueryExecutor {
             slots: SharedSlots::new(vec![Vec::new(); n]),
             remaining: AtomicUsize::new(n),
             latch: Arc::clone(&latch),
-            start_ns: telemetry::now_ns(),
+            start_ns: t0,
             _slot: slot,
         });
         let jobs = self.nworkers.min(n.div_ceil(BOX_CHUNK));
@@ -560,29 +601,60 @@ impl Drop for QueryExecutor {
 // workers
 
 /// Per-worker metric handles, resolved once from the process-global
-/// registry (worker threads have no per-rank recorder).
+/// registry (worker threads have no per-rank recorder). Stage
+/// histograms are shared across workers; the `query.worker.{w}.*`
+/// counters are per worker, their names interned once per thread
+/// (workers are few and live for the executor's lifetime).
 struct WorkerMetrics {
     point_latency: telemetry::Histogram,
     box_latency: telemetry::Histogram,
     served: telemetry::Counter,
     age: telemetry::Gauge,
+    e2e: telemetry::Histogram,
+    sort_ns: telemetry::Histogram,
+    drain_ns: telemetry::Histogram,
+    steal_chunk_ns: telemetry::Histogram,
+    unpermute_ns: telemetry::Histogram,
+    batches: telemetry::Counter,
+    probes: telemetry::Counter,
+    steals: telemetry::Counter,
+    busy_ns: telemetry::Counter,
+    steal_ns: telemetry::Counter,
+    idle_ns: telemetry::Counter,
 }
 
 impl WorkerMetrics {
-    fn new() -> Self {
+    fn new(w: usize) -> Self {
         let g = telemetry::global();
+        let per = |field: &str| -> telemetry::Counter {
+            g.counter(Box::leak(
+                format!("query.worker.{w}.{field}").into_boxed_str(),
+            ))
+        };
         WorkerMetrics {
             point_latency: g.histogram("query.point.latency_ns"),
             box_latency: g.histogram("query.box.latency_ns"),
             served: g.counter("query.served"),
             age: g.gauge("snapshot.age_ns"),
+            e2e: g.histogram("query.batch.e2e_ns"),
+            sort_ns: g.histogram("query.stage.sort_ns"),
+            drain_ns: g.histogram("query.stage.drain_ns"),
+            steal_chunk_ns: g.histogram("query.stage.steal_ns"),
+            unpermute_ns: g.histogram("query.stage.unpermute_ns"),
+            batches: per("batches"),
+            probes: per("probes"),
+            steals: per("steals"),
+            busy_ns: per("busy_ns"),
+            steal_ns: per("steal_ns"),
+            idle_ns: per("idle_ns"),
         }
     }
 }
 
-fn worker_loop(shared: &Shared) {
-    let metrics = WorkerMetrics::new();
+fn worker_loop(shared: &Shared, w: usize) {
+    let metrics = WorkerMetrics::new(w);
     loop {
+        let idle0 = telemetry::now_ns();
         let work = {
             let mut b = shared.board.lock().unwrap_or_else(|p| p.into_inner());
             loop {
@@ -595,10 +667,16 @@ fn worker_loop(shared: &Shared) {
                 b = shared.work_cv.wait(b).unwrap_or_else(|p| p.into_inner());
             }
         };
+        let busy0 = telemetry::now_ns();
+        metrics.idle_ns.add(busy0.saturating_sub(idle0));
         match work {
             Work::Points { batch, shard } => serve_points(&batch, shard, &metrics),
             Work::Boxes { batch } => serve_boxes(&batch, &metrics),
         }
+        metrics
+            .busy_ns
+            .add(telemetry::now_ns().saturating_sub(busy0));
+        metrics.batches.incr();
     }
 }
 
@@ -616,17 +694,25 @@ fn serve_points(batch: &PointBatch, start: usize, metrics: &WorkerMetrics) {
         if s.len == 0 || s.cursor.load(Ordering::Relaxed) >= s.len {
             continue;
         }
+        // `off > 0` means this shard belongs to another worker's job:
+        // serving it is a steal, accounted separately so the profile
+        // can tell rebalancing work from owned work.
+        let stealing = off > 0;
         if !s.sorted.load(Ordering::Acquire) {
             if s.sort_claim
                 .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
                 // Sole writer: claim won, `sorted` not yet released.
+                let t0 = telemetry::now_ns();
                 let idxs = unsafe { &mut *s.idxs.get() };
                 idxs.sort_unstable_by_key(|&i| {
                     (batch.points[i as usize].0, batch.keys[i as usize])
                 });
                 s.sorted.store(true, Ordering::Release);
+                metrics
+                    .sort_ns
+                    .record(telemetry::now_ns().saturating_sub(t0));
             } else if !s.sorted.load(Ordering::Acquire) {
                 continue;
             }
@@ -639,12 +725,22 @@ fn serve_points(batch: &PointBatch, start: usize, metrics: &WorkerMetrics) {
                 break;
             }
             let hi = (lo + POINT_CHUNK).min(s.len);
+            let t0 = telemetry::now_ns();
             batch
                 .snap
                 .locate_run(&batch.points, &batch.keys, &idxs[lo..hi], |i, hit| unsafe {
                     batch.slots.write(i as usize, hit);
                 });
+            let chunk_ns = telemetry::now_ns().saturating_sub(t0);
             let served = hi - lo;
+            metrics.probes.add(served as u64);
+            if stealing {
+                metrics.steals.incr();
+                metrics.steal_ns.add(chunk_ns);
+                metrics.steal_chunk_ns.record(chunk_ns);
+            } else {
+                metrics.drain_ns.record(chunk_ns);
+            }
             if batch.remaining.fetch_sub(served, Ordering::AcqRel) == served {
                 complete_points(batch, metrics);
             }
@@ -653,11 +749,21 @@ fn serve_points(batch: &PointBatch, start: usize, metrics: &WorkerMetrics) {
 }
 
 fn complete_points(batch: &PointBatch, metrics: &WorkerMetrics) {
+    // "Un-permute" is where a permuted-results design would pay to
+    // restore input order; here every probe wrote its own input slot,
+    // so this stage is just taking the buffer — the histogram exists
+    // to prove that it stays free.
+    let t0 = telemetry::now_ns();
     let answers = batch.slots.take();
-    metrics
-        .point_latency
-        .record(telemetry::now_ns().saturating_sub(batch.start_ns));
+    let done = telemetry::now_ns();
+    metrics.unpermute_ns.record(done.saturating_sub(t0));
+    let e2e = done.saturating_sub(batch.start_ns);
+    metrics.point_latency.record(e2e);
+    metrics.e2e.record(e2e);
     metrics.served.add(batch.points.len() as u64);
+    let n = batch.points.len() as u64;
+    telemetry::flight::event(telemetry::flight::FlightKind::BatchDone, 0, n, e2e);
+    telemetry::note_batch_latency("point", n, e2e);
     batch.latch.fulfill(answers);
 }
 
@@ -681,11 +787,15 @@ fn serve_boxes(batch: &BoxBatch, metrics: &WorkerMetrics) {
             unsafe { batch.slots.write(i as usize, hits) };
         }
         let served = hi - lo;
+        metrics.probes.add(served as u64);
         if batch.remaining.fetch_sub(served, Ordering::AcqRel) == served {
             let answers = batch.slots.take();
-            metrics
-                .box_latency
-                .record(telemetry::now_ns().saturating_sub(batch.start_ns));
+            let e2e = telemetry::now_ns().saturating_sub(batch.start_ns);
+            metrics.box_latency.record(e2e);
+            metrics.e2e.record(e2e);
+            let n = batch.order.len() as u64;
+            telemetry::flight::event(telemetry::flight::FlightKind::BatchDone, 0, n, e2e);
+            telemetry::note_batch_latency("box", n, e2e);
             batch.latch.fulfill(answers);
         }
     }

@@ -1,9 +1,10 @@
 //! Exporters: Chrome trace-event JSON (Perfetto-loadable) and the
 //! human-readable per-rank/per-phase summary table.
 
-use crate::metrics::{AggregateRow, MetricKind, MetricsSnapshot};
+use crate::metrics::{AggregateRow, MetricEntry, MetricKind, MetricsSnapshot};
 use crate::span::RankReport;
 use std::fmt::Write as _;
+use std::sync::Mutex;
 
 /// Minimal JSON string escaping (quotes, backslash, control chars).
 fn escape(s: &str, out: &mut String) {
@@ -71,13 +72,97 @@ pub fn chrome_trace(reports: &[RankReport]) -> String {
     out
 }
 
-/// [`chrome_trace`] plus one Chrome counter event (`"ph":"C"`) per metric
-/// in `metrics` — typically the [`crate::global`] registry's snapshot, so
-/// query-serving counters (`query.served`, `snapshot.generation`, latency
-/// histogram counts) land on the same timeline as the phase spans.
-/// Counters and gauges export their scalar; histograms export their
-/// observation count and mean value. Events are stamped at the end of the
-/// last recorded span (counters render as a final track in Perfetto).
+// ---------------------------------------------------------------------------
+// Periodic metric samples
+// ---------------------------------------------------------------------------
+
+/// Timestamped snapshots of the [`crate::global`] registry, collected
+/// during long phases so Chrome counter tracks show *evolution* instead
+/// of one flat value at the end of the run.
+static SAMPLES: Mutex<Vec<(u64, MetricsSnapshot)>> = Mutex::new(Vec::new());
+
+/// Record one timestamped sample of the global registry into the sample
+/// store. Call this from inside long phases (or use [`sample_metrics_every`])
+/// — the next [`chrome_trace_with_metrics`] export turns each sample into
+/// Chrome counter events at its own timestamp.
+pub fn sample_metrics_now() {
+    let snap = crate::global().snapshot();
+    SAMPLES
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .push((crate::now_ns(), snap));
+}
+
+/// Drain and return all stored samples (timestamp ns, snapshot), oldest
+/// first. [`chrome_trace_with_metrics`] drains the store itself; use this
+/// to inspect or discard samples without exporting a trace.
+pub fn take_metric_samples() -> Vec<(u64, MetricsSnapshot)> {
+    std::mem::take(&mut *SAMPLES.lock().unwrap_or_else(|p| p.into_inner()))
+}
+
+/// RAII background sampler: snapshots the global registry every `period`
+/// until dropped. One sampling thread; drop joins it.
+pub struct MetricSampler {
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Start a [`MetricSampler`] with the given period.
+pub fn sample_metrics_every(period: std::time::Duration) -> MetricSampler {
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop2 = std::sync::Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("qf-sampler".into())
+        .spawn(move || {
+            while !stop2.load(std::sync::atomic::Ordering::Acquire) {
+                std::thread::sleep(period);
+                sample_metrics_now();
+            }
+        })
+        .ok();
+    MetricSampler { stop, handle }
+}
+
+impl Drop for MetricSampler {
+    fn drop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One Chrome `"ph":"C"` event for `e` at timestamp `ts` (ns).
+fn counter_event(out: &mut String, e: &MetricEntry, ts: u64) {
+    out.push_str(",\n{\"ph\":\"C\",\"pid\":0,\"name\":\"");
+    escape(e.name, out);
+    let _ = write!(out, "\",\"ts\":{}.{:03},\"args\":{{", ts / 1000, ts % 1000);
+    match e.kind {
+        MetricKind::Counter | MetricKind::Gauge => {
+            let _ = write!(out, "\"value\":{}", e.scalar());
+        }
+        MetricKind::Histogram => {
+            let count = e.scalar();
+            let sum = *e.values.last().unwrap_or(&0);
+            let mean = sum.checked_div(count).unwrap_or(0);
+            let _ = write!(out, "\"count\":{count},\"mean\":{mean}");
+            for (q, label) in [(0.5, "p50"), (0.99, "p99"), (0.999, "p999")] {
+                if let Some(v) = e.quantile(q) {
+                    let _ = write!(out, ",\"{label}\":{v}");
+                }
+            }
+        }
+    }
+    out.push_str("}}");
+}
+
+/// [`chrome_trace`] plus Chrome counter events (`"ph":"C"`): every sample
+/// stored by [`sample_metrics_now`] / [`sample_metrics_every`] is emitted
+/// at its own timestamp (the store is drained), then `metrics` — typically
+/// the [`crate::global`] registry's final snapshot — is stamped at the end
+/// of the last recorded span. Counters and gauges export their scalar;
+/// histograms export count, mean, and p50/p99/p999 quantiles, so latency
+/// SLOs are visible directly in Perfetto.
 pub fn chrome_trace_with_metrics(reports: &[RankReport], metrics: &MetricsSnapshot) -> String {
     let mut out = chrome_trace(reports);
     // splice counter events before the closing of the traceEvents array
@@ -85,27 +170,18 @@ pub fn chrome_trace_with_metrics(reports: &[RankReport], metrics: &MetricsSnapsh
     let base = out.len() - tail.len();
     debug_assert_eq!(&out[base..], tail);
     out.truncate(base);
+    for (sample_ts, snap) in take_metric_samples() {
+        for e in &snap.entries {
+            counter_event(&mut out, e, sample_ts);
+        }
+    }
     let ts = reports
         .iter()
         .flat_map(|r| r.spans.iter().map(|s| s.start_ns + s.dur_ns))
         .max()
         .unwrap_or(0);
     for e in &metrics.entries {
-        out.push_str(",\n{\"ph\":\"C\",\"pid\":0,\"name\":\"");
-        escape(e.name, &mut out);
-        let _ = write!(out, "\",\"ts\":{}.{:03},\"args\":{{", ts / 1000, ts % 1000);
-        match e.kind {
-            MetricKind::Counter | MetricKind::Gauge => {
-                let _ = write!(out, "\"value\":{}", e.scalar());
-            }
-            MetricKind::Histogram => {
-                let count = e.scalar();
-                let sum = *e.values.last().unwrap_or(&0);
-                let mean = sum.checked_div(count).unwrap_or(0);
-                let _ = write!(out, "\"count\":{count},\"mean\":{mean}");
-            }
-        }
-        out.push_str("}}");
+        counter_event(&mut out, e, ts);
     }
     out.push_str(tail);
     out
@@ -172,28 +248,39 @@ pub fn summary_table(reports: &[RankReport]) -> String {
 }
 
 /// Render aggregated cross-rank metrics ([`crate::aggregate`]) as a table.
+/// Histogram rows carry p50/p99/p999 estimates from the merged HDR
+/// buckets (≤1 % relative error) next to the mean.
 pub fn metrics_table(rows: &[AggregateRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<32} {:>10} {:>14} {:>12} {:>12} {:>12}",
-        "metric", "kind", "total", "min/rank", "max/rank", "mean obs"
+        "{:<32} {:>10} {:>14} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "metric", "kind", "total", "min/rank", "max/rank", "mean obs", "p50", "p99", "p999"
     );
-    let _ = writeln!(out, "{}", "-".repeat(98));
+    let _ = writeln!(out, "{}", "-".repeat(137));
     for r in rows {
         let mean = match r.mean() {
             Some(m) => format!("{m:.1}"),
             None => "-".into(),
         };
+        let q = |q: f64| -> String {
+            match r.quantile(q) {
+                Some(v) => v.to_string(),
+                None => "-".into(),
+            }
+        };
         let _ = writeln!(
             out,
-            "{:<32} {:>10} {:>14} {:>12} {:>12} {:>12}",
+            "{:<32} {:>10} {:>14} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
             r.name,
             r.kind.to_string(),
             r.total,
             r.min,
             r.max,
-            mean
+            mean,
+            q(0.5),
+            q(0.99),
+            q(0.999)
         );
     }
     out
@@ -281,8 +368,14 @@ mod tests {
         assert!(table.contains("1x 2.000"));
     }
 
+    /// The sample store is process-global; tests that drain it must not
+    /// interleave.
+    static SAMPLE_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn chrome_trace_with_metrics_emits_counter_events() {
+        let _guard = SAMPLE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        take_metric_samples(); // other tests' leftovers
         let reports = vec![report(0, vec![ev("serve", 1000, 2000, 0)])];
         let reg = Registry::new();
         reg.counter("query.served").add(42);
@@ -296,9 +389,46 @@ mod tests {
             json.contains("\"name\":\"snapshot.generation\",\"ts\":3.000,\"args\":{\"value\":7}")
         );
         assert!(json.contains("\"count\":2,\"mean\":1000"));
+        // histogram counter events carry quantile estimates
+        assert!(json.contains(",\"p50\":"), "{json}");
+        assert!(json.contains(",\"p999\":"), "{json}");
         // still a valid trace: the span events survive the splice
         assert_eq!(json.matches("\"ph\":\"X\"").count(), 1);
         assert!(json.ends_with("\n]}\n"));
+    }
+
+    #[test]
+    fn periodic_samples_land_at_their_own_timestamps() {
+        let _guard = SAMPLE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        take_metric_samples();
+        let c = crate::global().counter("export.sample.test");
+        c.add(1);
+        sample_metrics_now();
+        c.add(1);
+        sample_metrics_now();
+        let reports = vec![report(0, vec![ev("serve", 0, 1_000_000_000_000, 0)])];
+        let json = chrome_trace_with_metrics(&reports, &crate::global().snapshot());
+        // the same counter appears at (at least) three distinct
+        // timestamps: two mid-phase samples plus the final stamp
+        let events: Vec<&str> = json
+            .lines()
+            .filter(|l| l.contains("\"ph\":\"C\"") && l.contains("export.sample.test"))
+            .collect();
+        assert!(events.len() >= 3, "{json}");
+        let mut ts: Vec<&str> = events
+            .iter()
+            .filter_map(|l| l.split("\"ts\":").nth(1))
+            .filter_map(|t| t.split(',').next())
+            .collect();
+        ts.dedup();
+        assert!(ts.len() >= 3, "expected distinct sample timestamps: {ts:?}");
+        // drained: a second export has only the final stamp
+        let json2 = chrome_trace_with_metrics(&reports, &crate::global().snapshot());
+        let again = json2
+            .lines()
+            .filter(|l| l.contains("\"ph\":\"C\"") && l.contains("export.sample.test"))
+            .count();
+        assert_eq!(again, 1);
     }
 
     #[test]

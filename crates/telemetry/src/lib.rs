@@ -42,15 +42,23 @@
 //! ```
 
 mod export;
+pub mod flight;
 mod metrics;
+mod prom;
 mod span;
 
 pub use export::{
-    chrome_trace, chrome_trace_with_metrics, metrics_table, summary_table, summary_totals,
+    chrome_trace, chrome_trace_with_metrics, metrics_table, sample_metrics_every,
+    sample_metrics_now, summary_table, summary_totals, take_metric_samples, MetricSampler,
 };
 pub use metrics::{
-    aggregate, bucket_bounds, bucket_index, AggregateRow, Counter, Gauge, Histogram, MetricEntry,
-    MetricKind, MetricsSnapshot, Registry, HISTOGRAM_BUCKETS,
+    aggregate, bucket_bounds, bucket_index, bucket_midpoint, quantile_from_buckets, AggregateRow,
+    Counter, Gauge, Histogram, MetricEntry, MetricKind, MetricsSnapshot, Registry,
+    HISTOGRAM_BUCKETS,
+};
+pub use prom::{
+    note_batch_latency, render_prometheus, serve_metrics, set_slow_query_threshold_ns,
+    slow_query_threshold_ns, MetricsServer,
 };
 pub use span::{RankReport, SpanEvent, SpanRing};
 
@@ -177,6 +185,8 @@ pub fn begin_rank(rank: usize) {
 pub fn begin_rank_with_capacity(rank: usize, ring_capacity: usize) {
     // Pin the clock epoch before any span records against it.
     let _ = epoch();
+    // Flight events recorded by this thread now carry the rank.
+    flight::set_thread_rank(rank as u32);
     RECORDER.with(|r| {
         let mut r = r.borrow_mut();
         // Increment first; if this replaces an existing recorder, its
@@ -273,6 +283,14 @@ pub fn span(name: &'static str) -> Span {
 
 #[cold]
 fn span_enter(name: &'static str) -> Span {
+    if flight::armed() {
+        flight::event(
+            flight::FlightKind::PhaseEnter,
+            0,
+            flight::name_id(name) as u64,
+            0,
+        );
+    }
     RECORDER.with(|r| {
         let mut r = r.borrow_mut();
         match r.as_mut() {
@@ -316,10 +334,19 @@ fn span_exit(name: &'static str, depth: usize) {
         }
         match rec.stack.pop() {
             Some((top_name, start)) if top_name == name && rec.stack.len() == depth => {
+                let dur_ns = end.saturating_sub(start);
+                if flight::armed() {
+                    flight::event(
+                        flight::FlightKind::PhaseExit,
+                        0,
+                        flight::name_id(name) as u64,
+                        dur_ns,
+                    );
+                }
                 rec.ring.push(SpanEvent {
                     name,
                     start_ns: start,
-                    dur_ns: end.saturating_sub(start),
+                    dur_ns,
                     depth: depth.min(u16::MAX as usize) as u16,
                 });
             }

@@ -14,19 +14,32 @@
 //!   ([`crate::begin_rank`]) — single-threaded by construction, but reusing
 //!   the same cell type keeps snapshots uniform.
 //!
-//! Histograms use fixed power-of-two buckets: bucket `0` counts zero values
-//! and bucket `i` counts values with bit length `i`, i.e. the half-open
-//! range `[2^(i-1), 2^i)`. Two extra slots accumulate the total count and
-//! total sum so exporters can report means without extra bookkeeping.
+//! Histograms use an HdrHistogram-style **log-linear** layout: values below
+//! [`SUB_BUCKET_COUNT`] (128) are recorded exactly, one bucket per value;
+//! larger values fall into exponential tiers of [`SUB_BUCKET_HALF`] (64)
+//! linear sub-buckets each, so every bucket's width is at most `lo / 64` and
+//! reporting the bucket midpoint bounds the relative error at
+//! `1/128 ≈ 0.78 % < 1 %` — tight enough for p99/p999 SLOs across the full
+//! `u64` range. Two extra slots accumulate the total count and total sum so
+//! exporters can report means without extra bookkeeping.
 
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// Number of value buckets in a [`Histogram`] (bit-length buckets, so 64
-/// covers the full `u64` range; values ≥ 2^62 saturate into the last one).
-pub const HISTOGRAM_BUCKETS: usize = 64;
+/// Values below this are recorded exactly (one bucket per value).
+pub const SUB_BUCKET_COUNT: u64 = 128;
+/// Linear sub-buckets per exponential tier above the exact range.
+pub const SUB_BUCKET_HALF: u64 = 64;
+/// Exponential tiers needed to cover the remaining `u64` range: values with
+/// bit length 8..=64 map to tiers 1..=57.
+const TIERS: usize = 57;
+
+/// Number of value buckets in a [`Histogram`]: 128 exact buckets plus
+/// 57 tiers × 64 linear sub-buckets, covering all of `u64` with ≤1 %
+/// relative error at the bucket midpoint.
+pub const HISTOGRAM_BUCKETS: usize = SUB_BUCKET_COUNT as usize + TIERS * SUB_BUCKET_HALF as usize;
 const SLOT_COUNT: usize = HISTOGRAM_BUCKETS;
 const SLOT_SUM: usize = HISTOGRAM_BUCKETS + 1;
 
@@ -37,7 +50,8 @@ pub enum MetricKind {
     Counter,
     /// Last-written value.
     Gauge,
-    /// Fixed power-of-two bucket histogram plus running count/sum.
+    /// Log-linear (HdrHistogram-style) bucket histogram plus running
+    /// count/sum, ≤1 % relative error at the bucket midpoint.
     Histogram,
 }
 
@@ -70,23 +84,64 @@ impl Cell {
     }
 }
 
-/// Bucket index for a histogram value: 0 for 0, else the bit length of `v`
-/// capped to the last bucket.
+/// Bucket index for a histogram value in the log-linear layout: values
+/// below 128 map to their own bucket; larger values keep their top 7
+/// significant bits, so each tier holds 64 linear sub-buckets of width
+/// `2^tier`.
 #[inline]
 pub fn bucket_index(v: u64) -> usize {
-    ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    if v < SUB_BUCKET_COUNT {
+        return v as usize;
+    }
+    // v ≥ 128, so bit length ≥ 8 and tier = bit_length - 7 ≥ 1.
+    let tier = (63 - v.leading_zeros() as usize) - 6;
+    // (v >> tier) is in [64, 128): the 64 linear sub-buckets of this tier.
+    SUB_BUCKET_COUNT as usize
+        + (tier - 1) * SUB_BUCKET_HALF as usize
+        + ((v >> tier) - SUB_BUCKET_HALF) as usize
 }
 
-/// Inclusive-exclusive bounds `[lo, hi)` of bucket `i` (for display).
+/// Inclusive-exclusive bounds `[lo, hi)` of bucket `i` (for display and
+/// quantile estimation). The last bucket's upper bound saturates at
+/// `u64::MAX`.
 pub fn bucket_bounds(i: usize) -> (u64, u64) {
-    if i == 0 {
-        (0, 1)
-    } else {
-        (
-            1u64 << (i - 1),
-            1u64.checked_shl(i as u32).unwrap_or(u64::MAX),
-        )
+    if i < SUB_BUCKET_COUNT as usize {
+        return (i as u64, i as u64 + 1);
     }
+    let off = i - SUB_BUCKET_COUNT as usize;
+    let tier = (off / SUB_BUCKET_HALF as usize + 1) as u32;
+    let m = (off % SUB_BUCKET_HALF as usize) as u64 + SUB_BUCKET_HALF;
+    let lo = m << tier;
+    let hi = (((m + 1) as u128) << tier).min(u64::MAX as u128) as u64;
+    (lo, hi)
+}
+
+/// Representative value of bucket `i`: its midpoint. Exact for the 128
+/// low buckets (width 1); within `1/128` relative error everywhere else.
+pub fn bucket_midpoint(i: usize) -> u64 {
+    let (lo, hi) = bucket_bounds(i);
+    lo + (hi - lo) / 2
+}
+
+/// Estimate the `q`-quantile (`0.0..=1.0`) from a bucket-count slice laid
+/// out per [`bucket_index`]. Returns `None` for an empty histogram. The
+/// estimate is the midpoint of the bucket containing the rank-`⌈q·n⌉`
+/// observation, so relative error is bounded by the bucket half-width:
+/// ≤ `1/128` of the true value.
+pub fn quantile_from_buckets(buckets: &[u64], q: f64) -> Option<u64> {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return Some(bucket_midpoint(i));
+        }
+    }
+    Some(bucket_midpoint(buckets.len() - 1))
 }
 
 /// Lock-free handle to a counter cell.
@@ -143,6 +198,16 @@ impl Histogram {
 
     pub fn sum(&self) -> u64 {
         self.0.slots[SLOT_SUM].load(Ordering::Relaxed)
+    }
+
+    /// Estimated `q`-quantile of the recorded values (`None` if empty),
+    /// within ≤1 % relative error.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let buckets: Vec<u64> = self.0.slots[..HISTOGRAM_BUCKETS]
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect();
+        quantile_from_buckets(&buckets, q)
     }
 }
 
@@ -242,6 +307,14 @@ impl MetricEntry {
             MetricKind::Histogram => self.values[SLOT_COUNT],
         }
     }
+
+    /// Estimated `q`-quantile for a histogram entry (`None` for other
+    /// kinds or an empty histogram).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        (self.kind == MetricKind::Histogram)
+            .then(|| quantile_from_buckets(&self.values[..HISTOGRAM_BUCKETS], q))
+            .flatten()
+    }
 }
 
 impl MetricsSnapshot {
@@ -275,6 +348,11 @@ impl AggregateRow {
     pub fn mean(&self) -> Option<f64> {
         (self.kind == MetricKind::Histogram && self.total > 0)
             .then(|| self.sum as f64 / self.total as f64)
+    }
+
+    /// Estimated `q`-quantile over the cross-rank merged buckets.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        quantile_from_buckets(&self.buckets, q)
     }
 }
 
@@ -374,18 +452,50 @@ mod tests {
     }
 
     #[test]
-    fn bucket_index_is_bit_length() {
-        assert_eq!(bucket_index(0), 0);
-        assert_eq!(bucket_index(1), 1);
-        assert_eq!(bucket_index(2), 2);
-        assert_eq!(bucket_index(3), 2);
-        assert_eq!(bucket_index(4), 3);
-        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
-        for i in 1..HISTOGRAM_BUCKETS {
-            let (lo, hi) = bucket_bounds(i);
-            assert_eq!(bucket_index(lo), i);
-            assert_eq!(bucket_index(hi - 1), i.min(HISTOGRAM_BUCKETS - 1));
+    fn bucket_layout_is_log_linear() {
+        // Exact range: one bucket per value.
+        for v in 0..SUB_BUCKET_COUNT {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_midpoint(v as usize), v);
         }
+        // First tier starts right after the exact range.
+        assert_eq!(bucket_index(128), 128);
+        assert_eq!(bucket_index(129), 128); // tier-1 buckets have width 2
+        assert_eq!(bucket_index(130), 129);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Bounds and indices agree on every bucket, and buckets tile the
+        // u64 range without gaps.
+        let mut expect_lo = 0u64;
+        for i in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expect_lo, "gap before bucket {i}");
+            assert!(hi > lo);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi - 1), i);
+            expect_lo = hi;
+        }
+        assert_eq!(expect_lo, u64::MAX);
+    }
+
+    #[test]
+    fn quantile_error_is_within_one_percent() {
+        // Midpoint reporting keeps relative error under 1/128 for any
+        // value, across magnitudes.
+        for &v in &[1u64, 100, 1_000, 123_456, 7_777_777, 1 << 40, u64::MAX / 3] {
+            let mid = bucket_midpoint(bucket_index(v));
+            let err = (mid as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 1.0 / 128.0, "v={v} mid={mid} err={err}");
+        }
+        let reg = Registry::new();
+        let h = reg.histogram("q");
+        for v in 1..=1000u64 {
+            h.record(v * 1000);
+        }
+        let p50 = h.quantile(0.50).unwrap() as f64;
+        let p999 = h.quantile(0.999).unwrap() as f64;
+        assert!((p50 - 500_000.0).abs() / 500_000.0 <= 0.01, "p50={p50}");
+        assert!((p999 - 999_000.0).abs() / 999_000.0 <= 0.01, "p999={p999}");
+        assert_eq!(h.quantile(0.0), h.quantile(0.001)); // rank clamps to 1
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! Differential property test for the HDR log-linear histogram.
+//!
+//! The layout promises a relative quantile error of at most
+//! 1/SUB_BUCKET_COUNT = 1/128 (≈0.78%): every bucket above the exact
+//! range spans values whose midpoint is within that factor of any member.
+//! We check the whole pipeline — `bucket_index` placement plus
+//! `quantile_from_buckets` rank selection — against an exact quantile
+//! computed from the sorted raw sample, using the same rank formula
+//! (rank = ceil(q * n) clamped to [1, n]) so the only divergence left to
+//! measure is bucketing error.
+
+use proptest::prelude::*;
+use quadforest_telemetry::{bucket_index, quantile_from_buckets, HISTOGRAM_BUCKETS};
+
+const QS: [f64; 4] = [0.5, 0.9, 0.99, 0.999];
+
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Values are drawn as (shift, seed) so the sample spans many orders of
+    // magnitude — uniform u64 alone would almost never exercise the small
+    // exact-representation tiers.
+    #[test]
+    fn quantiles_within_one_percent(
+        raw in proptest::collection::vec((0u32..64, 1u64..u64::MAX), 1..400)
+    ) {
+        let values: Vec<u64> = raw.iter().map(|&(s, v)| v >> s).collect();
+
+        let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+        for &v in &values {
+            buckets[bucket_index(v)] += 1;
+        }
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+
+        for &q in &QS {
+            let est = quantile_from_buckets(&buckets, q).expect("non-empty sample");
+            let exact = exact_quantile(&sorted, q);
+            // ±1 absorbs midpoint rounding in the exact tiers.
+            let tol = exact / 128 + 1;
+            let err = est.abs_diff(exact);
+            prop_assert!(
+                err <= tol,
+                "q={q}: estimated {est} vs exact {exact} (err {err} > tol {tol}, n={})",
+                values.len()
+            );
+        }
+    }
+
+    // Every value must land in a bucket whose bounds contain it, and the
+    // midpoint reported for that bucket must be within the error bound.
+    #[test]
+    fn bucket_bounds_contain_value(raw in (0u32..64, 1u64..u64::MAX)) {
+        let v = raw.1 >> raw.0;
+        let idx = bucket_index(v);
+        prop_assert!(idx < HISTOGRAM_BUCKETS);
+        let (lo, hi) = quadforest_telemetry::bucket_bounds(idx);
+        prop_assert!(lo <= v && v <= hi, "value {v} outside bucket {idx} = [{lo}, {hi}]");
+        let mid = quadforest_telemetry::bucket_midpoint(idx);
+        prop_assert!(
+            mid.abs_diff(v) <= v / 128 + 1,
+            "midpoint {mid} of bucket {idx} too far from {v}"
+        );
+    }
+}
