@@ -188,8 +188,12 @@ fn parse_args() -> Opts {
                         let me = std::env::current_exe().expect("current_exe for socket worker");
                         quadforest_comm::Backend::Sockets(quadforest_comm::SocketOptions::new(me))
                     }
+                    "tcp" => {
+                        let me = std::env::current_exe().expect("current_exe for tcp worker");
+                        quadforest_comm::Backend::Tcp(quadforest_comm::TcpOptions::new(me))
+                    }
                     other => {
-                        eprintln!("unknown backend '{other}' (expected threads|sockets)");
+                        eprintln!("unknown backend '{other}' (expected threads|sockets|tcp)");
                         std::process::exit(2);
                     }
                 };
@@ -584,6 +588,10 @@ fn run_dim2(opts: &Opts) {
 // Chaos: the forest pipeline under deterministic fault injection
 // ---------------------------------------------------------------------------
 
+/// The deterministic fault seeds `--chaos` sweeps; recorded as
+/// provenance in every BENCH_*.json produced by the same invocation.
+const CHAOS_SEEDS: [u64; 4] = [11, 22, 33, 44];
+
 fn run_chaos(opts: &Opts) {
     use quadforest_bench::transport::{self, CHAOS_PIPELINE};
     use quadforest_comm::{try_run_program, Attempt, Backend, FaultPlan, RunOptions, WorldError};
@@ -621,10 +629,21 @@ fn run_chaos(opts: &Opts) {
     let mut all_ok = true;
     for &p in &[1usize, 2, 4, 7] {
         let baseline = run_once(p, None).unwrap_or_else(|e| panic!("fault-free run failed: {e}"));
-        for seed in [11u64, 22, 33, 44] {
-            let plan = FaultPlan::new(seed)
+        for seed in CHAOS_SEEDS {
+            let mut plan = FaultPlan::new(seed)
                 .with_delays(0.2, Duration::from_micros(100))
                 .with_reordering(0.25);
+            // On TCP the chaos also attacks the wire itself: latency,
+            // silent drops, bit corruption, and partial writes. The
+            // session layer must retransmit/resync so the digest still
+            // matches the fault-free run bit for bit.
+            if matches!(backend, Backend::Tcp(_)) {
+                plan = plan
+                    .with_net_delays(0.05, Duration::from_micros(200))
+                    .with_net_drops(0.02)
+                    .with_net_corruption(0.02)
+                    .with_net_partial_writes(0.1);
+            }
             let t = std::time::Instant::now();
             let chaotic =
                 run_once(p, Some(plan)).unwrap_or_else(|e| panic!("chaos run failed: {e}"));
@@ -643,11 +662,11 @@ fn run_chaos(opts: &Opts) {
     assert!(all_ok, "fault injection changed a pipeline result");
 
     // and a scheduled rank death: the world reports instead of hanging.
-    // On the socket backend the death is a real SIGKILL of the victim's
-    // process — detected and reported the same way.
+    // On the process-per-rank backends the death is a real SIGKILL of
+    // the victim's process — detected and reported the same way.
     let plan = match backend {
         Backend::Threads => FaultPlan::new(1).with_panic_at(2, 9),
-        Backend::Sockets(_) => FaultPlan::new(1).with_sigkill_at(2, 9),
+        Backend::Sockets(_) | Backend::Tcp(_) => FaultPlan::new(1).with_sigkill_at(2, 9),
     };
     match run_once(4, Some(plan)) {
         Ok(_) => println!("\nscheduled death did not fire (pipeline too short)"),
@@ -1282,7 +1301,7 @@ fn run_queries(opts: &Opts) {
     bench_one::<MortonQuad<2>>("morton", opts, &points, &boxes, &mut records);
     bench_one::<AvxQuad<2>>("avx", opts, &points, &boxes, &mut records);
 
-    write_json("BENCH_query.json", "query", opts.backend.name(), &records);
+    write_json("BENCH_query.json", "query", opts, &records);
 }
 
 // ---------------------------------------------------------------------------
@@ -1386,7 +1405,8 @@ impl JsonRecord {
     }
 }
 
-fn write_json(path: &str, bench: &'static str, backend: &str, records: &[JsonRecord]) {
+fn write_json(path: &str, bench: &'static str, opts: &Opts, records: &[JsonRecord]) {
+    let backend = opts.backend.name();
     let body = records
         .iter()
         .map(JsonRecord::to_json)
@@ -1400,8 +1420,22 @@ fn write_json(path: &str, bench: &'static str, backend: &str, records: &[JsonRec
         .collect::<Vec<_>>()
         .join(", ");
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // chaos provenance: which deterministic fault seeds (if any) this
+    // invocation swept, so a BENCH file can be reproduced exactly.
+    let chaos_seeds = if opts.chaos {
+        format!(
+            "[{}]",
+            CHAOS_SEEDS
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    } else {
+        "null".to_string()
+    };
     let json = format!(
-        "{{\n  \"bench\": \"{bench}\",\n  \"backend\": \"{backend}\",\n  \"features\": \"{}\",\n  \"threads\": {threads},\n  \"kernel_invocations\": {{{invocations}}},\n  \"results\": [\n{body}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"{bench}\",\n  \"backend\": \"{backend}\",\n  \"chaos_seeds\": {chaos_seeds},\n  \"features\": \"{}\",\n  \"threads\": {threads},\n  \"kernel_invocations\": {{{invocations}}},\n  \"results\": [\n{body}\n  ]\n}}\n",
         quadforest_core::simd::active_features()
     );
     std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
@@ -1581,7 +1615,7 @@ fn run_json_batch(opts: &Opts) {
             || batch::sfc_keys_all(&soa, 3, &mut keys)
         );
     }
-    write_json("BENCH_batch.json", "batch", opts.backend.name(), &records);
+    write_json("BENCH_batch.json", "batch", opts, &records);
 }
 
 fn run_json_highlevel(opts: &Opts) {
@@ -1694,12 +1728,7 @@ fn run_json_highlevel(opts: &Opts) {
         ));
     }
 
-    write_json(
-        "BENCH_highlevel.json",
-        "highlevel",
-        opts.backend.name(),
-        &records,
-    );
+    write_json("BENCH_highlevel.json", "highlevel", opts, &records);
 }
 
 fn main() {

@@ -1,13 +1,14 @@
-//! One parameterized harness, two transports.
+//! One parameterized harness, three transports.
 //!
 //! Every test here runs the same registered programs (see
-//! `quadforest_bench::transport`) on both the in-process thread backend
-//! and the Unix-socket process-per-rank backend, and demands identical
-//! observable behavior: bit-identical pipeline digests under fault
-//! injection, identically-shaped failure reports for scheduled rank
-//! deaths, and recovery to a leaf-identical forest — including from a
-//! real `SIGKILL` of a rank *process* mid-pipeline, something the
-//! thread backend can only approximate.
+//! `quadforest_bench::transport`) on the in-process thread backend,
+//! the Unix-socket process-per-rank backend, and the TCP
+//! process-per-rank backend, and demands identical observable
+//! behavior: bit-identical pipeline digests under fault injection,
+//! identically-shaped failure reports for scheduled rank deaths, and
+//! recovery to a leaf-identical forest — including from a real
+//! `SIGKILL` of a rank *process* mid-pipeline, something the thread
+//! backend can only approximate.
 //!
 //! The worker executable for socket worlds is the `repro` binary
 //! itself: its `main` calls `maybe_run_socket_child(&registry())`
@@ -19,7 +20,7 @@ use quadforest_bench::transport::{
 };
 use quadforest_comm::{
     run_with_recovery_program, try_run_program, Attempt, Backend, CommError, FaultPlan, RankError,
-    RecoveryOptions, RecoveryPolicy, RunOptions, SocketOptions,
+    RecoveryOptions, RecoveryPolicy, RunOptions, SocketOptions, TcpOptions,
 };
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,9 +41,19 @@ fn socket_backend() -> Backend {
     Backend::Sockets(o)
 }
 
+/// TCP options with the same liveness budget as the socket backend;
+/// the reconnect schedule stays at its defaults (it only engages when
+/// a connection actually breaks, which these parity tests don't do).
+fn tcp_backend() -> Backend {
+    let mut o = TcpOptions::new(worker());
+    o.heartbeat_interval = Duration::from_millis(25);
+    o.heartbeat_grace = 40; // 1 s death window
+    Backend::Tcp(o)
+}
+
 /// The parameterization: every test body runs once per backend.
 fn backends() -> Vec<Backend> {
-    vec![Backend::Threads, socket_backend()]
+    vec![Backend::Threads, socket_backend(), tcp_backend()]
 }
 
 /// A fresh scratch directory unique to this process + call site.
@@ -135,17 +146,16 @@ fn scheduled_panic_death_is_reported_on_both_backends() {
     }
 }
 
-/// ACCEPTANCE: a rank process is `kill -9`ed mid-pipeline on the socket
-/// backend; the supervisor detects the death as `CommError::PeerFailed`,
-/// `run_with_recovery_program` restarts a fresh set of processes, the
-/// retry restores the last good checkpoint, and the recovered forest is
-/// leaf-identical to the fault-free run.
+/// ACCEPTANCE: a rank process is `kill -9`ed mid-pipeline on each
+/// process-per-rank backend (sockets and TCP); the supervisor detects
+/// the death as `CommError::PeerFailed`, `run_with_recovery_program`
+/// restarts a fresh set of processes, the retry restores the last good
+/// checkpoint, and the recovered forest is leaf-identical to the
+/// fault-free run.
 #[test]
 fn sigkill_mid_pipeline_recovers_leaf_identical_forest() {
     const P: usize = 4;
     const SEED: u64 = 0xC0FFEE;
-    let dir = scratch_dir("sigkill");
-    let args = recovery_args(&dir, SEED);
 
     // fault-free reference views, threads backend
     let baseline_dir = scratch_dir("sigkill-baseline");
@@ -162,46 +172,69 @@ fn sigkill_mid_pipeline_recovers_leaf_identical_forest() {
     let baseline: Vec<transport::RankView> = baseline.iter().map(|b| decode_view(b)).collect();
     let _ = std::fs::remove_dir_all(&baseline_dir);
 
-    // attempt 0: rank 1's process is SIGKILLed at its 10th comm op —
-    // after the checkpoint save, mid expensive phases
-    let opts = RecoveryOptions {
-        policy: RecoveryPolicy {
-            max_attempts: 3,
-            base_delay: Duration::from_millis(1),
-            ..RecoveryPolicy::default()
-        },
-        plans: vec![Some(FaultPlan::new(SEED).with_sigkill_at(1, 10))],
-        ..RecoveryOptions::default()
-    };
-    let outcome = run_with_recovery_program(
-        &socket_backend(),
-        P,
-        opts,
-        &transport::registry(),
-        RECOVERY_PIPELINE,
-        &args,
-    )
-    .expect("recovery must converge after the SIGKILL");
+    for backend in [socket_backend(), tcp_backend()] {
+        let dir = scratch_dir("sigkill");
+        let args = recovery_args(&dir, SEED);
 
-    assert_eq!(outcome.attempts, 2, "exactly one retry expected");
-    let death = &outcome.failures[0];
-    assert_eq!(death.origin, 1, "the SIGKILLed rank must be the origin");
-    let origin = death.origin_failure().expect("origin failure recorded");
-    assert!(
-        matches!(
-            origin.error,
-            RankError::Failed(CommError::PeerFailed { rank: 1, .. })
-        ),
-        "a real process death must surface as PeerFailed, got: {:?}",
-        origin.error
-    );
-    let recovered: Vec<transport::RankView> =
-        outcome.values.iter().map(|b| decode_view(b)).collect();
-    assert_eq!(
-        recovered, baseline,
-        "recovered forest must be leaf-identical to the fault-free run"
-    );
-    let _ = std::fs::remove_dir_all(&dir);
+        // attempt 0: rank 1's process is SIGKILLed at its 10th comm op —
+        // after the checkpoint save, mid expensive phases
+        let opts = RecoveryOptions {
+            policy: RecoveryPolicy {
+                max_attempts: 3,
+                base_delay: Duration::from_millis(1),
+                ..RecoveryPolicy::default()
+            },
+            plans: vec![Some(FaultPlan::new(SEED).with_sigkill_at(1, 10))],
+            ..RecoveryOptions::default()
+        };
+        let outcome = run_with_recovery_program(
+            &backend,
+            P,
+            opts,
+            &transport::registry(),
+            RECOVERY_PIPELINE,
+            &args,
+        )
+        .unwrap_or_else(|e| {
+            panic!(
+                "{}: recovery must converge after the SIGKILL: {e}",
+                backend.name()
+            )
+        });
+
+        assert_eq!(
+            outcome.attempts,
+            2,
+            "exactly one retry expected on {}",
+            backend.name()
+        );
+        let death = &outcome.failures[0];
+        assert_eq!(
+            death.origin,
+            1,
+            "the SIGKILLed rank must be the origin on {}",
+            backend.name()
+        );
+        let origin = death.origin_failure().expect("origin failure recorded");
+        assert!(
+            matches!(
+                origin.error,
+                RankError::Failed(CommError::PeerFailed { rank: 1, .. })
+            ),
+            "a real process death must surface as PeerFailed on {}, got: {:?}",
+            backend.name(),
+            origin.error
+        );
+        let recovered: Vec<transport::RankView> =
+            outcome.values.iter().map(|b| decode_view(b)).collect();
+        assert_eq!(
+            recovered,
+            baseline,
+            "recovered forest must be leaf-identical to the fault-free run ({})",
+            backend.name()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 /// The PR 4 kill-point scan, parameterized over backends: kill the
@@ -232,7 +265,7 @@ fn kill_point_scan_recovers_on_both_backends() {
     for backend in backends() {
         let (stride, cap) = match backend {
             Backend::Threads => (1u64, u64::MAX),
-            Backend::Sockets(_) => (7, 42),
+            Backend::Sockets(_) | Backend::Tcp(_) => (7, 42),
         };
         let mut op = 0u64;
         let mut deaths = 0u32;
@@ -240,7 +273,9 @@ fn kill_point_scan_recovers_on_both_backends() {
             let dir = scratch_dir("scan");
             let plan = match backend {
                 Backend::Threads => FaultPlan::new(SEED).with_panic_at(VICTIM, op),
-                Backend::Sockets(_) => FaultPlan::new(SEED).with_sigkill_at(VICTIM, op),
+                Backend::Sockets(_) | Backend::Tcp(_) => {
+                    FaultPlan::new(SEED).with_sigkill_at(VICTIM, op)
+                }
             };
             let opts = RecoveryOptions {
                 policy: RecoveryPolicy {
@@ -313,7 +348,9 @@ fn mid_pipeline_death_leaves_decodable_postmortem() {
         let victim = 2usize;
         let plan = match backend {
             Backend::Threads => FaultPlan::new(SEED).with_panic_at(victim, 9),
-            Backend::Sockets(_) => FaultPlan::new(SEED).with_sigkill_at(victim, 9),
+            Backend::Sockets(_) | Backend::Tcp(_) => {
+                FaultPlan::new(SEED).with_sigkill_at(victim, 9)
+            }
         };
         let err = run_chaos_once(&backend, 4, Some(plan))
             .expect_err("scheduled death must fail the world");
@@ -361,22 +398,29 @@ fn mid_pipeline_death_leaves_decodable_postmortem() {
     let _ = std::fs::remove_dir_all(&dump_dir);
 }
 
-/// A rank that silently stops heartbeating (but whose socket stays
+/// A rank that silently stops heartbeating (but whose connection stays
 /// open) is declared dead by the supervisor's missed-heartbeat window —
-/// the liveness path that EOF detection cannot cover.
+/// the liveness path that EOF detection cannot cover. On TCP this also
+/// proves an *open but silent* connection cannot satisfy liveness: the
+/// session layer's acks are no substitute for heartbeats.
 #[test]
 fn stalled_rank_is_detected_via_missed_heartbeats() {
-    let mut o = SocketOptions::new(worker());
-    o.heartbeat_interval = Duration::from_millis(20);
-    o.heartbeat_grace = 10; // 200 ms death window
-    let backend = Backend::Sockets(o);
-    let plan = FaultPlan::new(3).with_stall_at(2, 6);
-    let err = run_chaos_once(&backend, 4, Some(plan))
-        .expect_err("a stalled rank must fail the world, not hang it");
-    assert_eq!(err.origin, 2);
-    assert!(
-        err.reason.contains("heartbeat"),
-        "stall must be attributed to the missed-heartbeat window: {}",
-        err.reason
-    );
+    let mut sock = SocketOptions::new(worker());
+    sock.heartbeat_interval = Duration::from_millis(20);
+    sock.heartbeat_grace = 10; // 200 ms death window
+    let mut tcp = TcpOptions::new(worker());
+    tcp.heartbeat_interval = Duration::from_millis(20);
+    tcp.heartbeat_grace = 10; // 200 ms death window
+    for backend in [Backend::Sockets(sock), Backend::Tcp(tcp)] {
+        let plan = FaultPlan::new(3).with_stall_at(2, 6);
+        let err = run_chaos_once(&backend, 4, Some(plan))
+            .expect_err("a stalled rank must fail the world, not hang it");
+        assert_eq!(err.origin, 2, "wrong origin on {}", backend.name());
+        assert!(
+            err.reason.contains("heartbeat"),
+            "stall must be attributed to the missed-heartbeat window on {}: {}",
+            backend.name(),
+            err.reason
+        );
+    }
 }

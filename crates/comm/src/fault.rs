@@ -16,15 +16,45 @@
 //! preserves the simulator's per-sender non-overtaking guarantee — the
 //! injected faults only exercise timing freedom the real network has
 //! anyway, so correct programs must produce identical results.
+//!
+//! ## Network chaos (TCP backend)
+//!
+//! The `with_net_*` builders extend a plan with *wire-level* faults,
+//! applied by the TCP backend's deterministic chaos interposer at
+//! frame granularity inside each rank process: added latency/jitter,
+//! silent whole-frame drops, single-bit corruption (caught by the
+//! frame CRC), partial/chunked writes (stressing stream reassembly),
+//! bandwidth throttling, scheduled hard connection resets, and
+//! asymmetric partitions ([`NetDir`]) that open at the Nth data frame
+//! and heal after a wall-clock duration. The thread and Unix-socket
+//! backends ignore network ops (their links cannot lose or corrupt
+//! bytes); everything else in the plan runs identically on all three.
+//! Because the TCP session layer retransmits across reconnects, a
+//! correct pipeline must still produce bit-identical results under any
+//! net-chaos plan whose partitions heal within the heartbeat window.
 
 use std::cell::{Cell, RefCell};
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// splitmix64: tiny, seedable, statistically fine for fault schedules.
 #[inline]
 fn splitmix64(state: &Cell<u64>) -> u64 {
     let s = state.get().wrapping_add(0x9E37_79B9_7F4A_7C15);
     state.set(s);
+    let mut z = s;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// splitmix64 over a plain `&mut u64` state — the `Sync` net-chaos
+/// stream keeps its state behind a `Mutex` instead of a `Cell`.
+#[inline]
+fn splitmix64_mut(state: &mut u64) -> u64 {
+    let s = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    *state = s;
     let mut z = s;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -91,6 +121,81 @@ pub struct FaultPlan {
     /// backend the supervisor must detect this via the missed-heartbeat
     /// window; on the thread backend it degrades to a scheduled panic.
     stalls: Vec<(usize, u64)>,
+    /// P(added latency) per written wire frame (TCP only), 1/65536ths.
+    net_delay_prob: u32,
+    /// Maximum injected wire latency; uniform in [0, max].
+    net_delay_max: Duration,
+    /// P(silent whole-frame drop) per written wire frame (TCP only).
+    net_drop_prob: u32,
+    /// P(single-bit corruption) per written wire frame (TCP only).
+    net_corrupt_prob: u32,
+    /// P(chunked/partial write) per written wire frame (TCP only).
+    net_partial_prob: u32,
+    /// Bandwidth throttle in bytes/second; 0 disables (TCP only).
+    net_throttle_bps: u64,
+    /// `(rank, frame_index)`: hard connection reset after the rank's
+    /// Nth outbound *data* frame (heartbeats not counted). TCP only.
+    net_resets: Vec<(usize, u64)>,
+    /// `(rank, dir, frame_index, duration)`: an asymmetric partition
+    /// opening at the rank's Nth outbound data frame and healing after
+    /// `duration` of wall clock. TCP only.
+    net_partitions: Vec<(usize, NetDir, u64, Duration)>,
+}
+
+/// Which direction(s) of a rank's link a network partition severs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetDir {
+    /// Outbound only: the rank's frames (heartbeats included) vanish;
+    /// the supervisor goes silent-deaf to it, exercising the
+    /// missed-heartbeat grace window.
+    Out,
+    /// Inbound only: supervisor→rank frames vanish; the rank still
+    /// heartbeats, so liveness holds while messages must be recovered
+    /// by retransmission after the heal.
+    In,
+    /// Both directions.
+    Both,
+}
+
+impl NetDir {
+    fn to_u8(self) -> u8 {
+        match self {
+            NetDir::Out => 0,
+            NetDir::In => 1,
+            NetDir::Both => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(NetDir::Out),
+            1 => Some(NetDir::In),
+            2 => Some(NetDir::Both),
+            _ => None,
+        }
+    }
+
+    fn severs_out(self) -> bool {
+        matches!(self, NetDir::Out | NetDir::Both)
+    }
+
+    fn severs_in(self) -> bool {
+        matches!(self, NetDir::In | NetDir::Both)
+    }
+}
+
+impl quadforest_core::Wire for NetDir {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.to_u8().encode(out);
+    }
+
+    fn decode(
+        r: &mut quadforest_core::wire::WireReader<'_>,
+    ) -> Result<Self, quadforest_core::wire::WireError> {
+        let v = u8::decode(r)?;
+        NetDir::from_u8(v)
+            .ok_or_else(|| quadforest_core::wire::WireError::Invalid(format!("NetDir {v}")))
+    }
 }
 
 impl FaultPlan {
@@ -104,6 +209,14 @@ impl FaultPlan {
             panics: Vec::new(),
             sigkills: Vec::new(),
             stalls: Vec::new(),
+            net_delay_prob: 0,
+            net_delay_max: Duration::ZERO,
+            net_drop_prob: 0,
+            net_corrupt_prob: 0,
+            net_partial_prob: 0,
+            net_throttle_bps: 0,
+            net_resets: Vec::new(),
+            net_partitions: Vec::new(),
         }
     }
 
@@ -149,6 +262,65 @@ impl FaultPlan {
         self
     }
 
+    /// Delay each written wire frame with probability `prob`, by a
+    /// uniform duration in `[0, max]`. TCP backend only.
+    pub fn with_net_delays(mut self, prob: f64, max: Duration) -> Self {
+        self.net_delay_prob = prob_to_fixed(prob);
+        self.net_delay_max = max;
+        self
+    }
+
+    /// Silently drop each written wire frame with probability `prob`.
+    /// The TCP session layer must heal the gap by retransmission after
+    /// the receiver detects the missing sequence number.
+    pub fn with_net_drops(mut self, prob: f64) -> Self {
+        self.net_drop_prob = prob_to_fixed(prob);
+        self
+    }
+
+    /// Flip one random bit in each written wire frame with probability
+    /// `prob`. The frame CRC must catch it; the link resets and
+    /// retransmits, so pipelines still complete bit-identically.
+    pub fn with_net_corruption(mut self, prob: f64) -> Self {
+        self.net_corrupt_prob = prob_to_fixed(prob);
+        self
+    }
+
+    /// Split each written wire frame into several short writes with
+    /// probability `prob`, exercising the receiver's stream reassembly.
+    pub fn with_net_partial_writes(mut self, prob: f64) -> Self {
+        self.net_partial_prob = prob_to_fixed(prob);
+        self
+    }
+
+    /// Throttle each rank's outbound wire bandwidth to `bytes_per_sec`.
+    /// 0 disables the throttle.
+    pub fn with_net_throttle(mut self, bytes_per_sec: u64) -> Self {
+        self.net_throttle_bps = bytes_per_sec;
+        self
+    }
+
+    /// Hard-reset `rank`'s connection right after its `frame_index`-th
+    /// outbound *data* frame (0-based; heartbeats not counted).
+    pub fn with_net_reset_at(mut self, rank: usize, frame_index: u64) -> Self {
+        self.net_resets.push((rank, frame_index));
+        self
+    }
+
+    /// Open a partition on `rank`'s link in direction `dir` at its
+    /// `frame_index`-th outbound data frame; it heals after `duration`
+    /// of wall clock. While open, severed directions drop every frame.
+    pub fn with_net_partition(
+        mut self,
+        rank: usize,
+        dir: NetDir,
+        frame_index: u64,
+        duration: Duration,
+    ) -> Self {
+        self.net_partitions.push((rank, dir, frame_index, duration));
+        self
+    }
+
     /// The plan's seed (used by diagnostics and replay messages).
     pub fn seed(&self) -> u64 {
         self.seed
@@ -161,6 +333,18 @@ impl FaultPlan {
             || !self.panics.is_empty()
             || !self.sigkills.is_empty()
             || !self.stalls.is_empty()
+            || self.net_is_active()
+    }
+
+    /// True if the plan injects any *network* fault (TCP backend only).
+    pub fn net_is_active(&self) -> bool {
+        self.net_delay_prob > 0
+            || self.net_drop_prob > 0
+            || self.net_corrupt_prob > 0
+            || self.net_partial_prob > 0
+            || self.net_throttle_bps > 0
+            || !self.net_resets.is_empty()
+            || !self.net_partitions.is_empty()
     }
 
     /// Compile the per-rank fault stream. Each rank gets an independent
@@ -191,6 +375,58 @@ impl FaultPlan {
             held: RefCell::new(Vec::new()),
         }
     }
+
+    /// Compile the per-rank *network* fault stream for the TCP chaos
+    /// interposer. Uses a different stream salt than [`compile`] so the
+    /// wire-level faults are independent of the message-level ones, and
+    /// a `Mutex`-backed RNG because the interposer is shared across the
+    /// rank's writer, reader, and heartbeat threads.
+    ///
+    /// [`compile`]: FaultPlan::compile
+    pub(crate) fn compile_net(&self, rank: usize) -> NetFaults {
+        let stream = self
+            .seed
+            .wrapping_mul(0xA24B_AED4_963E_E407)
+            .wrapping_add((rank as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25))
+            ^ 0x2545_F491_4F6C_DD1D;
+        let mut resets: Vec<u64> = self
+            .net_resets
+            .iter()
+            .filter(|(r, _)| *r == rank)
+            .map(|(_, f)| *f)
+            .collect();
+        resets.sort_unstable();
+        let partitions = self
+            .net_partitions
+            .iter()
+            .filter(|(r, _, _, _)| *r == rank)
+            .map(|(_, dir, at_frame, duration)| NetPartition {
+                dir: *dir,
+                at_frame: *at_frame,
+                duration: *duration,
+                opened: Mutex::new(None),
+            })
+            .collect();
+        NetFaults {
+            rng: Mutex::new(stream),
+            delay_prob: self.net_delay_prob,
+            delay_max: self.net_delay_max,
+            drop_prob: self.net_drop_prob,
+            corrupt_prob: self.net_corrupt_prob,
+            partial_prob: self.net_partial_prob,
+            throttle_bps: self.net_throttle_bps,
+            resets,
+            partitions,
+            out_data: AtomicU64::new(0),
+            delays: AtomicU64::new(0),
+            drops_out: AtomicU64::new(0),
+            drops_in: AtomicU64::new(0),
+            corruptions: AtomicU64::new(0),
+            partials: AtomicU64::new(0),
+            resets_fired: AtomicU64::new(0),
+            partitions_opened: AtomicU64::new(0),
+        }
+    }
 }
 
 // FaultPlans travel from the supervisor process to spawned rank
@@ -205,6 +441,14 @@ impl quadforest_core::Wire for FaultPlan {
         self.panics.encode(out);
         self.sigkills.encode(out);
         self.stalls.encode(out);
+        self.net_delay_prob.encode(out);
+        self.net_delay_max.encode(out);
+        self.net_drop_prob.encode(out);
+        self.net_corrupt_prob.encode(out);
+        self.net_partial_prob.encode(out);
+        self.net_throttle_bps.encode(out);
+        self.net_resets.encode(out);
+        self.net_partitions.encode(out);
     }
 
     fn decode(
@@ -218,6 +462,14 @@ impl quadforest_core::Wire for FaultPlan {
             panics: Vec::decode(r)?,
             sigkills: Vec::decode(r)?,
             stalls: Vec::decode(r)?,
+            net_delay_prob: u32::decode(r)?,
+            net_delay_max: Duration::decode(r)?,
+            net_drop_prob: u32::decode(r)?,
+            net_corrupt_prob: u32::decode(r)?,
+            net_partial_prob: u32::decode(r)?,
+            net_throttle_bps: u64::decode(r)?,
+            net_resets: Vec::decode(r)?,
+            net_partitions: Vec::decode(r)?,
         })
     }
 }
@@ -333,6 +585,200 @@ impl<T> RankFaults<T> {
     }
 }
 
+#[inline]
+fn coin_mut(state: &mut u64, fixed_prob: u32) -> bool {
+    fixed_prob > 0 && (splitmix64_mut(state) & 0xFFFF) < fixed_prob as u64
+}
+
+#[inline]
+fn below_mut(state: &mut u64, bound: u64) -> u64 {
+    if bound == 0 {
+        return 0;
+    }
+    (((splitmix64_mut(state) as u128) * (bound as u128)) >> 64) as u64
+}
+
+/// One scheduled asymmetric partition on a rank's link. Armed when the
+/// rank's outbound data-frame counter reaches `at_frame`; while open
+/// (wall clock since arming < `duration`), severed directions drop
+/// every frame on the floor.
+struct NetPartition {
+    dir: NetDir,
+    at_frame: u64,
+    duration: Duration,
+    opened: Mutex<Option<Instant>>,
+}
+
+impl NetPartition {
+    /// Arm the window if the outbound data-frame counter has reached
+    /// `at_frame` (regardless of direction — the counter is the clock
+    /// for both). Returns `(window_open, newly_armed)`.
+    fn check(&self, frames_planned: u64) -> (bool, bool) {
+        let mut opened = self.opened.lock().unwrap();
+        match *opened {
+            Some(at) => (at.elapsed() < self.duration, false),
+            None if frames_planned > self.at_frame => {
+                *opened = Some(Instant::now());
+                (true, true)
+            }
+            None => (false, false),
+        }
+    }
+}
+
+/// What the chaos interposer demands for one outbound wire frame, as
+/// decided by [`NetFaults::plan_write`]. All decisions for a frame are
+/// drawn up front so the writer can apply them in one pass.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct WriteFault {
+    /// Sleep this long before writing.
+    pub delay: Option<Duration>,
+    /// Drop the frame on the floor (write nothing).
+    pub drop: bool,
+    /// Flip this bit index (into the framed bytes) before writing.
+    pub corrupt_bit: Option<usize>,
+    /// Split the write into this many chunks with tiny sleeps between.
+    pub chunks: Option<usize>,
+    /// Sleep this long after writing (bandwidth throttle pacing).
+    pub throttle: Option<Duration>,
+    /// Hard-reset the connection right after this frame.
+    pub reset_after: bool,
+}
+
+/// The compiled per-rank network-chaos stream, shared by all the TCP
+/// child's threads (`Sync`: `Mutex` RNG + atomic counters). Scheduled
+/// faults (resets, partitions) key off the rank's outbound *data*-frame
+/// counter so heartbeat cadence cannot shift them; probabilistic faults
+/// hit every outbound frame, heartbeats included.
+pub(crate) struct NetFaults {
+    rng: Mutex<u64>,
+    delay_prob: u32,
+    delay_max: Duration,
+    drop_prob: u32,
+    corrupt_prob: u32,
+    partial_prob: u32,
+    throttle_bps: u64,
+    /// Outbound data-frame indices at which to hard-reset, sorted.
+    resets: Vec<u64>,
+    partitions: Vec<NetPartition>,
+    /// Outbound data frames planned so far.
+    out_data: AtomicU64,
+    /// net.chaos.* telemetry counters.
+    pub delays: AtomicU64,
+    pub drops_out: AtomicU64,
+    pub drops_in: AtomicU64,
+    pub corruptions: AtomicU64,
+    pub partials: AtomicU64,
+    pub resets_fired: AtomicU64,
+    pub partitions_opened: AtomicU64,
+}
+
+impl NetFaults {
+    /// Decide every fault to apply to one outbound frame of `len`
+    /// framed bytes. `is_data` excludes heartbeats from the scheduled
+    /// (reset/partition) frame counter.
+    pub fn plan_write(&self, len: usize, is_data: bool) -> WriteFault {
+        let planned = if is_data {
+            self.out_data.fetch_add(1, Ordering::Relaxed) + 1
+        } else {
+            self.out_data.load(Ordering::Relaxed)
+        };
+        let mut fault = WriteFault::default();
+        for p in &self.partitions {
+            let (open, newly_armed) = p.check(planned);
+            if newly_armed {
+                self.partitions_opened.fetch_add(1, Ordering::Relaxed);
+            }
+            if open && p.dir.severs_out() {
+                fault.drop = true;
+            }
+        }
+        if is_data && self.resets.contains(&(planned - 1)) {
+            fault.reset_after = true;
+            self.resets_fired.fetch_add(1, Ordering::Relaxed);
+        }
+        {
+            let mut rng = self.rng.lock().unwrap();
+            if coin_mut(&mut rng, self.delay_prob) {
+                let max_us = self.delay_max.as_micros() as u64;
+                fault.delay = Some(Duration::from_micros(below_mut(
+                    &mut rng,
+                    max_us.saturating_add(1),
+                )));
+            }
+            if coin_mut(&mut rng, self.drop_prob) {
+                fault.drop = true;
+            }
+            if coin_mut(&mut rng, self.corrupt_prob) && len > 0 {
+                fault.corrupt_bit = Some(below_mut(&mut rng, (len as u64) * 8) as usize);
+            }
+            if coin_mut(&mut rng, self.partial_prob) && len > 1 {
+                fault.chunks = Some(2 + below_mut(&mut rng, 3) as usize);
+            }
+        }
+        if let Some(us) = (len as u64)
+            .saturating_mul(1_000_000)
+            .checked_div(self.throttle_bps)
+        {
+            fault.throttle = Some(Duration::from_micros(us));
+        }
+        if fault.delay.is_some() {
+            self.delays.fetch_add(1, Ordering::Relaxed);
+        }
+        if fault.drop {
+            self.drops_out.fetch_add(1, Ordering::Relaxed);
+        }
+        if fault.corrupt_bit.is_some() {
+            self.corruptions.fetch_add(1, Ordering::Relaxed);
+        }
+        if fault.chunks.is_some() {
+            self.partials.fetch_add(1, Ordering::Relaxed);
+        }
+        fault
+    }
+
+    /// True if an *inbound* frame must be dropped right now (only open
+    /// `In`/`Both` partitions sever inbound traffic). Must be called
+    /// *before* the session layer advances its receive cursor, so the
+    /// gap is healed by retransmission after the partition closes.
+    pub fn drop_inbound(&self) -> bool {
+        let planned = self.out_data.load(Ordering::Relaxed);
+        let mut dropped = false;
+        for p in &self.partitions {
+            let (open, newly_armed) = p.check(planned);
+            if newly_armed {
+                self.partitions_opened.fetch_add(1, Ordering::Relaxed);
+            }
+            if open && p.dir.severs_in() {
+                dropped = true;
+            }
+        }
+        if dropped {
+            self.drops_in.fetch_add(1, Ordering::Relaxed);
+        }
+        dropped
+    }
+
+    /// Snapshot the chaos counters as `net.chaos.*` telemetry rows.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("net.chaos.delays", self.delays.load(Ordering::Relaxed)),
+            ("net.chaos.drops_out", self.drops_out.load(Ordering::Relaxed)),
+            ("net.chaos.drops_in", self.drops_in.load(Ordering::Relaxed)),
+            (
+                "net.chaos.corruptions",
+                self.corruptions.load(Ordering::Relaxed),
+            ),
+            ("net.chaos.partials", self.partials.load(Ordering::Relaxed)),
+            ("net.chaos.resets", self.resets_fired.load(Ordering::Relaxed)),
+            (
+                "net.chaos.partitions",
+                self.partitions_opened.load(Ordering::Relaxed),
+            ),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,6 +876,108 @@ mod tests {
             .with_stall_at(0, 3);
         let back = FaultPlan::from_wire(&plan.to_wire()).expect("roundtrip");
         assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn net_plan_wire_roundtrip() {
+        use quadforest_core::Wire;
+        let plan = FaultPlan::new(0xFACE)
+            .with_net_delays(0.1, Duration::from_micros(250))
+            .with_net_drops(0.05)
+            .with_net_corruption(0.02)
+            .with_net_partial_writes(0.3)
+            .with_net_throttle(1 << 20)
+            .with_net_reset_at(1, 4)
+            .with_net_partition(2, NetDir::Both, 3, Duration::from_millis(200))
+            .with_net_partition(0, NetDir::In, 7, Duration::from_millis(50));
+        assert!(plan.is_active());
+        assert!(plan.net_is_active());
+        let back = FaultPlan::from_wire(&plan.to_wire()).expect("roundtrip");
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn net_stream_is_deterministic_and_independent_of_msg_stream() {
+        let plan = FaultPlan::new(99)
+            .with_net_delays(0.5, Duration::from_micros(100))
+            .with_net_drops(0.25)
+            .with_net_corruption(0.25)
+            .with_net_partial_writes(0.25);
+        let a = plan.compile_net(2);
+        let b = plan.compile_net(2);
+        for _ in 0..128 {
+            let fa = a.plan_write(64, true);
+            let fb = b.plan_write(64, true);
+            assert_eq!(fa.delay, fb.delay);
+            assert_eq!(fa.drop, fb.drop);
+            assert_eq!(fa.corrupt_bit, fb.corrupt_bit);
+            assert_eq!(fa.chunks, fb.chunks);
+        }
+        // different ranks draw different wire faults
+        let c = plan.compile_net(3);
+        let drops_a = (0..128).filter(|_| a.plan_write(64, true).drop).count();
+        let drops_c = (0..128).filter(|_| c.plan_write(64, true).drop).count();
+        let corrupt_a = a.corruptions.load(Ordering::Relaxed);
+        let corrupt_c = c.corruptions.load(Ordering::Relaxed);
+        assert!(
+            drops_a != drops_c || corrupt_a != corrupt_c,
+            "rank streams coincided exactly"
+        );
+    }
+
+    #[test]
+    fn scheduled_reset_fires_on_data_frames_only() {
+        let plan = FaultPlan::new(5).with_net_reset_at(1, 2);
+        let nf = plan.compile_net(1);
+        // heartbeats don't advance the scheduled counter
+        for _ in 0..10 {
+            assert!(!nf.plan_write(16, false).reset_after);
+        }
+        assert!(!nf.plan_write(64, true).reset_after); // data frame 0
+        assert!(!nf.plan_write(64, true).reset_after); // data frame 1
+        assert!(nf.plan_write(64, true).reset_after); // data frame 2
+        assert!(!nf.plan_write(64, true).reset_after);
+        assert_eq!(nf.resets_fired.load(Ordering::Relaxed), 1);
+        // other ranks unaffected
+        let other = plan.compile_net(0);
+        for _ in 0..8 {
+            assert!(!other.plan_write(64, true).reset_after);
+        }
+    }
+
+    #[test]
+    fn partition_window_arms_on_data_frame_and_heals() {
+        let plan =
+            FaultPlan::new(6).with_net_partition(0, NetDir::Both, 1, Duration::from_millis(30));
+        let nf = plan.compile_net(0);
+        assert!(!nf.drop_inbound()); // not armed yet
+        assert!(!nf.plan_write(64, true).drop); // data frame 0: arms at >1
+        assert!(!nf.drop_inbound());
+        assert!(nf.plan_write(64, true).drop); // data frame 1 arms the window
+        assert!(nf.drop_inbound()); // Both severs inbound too
+        assert_eq!(nf.partitions_opened.load(Ordering::Relaxed), 1);
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(!nf.plan_write(64, true).drop); // healed
+        assert!(!nf.drop_inbound());
+    }
+
+    #[test]
+    fn out_only_partition_keeps_inbound_flowing() {
+        let plan =
+            FaultPlan::new(8).with_net_partition(0, NetDir::Out, 0, Duration::from_secs(60));
+        let nf = plan.compile_net(0);
+        assert!(nf.plan_write(64, true).drop);
+        assert!(!nf.drop_inbound());
+        assert_eq!(nf.drops_in.load(Ordering::Relaxed), 0);
+        assert!(nf.drops_out.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn throttle_paces_by_frame_length() {
+        let plan = FaultPlan::new(10).with_net_throttle(1_000_000); // 1 MB/s
+        let nf = plan.compile_net(0);
+        let f = nf.plan_write(10_000, true);
+        assert_eq!(f.throttle, Some(Duration::from_millis(10)));
     }
 
     #[test]

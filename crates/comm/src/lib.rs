@@ -80,14 +80,14 @@ mod recovery;
 mod transport;
 
 pub use error::{CommError, RankError, RankFailure, WorldError};
-pub use fault::FaultPlan;
+pub use fault::{FaultPlan, NetDir};
 pub use recovery::{
     run_with_recovery, run_with_recovery_program, Attempt, RecoveryError, RecoveryOptions,
     RecoveryOutcome, RecoveryPolicy,
 };
 pub use transport::{
     maybe_run_socket_child, try_run_program, Backend, ProgramCtx, ProgramFn, ProgramRegistry,
-    SocketOptions,
+    SocketOptions, TcpOptions,
 };
 
 use error::tag_display;

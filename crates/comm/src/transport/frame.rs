@@ -1,19 +1,36 @@
-//! Length-prefixed, CRC-guarded frames for the socket transport.
+//! Length-prefixed, CRC-guarded frames for the socket and TCP
+//! transports.
 //!
 //! Wire layout of one frame:
 //!
 //! ```text
-//! [ len: u32 LE ][ crc: u32 LE ][ payload: len bytes ]
+//! [ len: u32 LE ][ len ^ LEN_GUARD: u32 LE ][ crc: u32 LE ][ payload ]
 //! ```
 //!
 //! `len` counts only the payload; `crc` is CRC-32 of the payload (the
 //! same polynomial the checkpoint shards use, from
 //! [`quadforest_core::crc`]). The payload is the Wire encoding of a
-//! [`Frame`]. Decoding is strict and hostile-input-safe: an
-//! out-of-range length is rejected *before* any allocation, a CRC
-//! mismatch or trailing bytes is a typed error, and EOF mid-frame is
-//! distinguished from clean EOF between frames — the reader can tell
-//! "peer hung up" from "peer died mid-sentence".
+//! [`Frame`] (Unix sockets) or of the TCP backend's packet envelope —
+//! the framing itself is generic over any [`Wire`] payload via
+//! [`encode_wire`] / [`read_wire`]. Decoding is strict and
+//! hostile-input-safe: a length prefix above the *configurable* cap is
+//! rejected *before* any allocation, a CRC mismatch or trailing bytes
+//! is a typed error, and EOF mid-frame is distinguished from clean EOF
+//! between frames — the reader can tell "peer hung up" from "peer died
+//! mid-sentence". A network peer (or the chaos interposer) flipping
+//! bits therefore surfaces as a typed [`FrameError`], never a panic —
+//! the byte-mutation and stream-reassembly proptests below pin this.
+//!
+//! The second header word is the length prefix's own integrity guard.
+//! The payload CRC cannot vouch for `len` — it is only checkable after
+//! `len` bytes have been read, and a corrupted-but-under-the-cap
+//! length points the reader at payload that will never arrive, where
+//! it would silently consume every later frame on the stream
+//! (heartbeats included) as bogus payload bytes while both ends still
+//! look "live". The guard word makes any corruption of either length
+//! word visible in the first 8 bytes, before the reader commits to a
+//! payload: `len ^ guard != LEN_GUARD` is a typed
+//! [`FrameError::HeaderCorrupt`] and an immediate link break.
 
 use quadforest_core::crc::crc32;
 use quadforest_core::wire::{Wire, WireError, WireReader};
@@ -21,10 +38,21 @@ use std::io::Read;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-/// Upper bound on a single frame payload. Far above anything the
-/// forest algorithms send (the biggest alltoallv slabs are a few MiB),
-/// far below anything that could be a length-prefix attack.
+/// Default upper bound on a single frame payload. Far above anything
+/// the forest algorithms send (the biggest alltoallv slabs are a few
+/// MiB), far below anything that could be a length-prefix attack. The
+/// TCP backend makes the cap configurable per world
+/// (`TcpOptions::max_frame_len`); the read path takes it as a
+/// parameter and enforces it *before* allocating the payload buffer.
 pub(crate) const MAX_FRAME_LEN: u32 = 256 << 20;
+
+/// XOR mask tying the two length words of the header together. Any
+/// single corrupted bit in either word breaks the relation; agreeing
+/// corruption of both words would need the same bit flipped twice.
+const LEN_GUARD: u32 = 0x5AFE_C0DE;
+
+/// Bytes of framing before the payload: len, len-guard, payload CRC.
+pub(crate) const HEADER_LEN: usize = 12;
 
 /// Everything that travels over a rank⇄supervisor socket.
 #[derive(Clone, Debug, PartialEq)]
@@ -188,9 +216,14 @@ pub(crate) enum FrameError {
     Eof,
     /// EOF in the middle of a frame: the peer died mid-write.
     TruncatedEof { got: usize, wanted: usize },
-    /// Length prefix exceeds [`MAX_FRAME_LEN`]; rejected before any
-    /// allocation.
-    Oversized { len: u32 },
+    /// Length prefix exceeds the reader's configured cap; rejected
+    /// before any allocation.
+    Oversized { len: u32, cap: u32 },
+    /// The two length words of the header disagree: the length prefix
+    /// itself was corrupted in flight. Caught before any payload byte
+    /// is read — the one corruption the payload CRC can never catch in
+    /// time (see the module docs).
+    HeaderCorrupt { len: u32, guard: u32 },
     /// Payload bytes do not match the header CRC.
     Crc { expected: u32, got: u32 },
     /// Payload failed Wire decoding (carries the inner error text).
@@ -199,6 +232,13 @@ pub(crate) enum FrameError {
     Io(String),
     /// The reader's stop flag was raised while waiting for bytes.
     Stopped,
+    /// Mid-frame read made no progress for longer than the caller's
+    /// idle limit. A frame's bytes are written back-to-back, so this
+    /// almost always means a corrupted length prefix has the reader
+    /// waiting for payload that will never exist — without this check
+    /// such a reader would silently swallow live traffic (heartbeats
+    /// included) as bogus payload until the liveness window expired.
+    Stalled { got: usize, wanted: usize },
 }
 
 impl std::fmt::Display for FrameError {
@@ -208,8 +248,14 @@ impl std::fmt::Display for FrameError {
             FrameError::TruncatedEof { got, wanted } => {
                 write!(f, "connection closed mid-frame ({got}/{wanted} bytes)")
             }
-            FrameError::Oversized { len } => {
-                write!(f, "frame length {len} exceeds cap {MAX_FRAME_LEN}")
+            FrameError::Oversized { len, cap } => {
+                write!(f, "frame length {len} exceeds cap {cap}")
+            }
+            FrameError::HeaderCorrupt { len, guard } => {
+                write!(
+                    f,
+                    "frame header corrupt: length {len:#010x} does not match its guard {guard:#010x}"
+                )
             }
             FrameError::Crc { expected, got } => {
                 write!(
@@ -220,19 +266,30 @@ impl std::fmt::Display for FrameError {
             FrameError::Decode(e) => write!(f, "frame payload decode failed: {e}"),
             FrameError::Io(e) => write!(f, "socket error: {e}"),
             FrameError::Stopped => write!(f, "reader stopped"),
+            FrameError::Stalled { got, wanted } => {
+                write!(f, "frame read stalled mid-frame ({got}/{wanted} bytes)")
+            }
         }
     }
 }
 
-/// Encode `frame` as `[len][crc][payload]` ready to write.
-pub(crate) fn encode_frame(frame: &Frame) -> Vec<u8> {
-    let payload = frame.to_wire();
+/// Encode any Wire value as `[len][guard][crc][payload]` ready to
+/// write.
+pub(crate) fn encode_wire<T: Wire>(value: &T) -> Vec<u8> {
+    let payload = value.to_wire();
     debug_assert!(payload.len() <= MAX_FRAME_LEN as usize);
-    let mut out = Vec::with_capacity(8 + payload.len());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let len = payload.len() as u32;
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&(len ^ LEN_GUARD).to_le_bytes());
     out.extend_from_slice(&crc32(&payload).to_le_bytes());
     out.extend_from_slice(&payload);
     out
+}
+
+/// Encode `frame` as `[len][guard][crc][payload]` ready to write.
+pub(crate) fn encode_frame(frame: &Frame) -> Vec<u8> {
+    encode_wire(frame)
 }
 
 /// Fill `buf` from `stream`, tolerating read timeouts (the socket has
@@ -265,33 +322,109 @@ enum FrameErrorKind {
     Eof,
     Io(String),
     Stopped,
+    Stalled,
 }
 
-/// Read and decode one frame. `stop` lets the owner retire the reader
-/// thread without closing the socket.
-pub(crate) fn read_frame(stream: &mut impl Read, stop: &AtomicBool) -> Result<Frame, FrameError> {
-    let mut header = [0u8; 8];
+/// Like [`read_full`], but gives up when the read makes no progress
+/// for `idle_limit`. With `armed = false` the clock only starts once
+/// the first byte arrives (an idle link between frames is normal);
+/// with `armed = true` it runs from the first poll (a frame header
+/// just arrived, so its payload must be right behind it).
+fn read_full_idle(
+    stream: &mut impl Read,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+    idle_limit: Duration,
+    armed: bool,
+) -> Result<(), (usize, FrameErrorKind)> {
+    let mut filled = 0;
+    let mut last_progress = Instant::now();
+    while filled < buf.len() {
+        if stop.load(Ordering::Relaxed) {
+            return Err((filled, FrameErrorKind::Stopped));
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err((filled, FrameErrorKind::Eof)),
+            Ok(n) => {
+                filled += n;
+                last_progress = Instant::now();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                if (armed || filled > 0) && last_progress.elapsed() > idle_limit {
+                    return Err((filled, FrameErrorKind::Stalled));
+                }
+            }
+            Err(e) => return Err((filled, FrameErrorKind::Io(e.to_string()))),
+        }
+    }
+    Ok(())
+}
+
+/// Validate the fixed-size header: the guard word must agree with the
+/// length prefix (corruption check, first) and the length must fit
+/// under `cap` (policy check, second — only meaningful once the
+/// length itself is trusted). Returns `(len, expected_crc)`.
+fn parse_header(header: &[u8; HEADER_LEN], cap: u32) -> Result<(u32, u32), FrameError> {
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    let guard = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    let expected_crc = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    if len ^ guard != LEN_GUARD {
+        return Err(FrameError::HeaderCorrupt { len, guard });
+    }
+    if len > cap {
+        return Err(FrameError::Oversized { len, cap });
+    }
+    Ok((len, expected_crc))
+}
+
+/// Read and decode one `[len][guard][crc][payload]` message whose
+/// payload is any Wire type, enforcing `cap` on the length prefix
+/// *before* the payload buffer is allocated. `stop` lets the owner
+/// retire the reader thread without closing the socket.
+pub(crate) fn read_wire<T: Wire>(
+    stream: &mut impl Read,
+    stop: &AtomicBool,
+    cap: u32,
+) -> Result<T, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
     match read_full(stream, &mut header, stop) {
         Ok(()) => {}
         // EOF before any header byte is a clean close; anything later
         // is a mid-frame death
         Err((0, FrameErrorKind::Eof)) => return Err(FrameError::Eof),
-        Err((got, FrameErrorKind::Eof)) => return Err(FrameError::TruncatedEof { got, wanted: 8 }),
+        Err((got, FrameErrorKind::Eof)) => {
+            return Err(FrameError::TruncatedEof {
+                got,
+                wanted: HEADER_LEN,
+            })
+        }
+        Err((got, FrameErrorKind::Stalled)) => {
+            return Err(FrameError::Stalled {
+                got,
+                wanted: HEADER_LEN,
+            })
+        }
         Err((_, FrameErrorKind::Stopped)) => return Err(FrameError::Stopped),
         Err((_, FrameErrorKind::Io(e))) => return Err(FrameError::Io(e)),
     }
-    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
-    let expected_crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
-    if len > MAX_FRAME_LEN {
-        return Err(FrameError::Oversized { len });
-    }
+    let (len, expected_crc) = parse_header(&header, cap)?;
     let mut payload = vec![0u8; len as usize];
     match read_full(stream, &mut payload, stop) {
         Ok(()) => {}
         Err((got, FrameErrorKind::Eof)) => {
             return Err(FrameError::TruncatedEof {
-                got: 8 + got,
-                wanted: 8 + len as usize,
+                got: HEADER_LEN + got,
+                wanted: HEADER_LEN + len as usize,
+            })
+        }
+        Err((got, FrameErrorKind::Stalled)) => {
+            return Err(FrameError::Stalled {
+                got: HEADER_LEN + got,
+                wanted: HEADER_LEN + len as usize,
             })
         }
         Err((_, FrameErrorKind::Stopped)) => return Err(FrameError::Stopped),
@@ -304,15 +437,86 @@ pub(crate) fn read_frame(stream: &mut impl Read, stop: &AtomicBool) -> Result<Fr
             got: got_crc,
         });
     }
-    Frame::from_wire(&payload).map_err(|e| FrameError::Decode(e.to_string()))
+    T::from_wire(&payload).map_err(|e| FrameError::Decode(e.to_string()))
 }
 
-/// Blocking wrapper used during the connection handshake: read one
-/// frame or give up after `timeout`.
-pub(crate) fn read_frame_timeout(
+/// Read and decode one [`Frame`] under the default cap.
+pub(crate) fn read_frame(stream: &mut impl Read, stop: &AtomicBool) -> Result<Frame, FrameError> {
+    read_wire(stream, stop, MAX_FRAME_LEN)
+}
+
+/// Like [`read_wire`], but with a mid-frame progress deadline: once
+/// any byte of a message has arrived, the rest must keep arriving with
+/// gaps no longer than `idle_limit`, or the read fails with
+/// [`FrameError::Stalled`]. A frame's bytes are written back-to-back,
+/// so a silent mid-frame gap means the connection itself went dark
+/// (e.g. a network partition opened between two segments) — the
+/// header guard cannot see that, only the clock can. Waiting
+/// *between* messages is unlimited — an idle link is healthy.
+///
+/// Requires the stream to have a short `read_timeout` (the poll is
+/// what samples the clock).
+pub(crate) fn read_wire_stalling<T: Wire>(
+    stream: &mut impl Read,
+    stop: &AtomicBool,
+    cap: u32,
+    idle_limit: Duration,
+) -> Result<T, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    match read_full_idle(stream, &mut header, stop, idle_limit, false) {
+        Ok(()) => {}
+        Err((0, FrameErrorKind::Eof)) => return Err(FrameError::Eof),
+        Err((got, FrameErrorKind::Eof)) => {
+            return Err(FrameError::TruncatedEof {
+                got,
+                wanted: HEADER_LEN,
+            })
+        }
+        Err((got, FrameErrorKind::Stalled)) => {
+            return Err(FrameError::Stalled {
+                got,
+                wanted: HEADER_LEN,
+            })
+        }
+        Err((_, FrameErrorKind::Stopped)) => return Err(FrameError::Stopped),
+        Err((_, FrameErrorKind::Io(e))) => return Err(FrameError::Io(e)),
+    }
+    let (len, expected_crc) = parse_header(&header, cap)?;
+    let mut payload = vec![0u8; len as usize];
+    match read_full_idle(stream, &mut payload, stop, idle_limit, true) {
+        Ok(()) => {}
+        Err((got, FrameErrorKind::Eof)) => {
+            return Err(FrameError::TruncatedEof {
+                got: HEADER_LEN + got,
+                wanted: HEADER_LEN + len as usize,
+            })
+        }
+        Err((got, FrameErrorKind::Stalled)) => {
+            return Err(FrameError::Stalled {
+                got: HEADER_LEN + got,
+                wanted: HEADER_LEN + len as usize,
+            })
+        }
+        Err((_, FrameErrorKind::Stopped)) => return Err(FrameError::Stopped),
+        Err((_, FrameErrorKind::Io(e))) => return Err(FrameError::Io(e)),
+    }
+    let got_crc = crc32(&payload);
+    if got_crc != expected_crc {
+        return Err(FrameError::Crc {
+            expected: expected_crc,
+            got: got_crc,
+        });
+    }
+    T::from_wire(&payload).map_err(|e| FrameError::Decode(e.to_string()))
+}
+
+/// Blocking wrapper used during connection handshakes: read one Wire
+/// message or give up after `timeout`.
+pub(crate) fn read_wire_timeout<T: Wire>(
     stream: &mut impl Read,
     timeout: Duration,
-) -> Result<Frame, FrameError> {
+    cap: u32,
+) -> Result<T, FrameError> {
     // reuse the stop flag as a deadline: a watcher thread would be
     // overkill for a handshake, so poll wall clock between reads
     struct DeadlineRead<'a, R> {
@@ -335,7 +539,16 @@ pub(crate) fn read_frame_timeout(
         inner: stream,
         deadline: Instant::now() + timeout,
     };
-    read_frame(&mut dr, &stop)
+    read_wire(&mut dr, &stop, cap)
+}
+
+/// Blocking wrapper used during the connection handshake: read one
+/// frame or give up after `timeout`.
+pub(crate) fn read_frame_timeout(
+    stream: &mut impl Read,
+    timeout: Duration,
+) -> Result<Frame, FrameError> {
+    read_wire_timeout(stream, timeout, MAX_FRAME_LEN)
 }
 
 #[cfg(test)]
@@ -345,6 +558,17 @@ mod tests {
 
     fn no_stop() -> AtomicBool {
         AtomicBool::new(false)
+    }
+
+    /// Frame a raw payload by hand: correct header, arbitrary bytes.
+    fn raw_frame(payload: &[u8]) -> Vec<u8> {
+        let len = payload.len() as u32;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&len.to_le_bytes());
+        bytes.extend_from_slice(&(len ^ LEN_GUARD).to_le_bytes());
+        bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        bytes
     }
 
     fn sample_frames() -> Vec<Frame> {
@@ -442,14 +666,46 @@ mod tests {
 
     #[test]
     fn oversized_length_prefix_rejected_before_allocation() {
-        // claim a 3 GiB payload; decode must fail fast on the header
+        // claim a 3 GiB payload (with a consistent guard, so only the
+        // cap check can reject it); decode must fail fast on the header
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&(3u32 << 30).to_le_bytes());
+        bytes.extend_from_slice(&((3u32 << 30) ^ LEN_GUARD).to_le_bytes());
         bytes.extend_from_slice(&0u32.to_le_bytes());
         let mut cur = Cursor::new(bytes);
         assert_eq!(
             read_frame(&mut cur, &no_stop()),
-            Err(FrameError::Oversized { len: 3 << 30 })
+            Err(FrameError::Oversized {
+                len: 3 << 30,
+                cap: MAX_FRAME_LEN
+            })
+        );
+    }
+
+    #[test]
+    fn configurable_cap_rejects_legit_frames_above_it() {
+        // a perfectly valid frame is still rejected when the reader's
+        // configured cap is tighter than its length — typed, pre-alloc
+        let frame = Frame::Done {
+            rank: 0,
+            result: vec![7; 100],
+        };
+        let bytes = encode_frame(&frame);
+        let payload_len = (bytes.len() - HEADER_LEN) as u32;
+        let tight = payload_len - 1;
+        let mut cur = Cursor::new(bytes.clone());
+        assert_eq!(
+            read_wire::<Frame>(&mut cur, &no_stop(), tight),
+            Err(FrameError::Oversized {
+                len: payload_len,
+                cap: tight
+            })
+        );
+        // at exactly the cap it decodes
+        let mut cur = Cursor::new(bytes);
+        assert_eq!(
+            read_wire::<Frame>(&mut cur, &no_stop(), payload_len).expect("decode at cap"),
+            frame
         );
     }
 
@@ -473,10 +729,7 @@ mod tests {
     #[test]
     fn bad_discriminant_is_a_decode_error() {
         let payload = vec![250u8]; // no such Frame variant
-        let mut bytes = Vec::new();
-        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
-        bytes.extend_from_slice(&payload);
+        let bytes = raw_frame(&payload);
         let mut cur = Cursor::new(bytes);
         match read_frame(&mut cur, &no_stop()) {
             Err(FrameError::Decode(e)) => assert!(e.contains("discriminant")),
@@ -496,10 +749,7 @@ mod tests {
         }
         .to_wire();
         payload.extend_from_slice(&[0xAA, 0xBB]);
-        let mut bytes = Vec::new();
-        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
-        bytes.extend_from_slice(&payload);
+        let bytes = raw_frame(&payload);
         let mut cur = Cursor::new(bytes);
         match read_frame(&mut cur, &no_stop()) {
             Err(FrameError::Decode(e)) => assert!(e.contains("trailing")),
@@ -518,10 +768,7 @@ mod tests {
             payload.extend_from_slice(&v.to_le_bytes()); // src dst tag type_tag bytes
         }
         payload.extend_from_slice(&u64::MAX.to_le_bytes()); // data len: 2^64-1
-        let mut bytes = Vec::new();
-        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
-        bytes.extend_from_slice(&payload);
+        let bytes = raw_frame(&payload);
         let mut cur = Cursor::new(bytes);
         match read_frame(&mut cur, &no_stop()) {
             Err(FrameError::Decode(_)) => {}
@@ -529,13 +776,112 @@ mod tests {
         }
     }
 
+    /// A `Read` that hands back the byte stream in caller-chosen
+    /// chunks, emulating TCP segmentation: every `read` returns at
+    /// most up to the next cut point, never across one. Between
+    /// chunks it reports `WouldBlock` once, which the frame reader
+    /// must tolerate exactly like a socket read timeout.
+    struct ChunkedReader {
+        data: Vec<u8>,
+        cuts: Vec<usize>, // sorted positions where a read must stop
+        pos: usize,
+        starve_next: bool,
+    }
+
+    impl ChunkedReader {
+        fn new(data: Vec<u8>, mut cuts: Vec<usize>) -> Self {
+            cuts.retain(|&c| c > 0 && c < data.len());
+            cuts.sort_unstable();
+            cuts.dedup();
+            ChunkedReader {
+                data,
+                cuts,
+                pos: 0,
+                starve_next: false,
+            }
+        }
+    }
+
+    impl Read for ChunkedReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Ok(0); // clean EOF
+            }
+            if self.starve_next {
+                self.starve_next = false;
+                return Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "starve"));
+            }
+            let limit = self
+                .cuts
+                .iter()
+                .find(|&&c| c > self.pos)
+                .copied()
+                .unwrap_or(self.data.len());
+            let n = buf.len().min(limit - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            self.starve_next = true;
+            Ok(n)
+        }
+    }
+
+    /// Satellite: TCP delivers a frame stream in arbitrary segments —
+    /// partial reads and short writes can split it anywhere, including
+    /// inside the 8-byte header. Splitting the stream of all sample
+    /// frames at *every* byte boundary must decode to the identical
+    /// frame sequence.
+    #[test]
+    fn decode_is_invariant_under_a_split_at_every_boundary() {
+        let frames = sample_frames();
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode_frame(f));
+        }
+        for cut in 1..stream.len() {
+            let mut r = ChunkedReader::new(stream.clone(), vec![cut]);
+            for f in &frames {
+                let got = read_frame(&mut r, &no_stop())
+                    .unwrap_or_else(|e| panic!("cut at {cut}: {e:?}"));
+                assert_eq!(&got, f, "cut at {cut} changed a decoded frame");
+            }
+            assert_eq!(read_frame(&mut r, &no_stop()), Err(FrameError::Eof));
+        }
+    }
+
+    // Stream-reassembly property: split the concatenated frame stream
+    // at any *set* of boundaries (multi-segment delivery, one-byte
+    // dribbles included) — decoding must be split-invariant: the same
+    // frames, in order, then clean EOF.
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+        #[test]
+        fn multi_segment_reassembly_is_split_invariant(
+            raw_cuts in proptest::collection::vec(0usize..4096, 0..24),
+        ) {
+            let frames = sample_frames();
+            let mut stream = Vec::new();
+            for f in &frames {
+                stream.extend_from_slice(&encode_frame(f));
+            }
+            let cuts: Vec<usize> = raw_cuts.iter().map(|c| c % stream.len()).collect();
+            let mut r = ChunkedReader::new(stream, cuts.clone());
+            for f in &frames {
+                let got = read_frame(&mut r, &no_stop());
+                proptest::prop_assert_eq!(got.as_ref(), Ok(f), "cuts {:?}", &cuts);
+            }
+            proptest::prop_assert_eq!(read_frame(&mut r, &no_stop()), Err(FrameError::Eof));
+        }
+    }
+
     // Byte-mutation property, mirroring the checkpoint corruption
     // suite: flip any single byte of a valid frame stream anywhere —
-    // length prefix, CRC guard, or payload — and reading it back must
+    // length words, CRC word, or payload — and reading it back must
     // yield a typed error or the untouched original, never a panic,
-    // a hang, or a silently different frame. CRC32 catches every
-    // single-byte payload/guard corruption; length corruption lands in
-    // the Oversized/Truncated/Crc paths.
+    // a hang, or a silently different frame. The header guard catches
+    // every single-byte corruption of the two length words *before*
+    // any payload byte is read; CRC32 catches payload/CRC-word
+    // corruption after. The same property is checked under a tight
+    // configurable cap (the satellite max-frame-size guard).
     proptest::proptest! {
         #![proptest_config(proptest::prelude::ProptestConfig::with_cases(256))]
         #[test]
@@ -546,23 +892,156 @@ mod tests {
         ) {
             let frames = sample_frames();
             let original = &frames[which % frames.len()];
-            let mut bytes = encode_frame(original);
+            let clean = encode_frame(original);
+            let tight_cap = (clean.len() - HEADER_LEN) as u32; // exactly this frame's payload
+            let mut bytes = clean;
             let pos = pos % bytes.len();
             bytes[pos] ^= xor;
-            let mut cur = Cursor::new(bytes);
-            match read_frame(&mut cur, &no_stop()) {
-                Ok(frame) => proptest::prop_assert_eq!(&frame, original),
-                Err(
-                    FrameError::Oversized { .. }
-                    | FrameError::TruncatedEof { .. }
-                    | FrameError::Crc { .. }
-                    | FrameError::Decode(_)
-                    | FrameError::Eof,
-                ) => {}
-                Err(other) => {
-                    proptest::prop_assert!(false, "untyped failure: {:?}", other);
+            for cap in [MAX_FRAME_LEN, tight_cap] {
+                let mut cur = Cursor::new(bytes.clone());
+                match read_wire::<Frame>(&mut cur, &no_stop(), cap) {
+                    Ok(frame) => proptest::prop_assert_eq!(&frame, original),
+                    Err(
+                        FrameError::Oversized { .. }
+                        | FrameError::HeaderCorrupt { .. }
+                        | FrameError::TruncatedEof { .. }
+                        | FrameError::Crc { .. }
+                        | FrameError::Decode(_)
+                        | FrameError::Eof,
+                    ) => {}
+                    Err(other) => {
+                        proptest::prop_assert!(false, "untyped failure: {:?}", other);
+                    }
                 }
             }
+            // a mutation of either length word can never reach the
+            // payload read: the guard relation breaks, pre-allocation
+            if pos < 8 {
+                let mut cur = Cursor::new(bytes.clone());
+                let got = read_wire::<Frame>(&mut cur, &no_stop(), MAX_FRAME_LEN);
+                let caught = matches!(got, Err(FrameError::HeaderCorrupt { .. }));
+                proptest::prop_assert!(caught, "length-word mutation escaped the guard: {:?}", got);
+            }
         }
+    }
+
+    /// A stream that yields some bytes and then blocks forever —
+    /// the shape of a corrupted length prefix under the frame cap.
+    struct StallingRead {
+        bytes: Vec<u8>,
+        pos: usize,
+    }
+    impl Read for StallingRead {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.bytes.len() {
+                // emulate a socket read timeout poll, like a real
+                // stream with a short read_timeout
+                std::thread::sleep(Duration::from_millis(1));
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "poll",
+                ));
+            }
+            let n = (self.bytes.len() - self.pos).min(buf.len());
+            buf[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    /// THE liveness trap this header exists for: a corrupted length
+    /// prefix that still passes the cap check. Without the guard the
+    /// reader would commit to a payload that never arrives and eat
+    /// every later frame on the stream as its bytes — with a chatty
+    /// peer (heartbeats!) the read keeps making "progress", so not
+    /// even an idle-based stall detector fires, and the link looks
+    /// healthy until the death window expires. The guard word turns
+    /// it into an immediate typed header error, zero payload bytes
+    /// read.
+    #[test]
+    fn corrupted_length_prefix_is_caught_at_the_header() {
+        for flip in [3usize, 7] {
+            // a high bit of the length word, then of the guard word
+            let mut bytes = encode_frame(&Frame::Hello { rank: 1 });
+            bytes[flip] ^= 0x01;
+            let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+            let guard = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+            assert!(len < MAX_FRAME_LEN, "test wants a cap-passing length");
+            let mut cur = Cursor::new(bytes);
+            assert_eq!(
+                read_wire::<Frame>(&mut cur, &no_stop(), MAX_FRAME_LEN),
+                Err(FrameError::HeaderCorrupt { len, guard }),
+                "flipped byte {flip}"
+            );
+            // and the reader is still positioned right after the
+            // header: no payload byte was consumed
+            assert_eq!(cur.position(), HEADER_LEN as u64);
+        }
+    }
+
+    /// A connection that goes silent *mid-frame* (partition between
+    /// two TCP segments) must fail typed (`Stalled`) within the idle
+    /// limit — the header is intact, so only the clock can see this.
+    #[test]
+    fn mid_frame_silence_stalls_typed() {
+        let full = encode_frame(&Frame::Done {
+            rank: 2,
+            result: vec![7; 64],
+        });
+        let wanted = full.len();
+        let cut = HEADER_LEN + 10; // header intact, payload unfinished
+        let mut stream = StallingRead {
+            bytes: full[..cut].to_vec(),
+            pos: 0,
+        };
+        let started = Instant::now();
+        let err = read_wire_stalling::<Frame>(
+            &mut stream,
+            &no_stop(),
+            MAX_FRAME_LEN,
+            Duration::from_millis(50),
+        )
+        .expect_err("must not decode");
+        assert_eq!(err, FrameError::Stalled { got: cut, wanted });
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "stall detection took too long: {:?}",
+            started.elapsed()
+        );
+    }
+
+    /// An idle link between frames is healthy: the stalling reader must
+    /// wait patiently (bounded here by the stop flag), not time out.
+    #[test]
+    fn idle_between_frames_is_not_a_stall() {
+        struct IdleThenStop<'a> {
+            polls: u32,
+            stop: &'a AtomicBool,
+        }
+        impl Read for IdleThenStop<'_> {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                self.polls += 1;
+                if self.polls > 100 {
+                    self.stop.store(true, Ordering::Relaxed);
+                }
+                std::thread::sleep(Duration::from_millis(1));
+                Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "poll"))
+            }
+        }
+        let stop = no_stop();
+        let mut stream = IdleThenStop {
+            polls: 0,
+            stop: &stop,
+        };
+        // 100 polls × 1 ms of pre-frame idle is far beyond the 5 ms
+        // idle limit; only the stop flag may end the wait
+        let err = read_wire_stalling::<Frame>(
+            &mut stream,
+            &stop,
+            MAX_FRAME_LEN,
+            Duration::from_millis(5),
+        )
+        .expect_err("nothing to read");
+        assert_eq!(err, FrameError::Stopped);
     }
 }

@@ -24,6 +24,7 @@
 
 pub(crate) mod frame;
 pub(crate) mod socket;
+pub(crate) mod tcp;
 
 use crate::{Attempt, Comm, CommError, Mailbox, Msg, RankState, RunOptions, WorldError};
 use std::collections::BTreeMap;
@@ -118,6 +119,63 @@ impl SocketOptions {
     }
 }
 
+/// Configuration of the TCP (process-per-rank, multi-node-capable)
+/// backend. Same star topology and liveness model as
+/// [`SocketOptions`], plus the pieces a lossy network needs: a
+/// reconnect schedule and a frame-size cap on the read path.
+#[derive(Clone, Debug)]
+pub struct TcpOptions {
+    /// Executable spawned once per rank; must call
+    /// [`maybe_run_socket_child`] first thing in `main()` (it detects
+    /// both socket and TCP worker environments).
+    pub worker: PathBuf,
+    /// Interval between heartbeat frames sent by each rank process.
+    pub heartbeat_interval: Duration,
+    /// Missed heartbeat intervals before a rank is declared dead. The
+    /// window is also the budget inside which a dropped connection may
+    /// reconnect and resume with **no** failure escalation.
+    pub heartbeat_grace: u32,
+    /// How long to wait for all rank processes to connect back before
+    /// declaring the world failed to start.
+    pub connect_timeout: Duration,
+    /// Reconnect schedule after a broken connection: bounded
+    /// exponential backoff with deterministic jitter, reusing the
+    /// recovery supervisor's policy machinery. When the schedule is
+    /// exhausted the rank gives up and the supervisor's heartbeat
+    /// window escalates to a real `PeerFailed`.
+    pub reconnect: crate::RecoveryPolicy,
+    /// Upper bound on a single wire frame; a longer length prefix
+    /// (hostile peer, flipped bit) is rejected *before* allocation.
+    pub max_frame_len: u32,
+}
+
+impl TcpOptions {
+    /// Options with the given worker executable and default liveness
+    /// parameters (50 ms heartbeats, 40-interval = 2 s death window,
+    /// 10 s connect timeout, ~12-attempt jittered reconnect schedule).
+    pub fn new(worker: PathBuf) -> Self {
+        TcpOptions {
+            worker,
+            heartbeat_interval: Duration::from_millis(50),
+            heartbeat_grace: 40,
+            connect_timeout: Duration::from_secs(10),
+            reconnect: crate::RecoveryPolicy {
+                max_attempts: 12,
+                base_delay: Duration::from_millis(10),
+                max_delay: Duration::from_millis(500),
+                jitter_ppm: 200_000,
+            },
+            max_frame_len: frame::MAX_FRAME_LEN,
+        }
+    }
+
+    /// The full missed-heartbeat death window.
+    pub fn death_window(&self) -> Duration {
+        self.heartbeat_interval
+            .saturating_mul(self.heartbeat_grace.max(1))
+    }
+}
+
 /// Which transport executes a program's ranks.
 #[derive(Clone, Debug)]
 pub enum Backend {
@@ -125,6 +183,12 @@ pub enum Backend {
     Threads,
     /// One OS process per rank, joined over Unix domain sockets.
     Sockets(SocketOptions),
+    /// One OS process per rank, joined over TCP (loopback by default;
+    /// the same wire protocol works across machines). Adds a reliable
+    /// session layer: sequence numbers, acks, and
+    /// reconnect-with-backoff, so a transient connection loss inside
+    /// the heartbeat window heals without any recovery escalation.
+    Tcp(TcpOptions),
 }
 
 impl Backend {
@@ -133,6 +197,7 @@ impl Backend {
         match self {
             Backend::Threads => "threads",
             Backend::Sockets(_) => "sockets",
+            Backend::Tcp(_) => "tcp",
         }
     }
 }
@@ -216,17 +281,18 @@ pub fn try_run_program(
             crate::try_run_with(size, opts.clone(), move |c| f(&c, &ctx))
         }
         Backend::Sockets(sock) => socket::run_socket_world(size, opts, sock, name, args, attempt),
+        Backend::Tcp(tcp_opts) => tcp::run_tcp_world(size, opts, tcp_opts, name, args, attempt),
     }
 }
 
 /// Worker-process hook: when the calling process was spawned as a
-/// socket-backend rank (detected via environment variables set by the
-/// supervisor), connect back, run the requested program from
+/// socket- or TCP-backend rank (detected via environment variables set
+/// by the supervisor), connect back, run the requested program from
 /// `registry`, report the outcome in-band, and **exit the process**.
 /// Returns normally — `false` — only when not a worker.
 ///
 /// Call this first thing in `main()` of any binary used as a
-/// [`SocketOptions::worker`].
+/// [`SocketOptions::worker`] or [`TcpOptions::worker`].
 pub fn maybe_run_socket_child(registry: &ProgramRegistry) -> bool {
-    socket::maybe_run_socket_child(registry)
+    socket::maybe_run_socket_child(registry) || tcp::maybe_run_tcp_child(registry)
 }

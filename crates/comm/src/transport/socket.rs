@@ -50,7 +50,7 @@ const ENV_FAULTS: &str = "QF_SOCKET_FAULTS";
 /// Poll granularity for stop-flag checks inside blocking socket reads.
 const READ_POLL: Duration = Duration::from_millis(25);
 
-fn hex_encode(bytes: &[u8]) -> String {
+pub(crate) fn hex_encode(bytes: &[u8]) -> String {
     let mut s = String::with_capacity(bytes.len() * 2);
     for b in bytes {
         s.push_str(&format!("{b:02x}"));
@@ -58,7 +58,7 @@ fn hex_encode(bytes: &[u8]) -> String {
     s
 }
 
-fn hex_decode(s: &str) -> Option<Vec<u8>> {
+pub(crate) fn hex_decode(s: &str) -> Option<Vec<u8>> {
     if !s.len().is_multiple_of(2) {
         return None;
     }
