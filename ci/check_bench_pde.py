@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Field-sanity gate for BENCH_pde.json (written by `repro --pde`).
+
+Usage: check_bench_pde.py <path> <expected-backend>
+
+Asserts the file is well-formed JSON with the expected provenance
+fields, carries one row per rank count P in {1, 2, 4}, and that every
+row reports a positive cell-update throughput, a non-negative migration
+byte count (strictly positive once P > 1 — repartitioning must actually
+move payload), and a mass drift at machine precision. The drift check
+makes the bench double as a conservation gate on whichever transport
+backend produced the file.
+"""
+
+import json
+import sys
+
+path, expected_backend = sys.argv[1], sys.argv[2]
+d = json.load(open(path))
+
+assert d["bench"] == "pde", f"{path}: bench field is {d['bench']!r}"
+assert d["backend"] == expected_backend, (
+    f"{path}: measured on {d['backend']!r}, expected {expected_backend!r}"
+)
+assert d["features"], f"{path}: missing detected-features field"
+
+rows = {r["op"]: r for r in d["results"]}
+expected_ops = {"advection_p1", "advection_p2", "advection_p4"}
+assert set(rows) == expected_ops, f"{path}: ops {set(rows)} != {expected_ops}"
+
+for op, r in sorted(rows.items()):
+    assert r["representation"] == "morton", f"{op}: representation {r['representation']!r}"
+    assert r["n"] > 0, f"{op}: no cell updates counted"
+    assert r["ns_per_elem"]["wall"] > 0, f"{op}: non-positive wall time"
+    cps = r["cells_per_sec"]
+    assert cps > 0, f"{op}: non-positive throughput {cps}"
+    migrated = r["migrated_bytes"]
+    assert migrated >= 0, f"{op}: negative migration bytes"
+    if op != "advection_p1":
+        assert migrated > 0, f"{op}: repartitioning moved no payload"
+        # patches ship whole: the byte count is a multiple of one
+        # 8x8 f64 patch on the wire
+        assert migrated % 512 == 0, f"{op}: {migrated} not a multiple of 512"
+    drift = r["mass_drift"]
+    assert 0 <= drift < 1e-12, f"{op}: mass drift {drift} above machine precision"
+
+print(
+    f"{path} OK ({expected_backend}):",
+    {op: f"{rows[op]['cells_per_sec'] / 1e6:.1f} Mcells/s" for op in sorted(rows)},
+)

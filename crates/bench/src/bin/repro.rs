@@ -83,6 +83,10 @@ struct Opts {
     json: bool,
     trace: Option<String>,
     queries: bool,
+    /// `--pde`: data-bearing advection throughput → BENCH_pde.json
+    /// (cells/s, migration bytes, conservation drift) on the selected
+    /// transport backend.
+    pde: bool,
     iters: usize,
     ranks: Vec<usize>,
     backend: quadforest_comm::Backend,
@@ -107,6 +111,7 @@ fn parse_args() -> Opts {
         json: false,
         trace: None,
         queries: false,
+        pde: false,
         iters: 3,
         ranks: RANKS.to_vec(),
         backend: quadforest_comm::Backend::Threads,
@@ -159,6 +164,10 @@ fn parse_args() -> Opts {
             }
             "--queries" => {
                 opts.queries = true;
+                any = true;
+            }
+            "--pde" => {
+                opts.pde = true;
                 any = true;
             }
             "--dim2" => {
@@ -677,6 +686,86 @@ fn run_chaos(opts: &Opts) {
             e.failures.len().saturating_sub(1)
         ),
     }
+}
+
+// ---------------------------------------------------------------------------
+// --pde: data-bearing advection throughput (BENCH_pde.json)
+// ---------------------------------------------------------------------------
+
+/// Drive the patch-based advection program at P ∈ {1, 2, 4} on the
+/// selected transport backend and write BENCH_pde.json: cell-update
+/// throughput, payload bytes migrated during repartitioning, and the
+/// relative mass drift (which must sit at machine precision — the rows
+/// double as a conservation gate). The program runs through the shared
+/// [`transport`] registry, so on `--backend sockets` every rank is a
+/// real process and the patches cross genuine IPC.
+fn run_pde(opts: &Opts) {
+    use quadforest_bench::transport::{self, PDE_ADVECTION};
+    use quadforest_comm::{try_run_program, Attempt, RunOptions};
+
+    const STEPS: u64 = 40;
+    const BASE_LEVEL: u8 = 3;
+    const MAX_LEVEL: u8 = 5;
+    const ADAPT_EVERY: u64 = 5;
+
+    let backend = &opts.backend;
+    let registry = transport::registry();
+    println!(
+        "\n## PDE: patch-based advection on dynamic AMR [{} backend]",
+        backend.name()
+    );
+    println!("8×8 cell patches per leaf, donor-cell upwind, periodic square;");
+    println!("adapt + repartition (payload in the all-to-all) every {ADAPT_EVERY} steps\n");
+    println!("| P | steps | cell updates | Mcells/s | migrated KiB | mass drift | wall (ms) |");
+    println!("|---|---|---|---|---|---|---|");
+
+    let mut records = Vec::new();
+    for &p in &[1usize, 2, 4] {
+        let args = transport::pde_args(STEPS, BASE_LEVEL, MAX_LEVEL, ADAPT_EVERY);
+        let run_opts = RunOptions::default();
+        let t = std::time::Instant::now();
+        let vals = try_run_program(
+            backend,
+            p,
+            &run_opts,
+            &registry,
+            PDE_ADVECTION,
+            &args,
+            Attempt { index: 0 },
+        )
+        .unwrap_or_else(|e| panic!("pde advection failed at P={p}: {e}"));
+        let wall = t.elapsed();
+        let views: Vec<transport::PdeView> =
+            vals.iter().map(|b| transport::decode_pde(b)).collect();
+        let (cells, migrated, drift, digest) = views[0];
+        for (r, v) in views.iter().enumerate() {
+            assert_eq!(v.3, digest, "rank {r} disagrees on the final state digest");
+        }
+        assert!(
+            drift < 1e-12,
+            "P={p}: advection lost mass across adaptation + migration (drift {drift:e})"
+        );
+        let cells_per_sec = cells as f64 / wall.as_secs_f64();
+        println!(
+            "| {p} | {STEPS} | {cells} | {:.2} | {:.1} | {drift:.2e} | {:.3} |",
+            cells_per_sec / 1e6,
+            migrated as f64 / 1024.0,
+            ms(wall)
+        );
+        let op = match p {
+            1 => "advection_p1",
+            2 => "advection_p2",
+            _ => "advection_p4",
+        };
+        let mut rec = JsonRecord::wall(op, "morton", cells as usize, wall);
+        rec.extras = vec![
+            ("cells_per_sec", format!("{cells_per_sec:.1}")),
+            ("migrated_bytes", migrated.to_string()),
+            ("mass_drift", format!("{drift:e}")),
+        ];
+        records.push(rec);
+    }
+    write_json("BENCH_pde.json", "pde", opts, &records);
 }
 
 // ---------------------------------------------------------------------------
@@ -1781,6 +1870,9 @@ fn main() {
     }
     if opts.queries {
         run_queries(&opts);
+    }
+    if opts.pde {
+        run_pde(&opts);
     }
     if let Some(path) = opts.prom.clone() {
         run_prom(&path);

@@ -29,6 +29,8 @@ pub const CHAOS_PIPELINE: &str = "chaos-pipeline";
 /// Name of the checkpointed AMR program driven by the recovery
 /// supervisor (the kill-point suite).
 pub const RECOVERY_PIPELINE: &str = "recovery-pipeline";
+/// Name of the data-bearing advection benchmark program (`repro --pde`).
+pub const PDE_ADVECTION: &str = "pde-advection";
 
 /// The registry shared by supervisors, workers, and tests. Both sides
 /// of a socket world MUST build it from this one function — a worker
@@ -37,6 +39,7 @@ pub fn registry() -> ProgramRegistry {
     ProgramRegistry::new()
         .register(CHAOS_PIPELINE, chaos_pipeline)
         .register(RECOVERY_PIPELINE, recovery_pipeline)
+        .register(PDE_ADVECTION, pde_advection)
 }
 
 /// Collective digest of one pipeline run: `(forest checksum, global
@@ -130,6 +133,69 @@ fn recovery_pipeline(comm: &Comm, ctx: &ProgramCtx) -> Result<Vec<u8>, CommError
         detail: format!("recovery-pipeline args: {e}"),
     })?;
     Ok(recovery_program(comm, ctx.attempt, Path::new(&dir), seed).to_wire())
+}
+
+/// One advection benchmark measurement: total cell updates performed,
+/// payload bytes shipped by repartitioning, relative mass drift, and
+/// the collective mesh+payload digest. Identical on every rank except
+/// for nothing — all four entries are collective values.
+pub type PdeView = (u64, u64, f64, u64);
+
+/// The data-bearing advection loop measured by `repro --pde`: step the
+/// patch-based solver, adapt + repartition (payload riding the
+/// partition all-to-all) on a fixed cadence, and report collective
+/// throughput/migration/conservation numbers. Shared by both transport
+/// backends so a threads-vs-sockets BENCH_pde.json compares the exact
+/// same computation.
+pub fn advection_program(
+    comm: &Comm,
+    steps: u64,
+    base_level: u8,
+    max_level: u8,
+    adapt_every: u64,
+) -> PdeView {
+    use quadforest_pde::{gaussian_blob, AdaptThresholds, AdvectionSim, PATCH_CELLS};
+    let conn = Arc::new(Connectivity::periodic(2));
+    let mut sim = AdvectionSim::<MortonQuad<2>>::new(
+        conn,
+        comm,
+        base_level,
+        max_level,
+        [1.0, 0.5],
+        gaussian_blob,
+    );
+    let mass0 = sim.total_mass(comm);
+    let mut cells = 0u64;
+    let mut migrated = 0u64;
+    while sim.steps_taken < steps {
+        let dt = sim.cfl_dt(comm, 0.45);
+        sim.step(comm, dt);
+        cells += sim.forest.global_count() * PATCH_CELLS as u64;
+        if sim.steps_taken.is_multiple_of(adapt_every) {
+            sim.adapt(comm, AdaptThresholds::default());
+            migrated += comm.allreduce_sum(sim.migrate(comm));
+        }
+    }
+    let drift = (sim.total_mass(comm) - mass0).abs() / mass0;
+    (cells, migrated, drift, sim.state_digest(comm))
+}
+
+/// Wire-encode the `pde-advection` arguments.
+pub fn pde_args(steps: u64, base_level: u8, max_level: u8, adapt_every: u64) -> Vec<u8> {
+    (steps, base_level as u64, max_level as u64, adapt_every).to_wire()
+}
+
+fn pde_advection(comm: &Comm, ctx: &ProgramCtx) -> Result<Vec<u8>, CommError> {
+    let (steps, base, max, adapt_every) =
+        <(u64, u64, u64, u64)>::from_wire(&ctx.args).map_err(|e| CommError::Frame {
+            detail: format!("pde-advection args: {e}"),
+        })?;
+    Ok(advection_program(comm, steps, base as u8, max as u8, adapt_every).to_wire())
+}
+
+/// Decode a program's per-rank result bytes as a [`PdeView`].
+pub fn decode_pde(bytes: &[u8]) -> PdeView {
+    PdeView::from_wire(bytes).expect("pde-advection result bytes")
 }
 
 /// Decode a program's per-rank result bytes as a [`PipelineDigest`].

@@ -114,12 +114,8 @@ fn partition_heal_within_grace_completes_with_zero_recovery_retries() {
     let dir = scratch_dir("heal");
     // both directions of rank 1's link go dark at its 3rd outbound data
     // frame, for 300 ms — far inside the 2 s death window
-    let plan = FaultPlan::new(SEED).with_net_partition(
-        1,
-        NetDir::Both,
-        3,
-        Duration::from_millis(300),
-    );
+    let plan =
+        FaultPlan::new(SEED).with_net_partition(1, NetDir::Both, 3, Duration::from_millis(300));
     let opts = RecoveryOptions {
         policy: RecoveryPolicy {
             max_attempts: 3,
@@ -214,8 +210,7 @@ fn permanent_partition_escalates_to_peer_failed_and_recovers() {
     let dir = scratch_dir("perm");
     // outbound-only: rank 1 keeps receiving but its heartbeats vanish
     // for 30 s — far past the 1 s death window
-    let plan =
-        FaultPlan::new(SEED).with_net_partition(1, NetDir::Out, 3, Duration::from_secs(30));
+    let plan = FaultPlan::new(SEED).with_net_partition(1, NetDir::Out, 3, Duration::from_secs(30));
     let opts = RecoveryOptions {
         policy: RecoveryPolicy {
             max_attempts: 3,

@@ -763,14 +763,20 @@ impl NetFaults {
     pub fn counters(&self) -> Vec<(&'static str, u64)> {
         vec![
             ("net.chaos.delays", self.delays.load(Ordering::Relaxed)),
-            ("net.chaos.drops_out", self.drops_out.load(Ordering::Relaxed)),
+            (
+                "net.chaos.drops_out",
+                self.drops_out.load(Ordering::Relaxed),
+            ),
             ("net.chaos.drops_in", self.drops_in.load(Ordering::Relaxed)),
             (
                 "net.chaos.corruptions",
                 self.corruptions.load(Ordering::Relaxed),
             ),
             ("net.chaos.partials", self.partials.load(Ordering::Relaxed)),
-            ("net.chaos.resets", self.resets_fired.load(Ordering::Relaxed)),
+            (
+                "net.chaos.resets",
+                self.resets_fired.load(Ordering::Relaxed),
+            ),
             (
                 "net.chaos.partitions",
                 self.partitions_opened.load(Ordering::Relaxed),
@@ -963,8 +969,7 @@ mod tests {
 
     #[test]
     fn out_only_partition_keeps_inbound_flowing() {
-        let plan =
-            FaultPlan::new(8).with_net_partition(0, NetDir::Out, 0, Duration::from_secs(60));
+        let plan = FaultPlan::new(8).with_net_partition(0, NetDir::Out, 0, Duration::from_secs(60));
         let nf = plan.compile_net(0);
         assert!(nf.plan_write(64, true).drop);
         assert!(!nf.drop_inbound());

@@ -809,7 +809,10 @@ mod tests {
             }
             if self.starve_next {
                 self.starve_next = false;
-                return Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "starve"));
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "starve",
+                ));
             }
             let limit = self
                 .cuts
@@ -937,10 +940,7 @@ mod tests {
                 // emulate a socket read timeout poll, like a real
                 // stream with a short read_timeout
                 std::thread::sleep(Duration::from_millis(1));
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::WouldBlock,
-                    "poll",
-                ));
+                return Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "poll"));
             }
             let n = (self.bytes.len() - self.pos).min(buf.len());
             buf[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);

@@ -284,11 +284,7 @@ impl Link {
 /// decisions: delay, silent drop, single-bit corruption, chunked
 /// partial writes, bandwidth pacing. `reset_after` is left to the
 /// caller (it must sever the link *after* the write).
-fn apply_write_fault(
-    stream: &TcpStream,
-    bytes: &[u8],
-    fault: &WriteFault,
-) -> std::io::Result<()> {
+fn apply_write_fault(stream: &TcpStream, bytes: &[u8], fault: &WriteFault) -> std::io::Result<()> {
     if let Some(d) = fault.delay {
         std::thread::sleep(d);
     }
@@ -856,8 +852,7 @@ pub(crate) fn run_tcp_world(
         std::thread::sleep(Duration::from_millis(5));
     }
 
-    let hard_deadline =
-        Instant::now() + opts.recv_timeout + opts.recv_timeout + tcp.death_window();
+    let hard_deadline = Instant::now() + opts.recv_timeout + opts.recv_timeout + tcp.death_window();
     let monitor = {
         let router_m = Arc::clone(&router);
         let tcp_m = tcp.clone();
@@ -1203,8 +1198,12 @@ fn child_reader_loop(child: &TcpChildLink) {
             }
         };
         loop {
-            match read_wire_stalling::<TcpPacket>(&mut stream, &child.stop, child.max_frame, FRAME_STALL)
-            {
+            match read_wire_stalling::<TcpPacket>(
+                &mut stream,
+                &child.stop,
+                child.max_frame,
+                FRAME_STALL,
+            ) {
                 Ok(pkt) => {
                     if child.chaos.as_ref().is_some_and(|c| c.drop_inbound()) {
                         continue; // severed in-direction: the wire ate it

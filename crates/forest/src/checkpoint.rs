@@ -301,9 +301,36 @@ impl<Q: Quadrant> Forest<Q> {
     /// committed generation or one that restore skips. Returns the new
     /// generation number on every rank, or the first error any rank hit.
     pub fn save_checkpoint(&self, comm: &Comm, dir: impl AsRef<Path>) -> Result<u64, IoError> {
+        self.save_checkpoint_bytes(comm, dir.as_ref(), self.to_portable().to_bytes())
+    }
+
+    /// [`Forest::save_checkpoint`] with per-leaf payloads: every shard
+    /// carries a version-3 payload section (the `Wire` encoding of each
+    /// leaf's `T`), so [`Forest::load_checkpoint_with_data`] can restore
+    /// solver state alongside the mesh. Collective.
+    pub fn save_checkpoint_with_data<T: quadforest_core::Wire>(
+        &self,
+        comm: &Comm,
+        dir: impl AsRef<Path>,
+        data: &crate::LeafData<T>,
+    ) -> Result<u64, IoError> {
+        self.save_checkpoint_bytes(
+            comm,
+            dir.as_ref(),
+            self.to_portable_with_data(data).to_bytes(),
+        )
+    }
+
+    /// Shared checkpoint-save machinery over an already-serialized
+    /// shard stream.
+    fn save_checkpoint_bytes(
+        &self,
+        comm: &Comm,
+        dir: &Path,
+        bytes: bytes::Bytes,
+    ) -> Result<u64, IoError> {
         let _span = telemetry::span("checkpoint");
         let start = Instant::now();
-        let dir = dir.as_ref();
 
         // rank 0 allocates the generation and creates its directory
         let root_prep = (comm.rank() == 0).then(|| prepare_generation(dir));
@@ -311,7 +338,6 @@ impl<Q: Quadrant> Forest<Q> {
         let gen_dir = generation_dir(dir, generation);
 
         // every rank writes its own shard atomically
-        let bytes = self.to_portable().to_bytes();
         let written =
             write_atomic(&shard_path(&gen_dir, comm.rank()), &bytes).map(|()| ShardMeta {
                 leaf_count: self.local_count() as u64,
@@ -363,9 +389,56 @@ impl<Q: Quadrant> Forest<Q> {
         comm: &Comm,
         dir: impl AsRef<Path>,
     ) -> Result<(Self, u64), IoError> {
+        let (forest, _payload, generation) = Self::load_checkpoint_raw(conn, comm, dir.as_ref())?;
+        Ok((forest, generation))
+    }
+
+    /// [`Forest::load_checkpoint`] that also restores per-leaf payloads
+    /// saved by [`Forest::save_checkpoint_with_data`]. The payload
+    /// section is re-sliced across rank counts exactly like the leaves,
+    /// so `P_load` may differ from `P_save`. Loading a payload-less
+    /// (version-2) generation fails with [`IoError::MissingPayload`];
+    /// a payload that does not decode as `T` fails with
+    /// [`IoError::PayloadCorrupt`]. Collective.
+    pub fn load_checkpoint_with_data<T: quadforest_core::Wire>(
+        conn: Arc<Connectivity>,
+        comm: &Comm,
+        dir: impl AsRef<Path>,
+    ) -> Result<(Self, crate::LeafData<T>, u64), IoError> {
+        let (forest, payload, generation) = Self::load_checkpoint_raw(conn, comm, dir.as_ref())?;
+        // decode locally, then agree on the outcome so one rank's
+        // corrupt payload fails the load everywhere
+        let decoded = payload.ok_or(IoError::MissingPayload).and_then(|items| {
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, raw)| {
+                    T::from_wire(raw).map_err(|e| IoError::PayloadCorrupt {
+                        leaf: i as u64,
+                        detail: e.to_string(),
+                    })
+                })
+                .collect::<Result<Vec<T>, IoError>>()
+        });
+        let verdicts = comm.allgather(decoded.as_ref().err().cloned());
+        if let Some(e) = verdicts.into_iter().flatten().next() {
+            return Err(e);
+        }
+        let items = decoded.expect("no rank reported an error");
+        let data = crate::LeafData::from_vec(&forest, items);
+        Ok((forest, data, generation))
+    }
+
+    /// Shared restore machinery: elect a generation, load mesh plus the
+    /// raw (undecoded) payload section if one is present.
+    #[allow(clippy::type_complexity)]
+    fn load_checkpoint_raw(
+        conn: Arc<Connectivity>,
+        comm: &Comm,
+        dir: &Path,
+    ) -> Result<(Self, Option<Vec<Vec<u8>>>, u64), IoError> {
         let _span = telemetry::span("restore");
         let start = Instant::now();
-        let dir = dir.as_ref();
 
         // rank 0 verifies and elects a generation for everyone
         let root_pick = (comm.rank() == 0).then(|| pick_generation(dir));
@@ -396,37 +469,40 @@ impl<Q: Quadrant> Forest<Q> {
         if let Some(e) = verdicts.into_iter().flatten().next() {
             return Err(e);
         }
-        let forest = loaded.expect("no rank reported an error");
+        let (forest, payload) = loaded.expect("no rank reported an error");
 
         telemetry::histogram_record("forest.restore.ns", start.elapsed().as_nanos() as u64);
         telemetry::counter_add("forest.checkpoint.restores", 1);
         telemetry::gauge_set("forest.local_leaves", forest.local_count() as u64);
-        Ok((forest, generation))
+        Ok((forest, payload, generation))
     }
 
     /// Fast path: `P_load == P_save` — read back exactly the shard this
-    /// rank saved, markers and all.
+    /// rank saved, markers, payload and all.
+    #[allow(clippy::type_complexity)]
     fn load_own_shard(
         conn: Arc<Connectivity>,
         comm: &Comm,
         gen_dir: &Path,
-    ) -> Result<Self, IoError> {
+    ) -> Result<(Self, Option<Vec<Vec<u8>>>), IoError> {
         let spath = shard_path(gen_dir, comm.rank());
         let bytes = std::fs::read(&spath).map_err(|e| IoError::storage(&spath, e))?;
         telemetry::histogram_record("forest.restore.bytes", bytes.len() as u64);
-        let portable = PortableForest::from_bytes(&bytes)?;
-        Self::from_portable(conn, comm, &portable)
+        let mut portable = PortableForest::from_bytes(&bytes)?;
+        let payload = portable.payload.take();
+        Ok((Self::from_portable(conn, comm, &portable)?, payload))
     }
 
     /// Slow path: `P_load != P_save` — slice the global SFC leaf
     /// sequence into `P_load` equal ranges, read only the overlapping
     /// shards, and rebuild the partition markers from scratch.
+    #[allow(clippy::type_complexity)]
     fn load_repartitioned(
         conn: Arc<Connectivity>,
         comm: &Comm,
         gen_dir: &Path,
         manifest: &CheckpointManifest,
-    ) -> Result<Self, IoError> {
+    ) -> Result<(Self, Option<Vec<Vec<u8>>>), IoError> {
         let (rank, size) = (comm.rank(), comm.size());
         let n = manifest.global_count;
         let local = Self::read_slice(&conn, comm, gen_dir, manifest);
@@ -434,9 +510,9 @@ impl<Q: Quadrant> Forest<Q> {
         // The marker allgather must run on EVERY rank, even one whose
         // local reads failed — otherwise survivors would pair this
         // collective with the failed rank's verdict exchange.
-        let my_first = local.as_ref().ok().and_then(|(_, first)| *first);
+        let my_first = local.as_ref().ok().and_then(|(_, first, _)| *first);
         let firsts = comm.allgather(my_first);
-        let (trees, _) = local?;
+        let (trees, _, payload) = local?;
 
         // rebuild markers exactly as partition() does: reverse-fill
         // empty ranks from the next occupied one, pin rank 0 to the
@@ -455,19 +531,21 @@ impl<Q: Quadrant> Forest<Q> {
 
         let f = Self::assemble(conn, rank, size, trees, n, markers);
         f.validate()?;
-        Ok(f)
+        Ok((f, payload))
     }
 
     /// Read this rank's equal-share SFC slice `[N·r/P, N·(r+1)/P)` out
     /// of the overlapping shards. Purely local; returns the per-tree
-    /// leaf arrays and the first leaf's global position.
+    /// leaf arrays, the first leaf's global position, and the matching
+    /// payload slice (`None` when any overlapping shard is
+    /// payload-less).
     #[allow(clippy::type_complexity)]
     fn read_slice(
         conn: &Arc<Connectivity>,
         comm: &Comm,
         gen_dir: &Path,
         manifest: &CheckpointManifest,
-    ) -> Result<(Vec<Vec<Q>>, Option<SfcPosition>), IoError> {
+    ) -> Result<(Vec<Vec<Q>>, Option<SfcPosition>, Option<Vec<Vec<u8>>>), IoError> {
         let (rank, size) = (comm.rank(), comm.size());
         let n = manifest.global_count;
         let lo = n * rank as u64 / size as u64;
@@ -477,6 +555,7 @@ impl<Q: Quadrant> Forest<Q> {
         let mut offset = 0u64;
         let mut trees: Vec<Vec<Q>> = vec![Vec::new(); conn.num_trees()];
         let mut first_pos: Option<SfcPosition> = None;
+        let mut payload: Option<Vec<Vec<u8>>> = Some(Vec::new());
         for (shard_rank, meta) in manifest.shards.iter().enumerate() {
             let (shard_lo, shard_hi) = (offset, offset + meta.leaf_count);
             offset = shard_hi;
@@ -511,8 +590,14 @@ impl<Q: Quadrant> Forest<Q> {
                 }
                 trees[t as usize].push(q);
             }
+            // payloads ride the exact same slice cuts as their leaves;
+            // one payload-less shard makes the whole restore payload-less
+            match (&mut payload, portable.payload) {
+                (Some(acc), Some(items)) => acc.extend_from_slice(&items[from..to]),
+                _ => payload = None,
+            }
         }
-        Ok((trees, first_pos))
+        Ok((trees, first_pos, payload))
     }
 }
 

@@ -1,0 +1,450 @@
+//! Per-leaf application payloads: storage aligned with the rank-global
+//! leaf order, adapt-time mapping (interpolate on refine, conservative
+//! projection on coarsen), and partition-time migration.
+//!
+//! This is the data-bearing half of AMR: a [`LeafData`] vector holds one
+//! `T` per local leaf, in exactly the order [`Forest::leaves`] yields
+//! them. Whenever the mesh changes shape the data must follow:
+//!
+//! * [`Forest::refine_mapped`] / [`Forest::coarsen_mapped`] /
+//!   [`Forest::balance_mapped`] adapt the mesh and then replay the
+//!   old→new leaf transition through a [`DataMapper`], in the style of
+//!   `p4est_utils_post_gridadapt_map_data`: a simultaneous walk over the
+//!   old and new leaf sequences where equal leaves copy, refined leaves
+//!   interpolate parent→children, and coarsened families project
+//!   children→parent.
+//! * [`Forest::partition_mapped`] piggybacks payloads on the SFC
+//!   partition: each migrating leaf ships its `T` in the same
+//!   all-to-all, so data arrives already in global leaf order.
+//!
+//! Mappers may be called through several levels at once (recursive
+//! refinement, multi-level coarsening): the walk descends the implied
+//! ancestor chain one level at a time, so a mapper only ever sees a
+//! single parent↔child step.
+
+use crate::Forest;
+use quadforest_comm::Comm;
+use quadforest_connectivity::TreeId;
+use quadforest_core::quadrant::Quadrant;
+use quadforest_core::Wire;
+use quadforest_telemetry as telemetry;
+
+/// Per-leaf payload storage for one rank, index-aligned with the
+/// rank-global leaf order (tree-major, SFC within each tree — the order
+/// of [`Forest::leaves`]). Entry `i` belongs to the `i`-th local leaf.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LeafData<T> {
+    items: Vec<T>,
+}
+
+impl<T> LeafData<T> {
+    /// Build payloads for every local leaf of `forest` by calling `init`
+    /// in rank-global leaf order.
+    pub fn init<Q: Quadrant>(forest: &Forest<Q>, mut init: impl FnMut(TreeId, &Q) -> T) -> Self {
+        Self {
+            items: forest.leaves().map(|(t, q)| init(t, q)).collect(),
+        }
+    }
+
+    /// Adopt an existing vector as payload storage. Panics unless its
+    /// length equals `forest.local_count()`.
+    pub fn from_vec<Q: Quadrant>(forest: &Forest<Q>, items: Vec<T>) -> Self {
+        assert_eq!(
+            items.len(),
+            forest.local_count(),
+            "LeafData length must match the local leaf count"
+        );
+        Self { items }
+    }
+
+    /// Number of stored payloads (= local leaf count when aligned).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no payloads are stored.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The payloads as a slice, in rank-global leaf order.
+    pub fn as_slice(&self) -> &[T] {
+        &self.items
+    }
+
+    /// The payloads as a mutable slice, in rank-global leaf order.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.items
+    }
+
+    /// Iterate payloads in rank-global leaf order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.items.iter()
+    }
+
+    /// Iterate payloads mutably in rank-global leaf order.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.items.iter_mut()
+    }
+
+    /// Consume the store, returning the raw vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.items
+    }
+
+    /// Panic with a phase name unless the store is aligned with
+    /// `forest` (one payload per local leaf).
+    pub fn check_aligned<Q: Quadrant>(&self, forest: &Forest<Q>, phase: &str) {
+        assert_eq!(
+            self.items.len(),
+            forest.local_count(),
+            "LeafData out of sync with forest in {phase}: {} payloads vs {} leaves",
+            self.items.len(),
+            forest.local_count()
+        );
+    }
+}
+
+impl<T> std::ops::Index<usize> for LeafData<T> {
+    type Output = T;
+    fn index(&self, i: usize) -> &T {
+        &self.items[i]
+    }
+}
+
+impl<T> std::ops::IndexMut<usize> for LeafData<T> {
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        &mut self.items[i]
+    }
+}
+
+/// How payloads cross refinement levels. Implementations decide the
+/// numerics (piecewise-constant injection, bilinear interpolation,
+/// conservative averaging, …); the forest decides *which* leaves map
+/// where.
+///
+/// Contract: for a conservative quantity, `coarsen` applied to the
+/// values produced by `refine` over one complete family must return the
+/// original parent value (the refine→coarsen round trip is the
+/// identity). The conservation proptests in `quadforest-pde` pin this
+/// for the patch mapper.
+pub trait DataMapper<Q: Quadrant, T> {
+    /// Produce the payload of one `child` (child index `child_id` in SFC
+    /// order) from its `parent`'s payload. Called `2^d` times per
+    /// refined leaf, once per child.
+    fn refine(&self, tree: TreeId, parent: &Q, value: &T, child: &Q, child_id: u32) -> T;
+
+    /// Project a complete sibling family onto its `parent`. `values` are
+    /// the children's payloads ordered by child index (SFC order).
+    fn coarsen(&self, tree: TreeId, parent: &Q, values: &[T]) -> T;
+}
+
+/// Reduce a contiguous run of old leaves — exactly the descendants of
+/// `node` — to a single payload for `node`, applying `mapper.coarsen`
+/// bottom-up one level at a time.
+fn project<Q: Quadrant, T: Clone, M: DataMapper<Q, T>>(
+    tree: TreeId,
+    node: &Q,
+    olds: &[Q],
+    vals: &[T],
+    mapper: &M,
+) -> T {
+    if olds.len() == 1 && olds[0].level() == node.level() {
+        return vals[0].clone();
+    }
+    debug_assert!(olds.len() >= Q::NUM_CHILDREN as usize);
+    let mut child_vals: Vec<T> = Vec::with_capacity(Q::NUM_CHILDREN as usize);
+    let mut lo = 0usize;
+    for c in 0..Q::NUM_CHILDREN {
+        let child = node.child(c);
+        let last = child.last_descendant(Q::MAX_LEVEL).morton_abs();
+        let hi = lo + olds[lo..].partition_point(|q| q.morton_abs() <= last);
+        child_vals.push(project(tree, &child, &olds[lo..hi], &vals[lo..hi], mapper));
+        lo = hi;
+    }
+    mapper.coarsen(tree, node, &child_vals)
+}
+
+/// Expand `node`'s payload onto a contiguous run of new leaves — exactly
+/// the descendants of `node` — applying `mapper.refine` top-down one
+/// level at a time.
+fn fill<Q: Quadrant, T: Clone, M: DataMapper<Q, T>>(
+    tree: TreeId,
+    node: &Q,
+    value: &T,
+    news: &[Q],
+    out: &mut Vec<T>,
+    mapper: &M,
+) {
+    if news.len() == 1 && news[0].level() == node.level() {
+        out.push(value.clone());
+        return;
+    }
+    let mut lo = 0usize;
+    for c in 0..Q::NUM_CHILDREN {
+        let child = node.child(c);
+        let last = child.last_descendant(Q::MAX_LEVEL).morton_abs();
+        let hi = lo + news[lo..].partition_point(|q| q.morton_abs() <= last);
+        if lo < hi {
+            let cv = mapper.refine(tree, node, value, &child, c);
+            fill(tree, &child, &cv, &news[lo..hi], out, mapper);
+        }
+        lo = hi;
+    }
+}
+
+/// Map payloads across one local adaptation: walk the old and new leaf
+/// sequences of every tree simultaneously (both are SFC-sorted and
+/// cover the same SFC range — refine/coarsen/balance never move leaves
+/// between ranks), copying equal leaves, interpolating refined ones and
+/// projecting coarsened families through `mapper`.
+pub fn map_adapted<Q: Quadrant, T: Clone, M: DataMapper<Q, T>>(
+    old: &Forest<Q>,
+    new: &Forest<Q>,
+    old_data: &LeafData<T>,
+    mapper: &M,
+) -> LeafData<T> {
+    old_data.check_aligned(old, "map_adapted");
+    let mut out: Vec<T> = Vec::with_capacity(new.local_count());
+    let mut base = 0usize; // offset of the current tree in old_data
+    for t in 0..old.connectivity().num_trees() {
+        let tree = t as TreeId;
+        let olds = old.tree_leaves(tree);
+        let news = new.tree_leaves(tree);
+        let vals = &old_data.as_slice()[base..base + olds.len()];
+        base += olds.len();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < olds.len() && j < news.len() {
+            let (o, n) = (&olds[i], &news[j]);
+            if o.level() == n.level() && o.morton_abs() == n.morton_abs() {
+                out.push(vals[i].clone());
+                i += 1;
+                j += 1;
+            } else if o.level() < n.level() {
+                // old leaf was refined: collect its new descendants
+                debug_assert!(o.is_ancestor_of(n));
+                let last = o.last_descendant(Q::MAX_LEVEL).morton_abs();
+                let hi = j + news[j..].partition_point(|q| q.morton_abs() <= last);
+                fill(tree, o, &vals[i], &news[j..hi], &mut out, mapper);
+                i += 1;
+                j = hi;
+            } else {
+                // old leaves were coarsened into the new leaf
+                debug_assert!(n.is_ancestor_of(o));
+                let last = n.last_descendant(Q::MAX_LEVEL).morton_abs();
+                let hi = i + olds[i..].partition_point(|q| q.morton_abs() <= last);
+                out.push(project(tree, n, &olds[i..hi], &vals[i..hi], mapper));
+                i = hi;
+                j += 1;
+            }
+        }
+        debug_assert_eq!(i, olds.len(), "old/new leaf walks must end together");
+        debug_assert_eq!(j, news.len(), "old/new leaf walks must end together");
+    }
+    telemetry::counter_add("forest.map.leaves", out.len() as u64);
+    LeafData { items: out }
+}
+
+impl<Q: Quadrant> Forest<Q> {
+    /// [`Forest::refine`] that carries payloads: adapt the mesh, then
+    /// map `data` onto the new leaves through `mapper`. Returns the
+    /// number of leaves refined on this rank.
+    pub fn refine_mapped<T: Clone>(
+        &mut self,
+        comm: &Comm,
+        recursive: bool,
+        flag: impl FnMut(TreeId, &Q) -> bool,
+        data: &mut LeafData<T>,
+        mapper: &impl DataMapper<Q, T>,
+    ) -> usize {
+        data.check_aligned(self, "refine_mapped");
+        let old = self.clone();
+        let n = self.refine(comm, recursive, flag);
+        *data = map_adapted(&old, self, data, mapper);
+        n
+    }
+
+    /// [`Forest::coarsen`] that carries payloads: adapt the mesh, then
+    /// project `data` onto the new leaves through `mapper`. Returns the
+    /// number of families merged on this rank.
+    pub fn coarsen_mapped<T: Clone>(
+        &mut self,
+        comm: &Comm,
+        recursive: bool,
+        flag: impl FnMut(TreeId, &[Q]) -> bool,
+        data: &mut LeafData<T>,
+        mapper: &impl DataMapper<Q, T>,
+    ) -> usize {
+        data.check_aligned(self, "coarsen_mapped");
+        let old = self.clone();
+        let n = self.coarsen(comm, recursive, flag);
+        *data = map_adapted(&old, self, data, mapper);
+        n
+    }
+
+    /// [`Forest::balance`] that carries payloads: enforce 2:1 balance
+    /// (refinement only), then interpolate `data` onto the new leaves
+    /// through `mapper`. Returns the number of leaves refined on this
+    /// rank.
+    pub fn balance_mapped<T: Clone>(
+        &mut self,
+        comm: &Comm,
+        kind: crate::BalanceKind,
+        data: &mut LeafData<T>,
+        mapper: &impl DataMapper<Q, T>,
+    ) -> usize {
+        data.check_aligned(self, "balance_mapped");
+        let old = self.clone();
+        let n = self.balance(comm, kind);
+        *data = map_adapted(&old, self, data, mapper);
+        n
+    }
+
+    /// [`Forest::partition`] that carries payloads: every migrating leaf
+    /// ships its `T` through the same all-to-all exchange, so `data`
+    /// arrives on the new owner already in rank-global leaf order.
+    /// Returns the number of leaves that moved away from this rank.
+    /// Collective.
+    pub fn partition_mapped<T>(&mut self, comm: &Comm, data: &mut LeafData<T>) -> usize
+    where
+        T: Clone + Wire + Send + 'static,
+    {
+        data.check_aligned(self, "partition_mapped");
+        let payload = std::mem::take(&mut data.items);
+        let (moved, arrived) = self.partition_core(comm, |_, _| 1, payload);
+        data.items = arrived;
+        moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BalanceKind;
+    use quadforest_connectivity::Connectivity;
+    use quadforest_core::quadrant::{MortonQuad, StandardQuad};
+    use std::sync::Arc;
+
+    type Q2 = StandardQuad<2>;
+
+    /// Equal-split mapper over a scalar "mass": refine divides the
+    /// parent mass equally among children, coarsen sums — the canonical
+    /// conservative pair.
+    struct MassMapper;
+    impl<Q: Quadrant> DataMapper<Q, f64> for MassMapper {
+        fn refine(&self, _t: TreeId, _p: &Q, v: &f64, _c: &Q, _id: u32) -> f64 {
+            v / Q::NUM_CHILDREN as f64
+        }
+        fn coarsen(&self, _t: TreeId, _p: &Q, vs: &[f64]) -> f64 {
+            vs.iter().sum()
+        }
+    }
+
+    fn total(comm: &Comm, data: &LeafData<f64>) -> f64 {
+        let local: f64 = data.iter().sum();
+        comm.allreduce(local, |a, b| a + b)
+    }
+
+    #[test]
+    fn refine_mapped_conserves_mass() {
+        quadforest_comm::run(1, |comm| {
+            let conn = Arc::new(Connectivity::unit(2));
+            let mut f = Forest::<Q2>::new_uniform(conn, &comm, 2);
+            let mut data = LeafData::init(&f, |_, q| 1.0 + q.morton_index() as f64);
+            let before = total(&comm, &data);
+            f.refine_mapped(
+                &comm,
+                true,
+                |_, q| q.level() < 4 && q.morton_index() % 3 == 0,
+                &mut data,
+                &MassMapper,
+            );
+            data.check_aligned(&f, "test");
+            assert!((total(&comm, &data) - before).abs() < 1e-9);
+        });
+    }
+
+    #[test]
+    fn refine_then_coarsen_mapped_round_trips() {
+        quadforest_comm::run(1, |comm| {
+            let conn = Arc::new(Connectivity::unit(2));
+            let mut f = Forest::<Q2>::new_uniform(conn, &comm, 1);
+            let mut data = LeafData::init(&f, |_, q| q.morton_index() as f64 + 0.5);
+            let orig = data.clone();
+            f.refine_mapped(&comm, false, |_, _| true, &mut data, &MassMapper);
+            f.coarsen_mapped(&comm, false, |_, _| true, &mut data, &MassMapper);
+            assert_eq!(f.global_count(), 4);
+            for (a, b) in data.iter().zip(orig.iter()) {
+                assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+            }
+        });
+    }
+
+    #[test]
+    fn balance_mapped_keeps_alignment_and_mass() {
+        quadforest_comm::run(2, |comm| {
+            let conn = Arc::new(Connectivity::unit(2));
+            let mut f = Forest::<MortonQuad<2>>::new_uniform(conn, &comm, 2);
+            let mut data = LeafData::init(&f, |_, _| 1.0);
+            let before = total(&comm, &data);
+            f.refine_mapped(
+                &comm,
+                true,
+                |_, q| q.coords() == [0, 0, 0] && q.level() < 6,
+                &mut data,
+                &MassMapper,
+            );
+            f.balance_mapped(&comm, BalanceKind::Face, &mut data, &MassMapper);
+            data.check_aligned(&f, "test");
+            assert!((total(&comm, &data) - before).abs() < 1e-9);
+        });
+    }
+
+    #[test]
+    fn partition_mapped_migrates_payloads() {
+        quadforest_comm::run(4, |comm| {
+            let conn = Arc::new(Connectivity::unit(2));
+            let mut f = Forest::<Q2>::new_uniform(conn, &comm, 1);
+            let mut data = LeafData::init(&f, |_, _| 0.0);
+            f.refine_mapped(
+                &comm,
+                true,
+                |_, q| q.coords() == [0, 0, 0] && q.level() < 6,
+                &mut data,
+                &MassMapper,
+            );
+            // tag every payload with its global SFC identity
+            for ((t, q), v) in f.leaves().zip(data.iter_mut()) {
+                *v = (t as u64 * 1_000_000 + q.morton_abs() + q.level() as u64) as f64;
+            }
+            let before = total(&comm, &data);
+            f.partition_mapped(&comm, &mut data);
+            data.check_aligned(&f, "test");
+            // every payload still rides its own leaf
+            for ((t, q), v) in f.leaves().zip(data.iter()) {
+                let want = (t as u64 * 1_000_000 + q.morton_abs() + q.level() as u64) as f64;
+                assert_eq!(*v, want);
+            }
+            assert_eq!(total(&comm, &data), before);
+            // and the partition is equal
+            let counts = comm.allgather(f.local_count());
+            let (max, min) = (counts.iter().max().unwrap(), counts.iter().min().unwrap());
+            assert!(max - min <= 1);
+        });
+    }
+
+    #[test]
+    fn multi_level_coarsen_projects_subtrees() {
+        quadforest_comm::run(1, |comm| {
+            let conn = Arc::new(Connectivity::unit(2));
+            let mut f = Forest::<Q2>::new_uniform(conn, &comm, 3);
+            let mut data = LeafData::init(&f, |_, _| 1.0);
+            let before = total(&comm, &data);
+            // recursive coarsen collapses several levels in one call
+            f.coarsen_mapped(&comm, true, |_, _| true, &mut data, &MassMapper);
+            assert_eq!(f.global_count(), 1);
+            assert_eq!(data.len(), f.local_count());
+            assert!((total(&comm, &data) - before).abs() < 1e-9);
+        });
+    }
+}

@@ -202,6 +202,17 @@ pub enum IoError {
         /// The directory that was searched.
         dir: String,
     },
+    /// A payload restore was requested but the stream carries no
+    /// payload section (it is a payload-less version-2 shard).
+    MissingPayload,
+    /// A per-leaf payload record failed to decode into the requested
+    /// payload type.
+    PayloadCorrupt {
+        /// Rank-local index of the offending leaf.
+        leaf: u64,
+        /// Stringified decode failure.
+        detail: String,
+    },
 }
 
 impl IoError {
@@ -275,6 +286,12 @@ impl fmt::Display for IoError {
             IoError::Storage { path, message } => write!(f, "storage error on {path}: {message}"),
             IoError::NoCheckpoint { dir } => {
                 write!(f, "no usable checkpoint generation under {dir}")
+            }
+            IoError::MissingPayload => {
+                write!(f, "stream has no payload section (payload-less shard)")
+            }
+            IoError::PayloadCorrupt { leaf, detail } => {
+                write!(f, "payload of local leaf {leaf} failed to decode: {detail}")
             }
         }
     }
@@ -468,6 +485,12 @@ impl Wire for IoError {
                 out.push(11);
                 dir.encode(out);
             }
+            IoError::MissingPayload => out.push(12),
+            IoError::PayloadCorrupt { leaf, detail } => {
+                out.push(13);
+                leaf.encode(out);
+                detail.encode(out);
+            }
         }
     }
 
@@ -523,6 +546,11 @@ impl Wire for IoError {
             },
             11 => IoError::NoCheckpoint {
                 dir: String::decode(r)?,
+            },
+            12 => IoError::MissingPayload,
+            13 => IoError::PayloadCorrupt {
+                leaf: u64::decode(r)?,
+                detail: String::decode(r)?,
             },
             d => return Err(WireError::Invalid(format!("bad IoError discriminant {d}"))),
         })

@@ -21,13 +21,21 @@ use quadforest_core::quadrant::Quadrant;
 use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"QFOR";
-/// Stream format version. Version 2 added the trailing CRC32 guard;
-/// version 1 streams (no guard) are rejected.
+/// Stream format version written for payload-less forests. Version 2
+/// added the trailing CRC32 guard; version 1 streams (no guard) are
+/// rejected.
 pub(crate) const VERSION: u32 = 2;
+/// Stream format version written when a payload section is present:
+/// after the leaf records, one length-prefixed opaque byte string per
+/// leaf (the `Wire` encoding of the application's payload type).
+/// Payload-less version-2 streams remain loadable.
+pub(crate) const VERSION_PAYLOAD: u32 = 3;
 
 /// Bytes per serialized marker / leaf record.
 const MARKER_BYTES: usize = 12;
 const LEAF_BYTES: usize = 17;
+/// Minimum bytes per payload record (the 8-byte length prefix).
+const PAYLOAD_MIN_BYTES: usize = 8;
 
 /// Representation-independent image of one rank's forest partition.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -44,6 +52,12 @@ pub struct PortableForest {
     pub markers: Vec<SfcPosition>,
     /// This rank's leaves: `(tree, coords, level)`.
     pub leaves: Vec<(u32, [i32; 3], u8)>,
+    /// Optional per-leaf payloads, index-aligned with `leaves`: the
+    /// opaque [`Wire`](quadforest_core::Wire) encoding of the
+    /// application's payload type. `None` for payload-less forests
+    /// (serialized as version 2, byte-identical to previous builds);
+    /// `Some` streams are written as version 3.
+    pub payload: Option<Vec<Vec<u8>>>,
 }
 
 /// Bounds-checked read cursor: every decode step goes through
@@ -106,13 +120,28 @@ impl<'a> Cursor<'a> {
 }
 
 impl PortableForest {
-    /// Serialize to a binary buffer (version 2: CRC32-terminated).
+    /// Serialize to a binary buffer: CRC32-terminated version 2, or
+    /// version 3 when a payload section is present. A `payload: None`
+    /// forest serializes byte-identically to previous (pre-payload)
+    /// builds.
     pub fn to_bytes(&self) -> Bytes {
+        let payload_bytes: usize = self
+            .payload
+            .as_ref()
+            .map(|p| 8 + p.iter().map(|v| 8 + v.len()).sum::<usize>())
+            .unwrap_or(0);
         let mut b = BytesMut::with_capacity(
-            48 + self.markers.len() * MARKER_BYTES + self.leaves.len() * LEAF_BYTES + 4,
+            48 + self.markers.len() * MARKER_BYTES
+                + self.leaves.len() * LEAF_BYTES
+                + payload_bytes
+                + 4,
         );
         b.put_slice(MAGIC);
-        b.put_u32_le(VERSION);
+        b.put_u32_le(if self.payload.is_some() {
+            VERSION_PAYLOAD
+        } else {
+            VERSION
+        });
         b.put_u32_le(self.dim);
         b.put_u64_le(self.num_trees);
         b.put_u64_le(self.global_count);
@@ -129,6 +158,14 @@ impl PortableForest {
             b.put_i32_le(c[1]);
             b.put_i32_le(c[2]);
             b.put_u8(*l);
+        }
+        if let Some(payload) = &self.payload {
+            debug_assert_eq!(payload.len(), self.leaves.len());
+            b.put_u64_le(payload.len() as u64);
+            for item in payload {
+                b.put_u64_le(item.len() as u64);
+                b.put_slice(item);
+            }
         }
         let crc = crc32(&b);
         b.put_u32_le(crc);
@@ -147,10 +184,10 @@ impl PortableForest {
             return Err(IoError::BadMagic { found: magic });
         }
         let version = cur.u32()?;
-        if version != VERSION {
+        if version != VERSION && version != VERSION_PAYLOAD {
             return Err(IoError::UnsupportedVersion {
                 found: version,
-                supported: VERSION,
+                supported: VERSION_PAYLOAD,
             });
         }
         // verify the trailing CRC over everything before it, up front:
@@ -193,6 +230,35 @@ impl PortableForest {
             let l = cur.u8()?;
             leaves.push((t, c, l));
         }
+        let payload = if version == VERSION_PAYLOAD {
+            let n_payload = cur.count("payload", PAYLOAD_MIN_BYTES)?;
+            if n_payload != n_leaves {
+                return Err(IoError::CountMismatch {
+                    what: "payload",
+                    found: n_payload as u64,
+                    expected: n_leaves as u64,
+                });
+            }
+            let mut payload = Vec::with_capacity(n_payload);
+            for _ in 0..n_payload {
+                let len = cur.u64()?;
+                // bounds before allocation: a hostile length must not
+                // reserve memory it cannot back with input bytes
+                if len > cur.0.remaining() as u64 {
+                    return Err(IoError::Truncated {
+                        needed: len as usize,
+                        remaining: cur.0.remaining(),
+                    });
+                }
+                let len = len as usize;
+                let mut item = vec![0u8; len];
+                cur.0.copy_to_slice(&mut item);
+                payload.push(item);
+            }
+            Some(payload)
+        } else {
+            None
+        };
         if cur.0.remaining() > 0 {
             return Err(IoError::CountMismatch {
                 what: "trailing byte",
@@ -207,12 +273,14 @@ impl PortableForest {
             size,
             markers,
             leaves,
+            payload,
         })
     }
 }
 
 impl<Q: Quadrant> Forest<Q> {
-    /// Capture this rank's partition in portable form.
+    /// Capture this rank's partition in portable form (no payload
+    /// section; serializes as a version-2 stream).
     pub fn to_portable(&self) -> PortableForest {
         PortableForest {
             dim: Q::DIM,
@@ -224,7 +292,22 @@ impl<Q: Quadrant> Forest<Q> {
                 .leaves()
                 .map(|(t, q)| (t, q.coords(), q.level()))
                 .collect(),
+            payload: None,
         }
+    }
+
+    /// Capture this rank's partition with its per-leaf payloads in
+    /// portable form (serializes as a version-3 stream). Each payload
+    /// is stored as the opaque `Wire` encoding of `T`, so the stream
+    /// can be re-sliced across rank counts without knowing `T`.
+    pub fn to_portable_with_data<T: quadforest_core::Wire>(
+        &self,
+        data: &crate::LeafData<T>,
+    ) -> PortableForest {
+        data.check_aligned(self, "to_portable_with_data");
+        let mut p = self.to_portable();
+        p.payload = Some(data.iter().map(|v| v.to_wire()).collect());
+        p
     }
 
     /// Reconstruct a forest from its portable image. The communicator

@@ -56,6 +56,7 @@
 mod balance;
 mod checkpoint;
 mod crc;
+mod data;
 pub mod directions;
 mod error;
 mod ghost;
@@ -70,6 +71,7 @@ mod validate;
 
 pub use checkpoint::{list_generations, CheckpointManifest, ShardMeta};
 pub use crc::crc32;
+pub use data::{map_adapted, DataMapper, LeafData};
 pub use error::{InvariantError, IoError};
 pub use io::PortableForest;
 

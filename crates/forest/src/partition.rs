@@ -10,6 +10,7 @@ use crate::{end_position, Forest};
 use quadforest_comm::Comm;
 use quadforest_connectivity::TreeId;
 use quadforest_core::quadrant::Quadrant;
+use quadforest_core::Wire;
 
 impl<Q: Quadrant> Forest<Q> {
     /// Repartition for equal leaf counts. Returns the number of leaves
@@ -22,13 +23,30 @@ impl<Q: Quadrant> Forest<Q> {
     /// the same share of total `weight`. Weights must be positive.
     /// Leaves are never split, so heavy single leaves may cause residual
     /// imbalance, exactly as in p4est's weighted partition. Collective.
-    pub fn partition_by(
+    pub fn partition_by(&mut self, comm: &Comm, weight: impl FnMut(TreeId, &Q) -> u64) -> usize {
+        // a unit payload rides for free: `()` encodes to one byte but
+        // never leaves the in-process fast path as a separate message
+        let payload = vec![(); self.local_count()];
+        self.partition_core(comm, weight, payload).0
+    }
+
+    /// Shared partition machinery: redistribute leaves (weighted SFC
+    /// cuts) with one payload value riding along per leaf. Payloads
+    /// travel in the same all-to-all as their leaves and are returned in
+    /// the new rank-global leaf order. `payload.len()` must equal the
+    /// local leaf count.
+    pub(crate) fn partition_core<P>(
         &mut self,
         comm: &Comm,
         mut weight: impl FnMut(TreeId, &Q) -> u64,
-    ) -> usize {
+        payload: Vec<P>,
+    ) -> (usize, Vec<P>)
+    where
+        P: Clone + Wire + Send + 'static,
+    {
         let _span = quadforest_telemetry::span("partition");
         let p = self.size as u64;
+        assert_eq!(payload.len(), self.local_count());
 
         // global weight prefix of this rank
         let local: Vec<(TreeId, Q, u64)> = self
@@ -61,15 +79,19 @@ impl<Q: Quadrant> Forest<Q> {
         };
 
         // bucket local leaves per destination rank (contiguous runs)
-        let mut outgoing: Vec<Vec<(TreeId, Q)>> = (0..self.size).map(|_| Vec::new()).collect();
+        let mut outgoing: Vec<Vec<(TreeId, Q, P)>> = (0..self.size).map(|_| Vec::new()).collect();
         let mut moved = 0usize;
+        let mut payload_bytes = 0usize;
         let mut a = my_offset;
-        for (t, q, w) in &local {
+        for ((t, q, w), v) in local.iter().zip(payload) {
             let dest = if total == 0 { 0 } else { dest_of(a) };
             if dest != self.rank {
                 moved += 1;
+                if std::mem::size_of::<P>() > 0 {
+                    payload_bytes += v.to_wire().len();
+                }
             }
-            outgoing[dest].push((*t, *q));
+            outgoing[dest].push((*t, *q, v));
             a += w;
         }
 
@@ -77,13 +99,15 @@ impl<Q: Quadrant> Forest<Q> {
         let incoming = comm.alltoallv(outgoing);
 
         // rebuild trees; incoming runs arrive in source-rank order, which
-        // is exactly global SFC order
+        // is exactly global SFC order — and payloads ride in lock-step
+        let mut arrived: Vec<P> = Vec::new();
         for tree in &mut self.trees {
             tree.clear();
         }
         for run in incoming {
-            for (t, q) in run {
+            for (t, q, v) in run {
                 self.trees[t as usize].push(q);
+                arrived.push(v);
             }
         }
 
@@ -105,10 +129,16 @@ impl<Q: Quadrant> Forest<Q> {
         }
         self.markers = markers;
         quadforest_telemetry::counter_add("forest.partition.sent", moved as u64);
+        if payload_bytes > 0 {
+            quadforest_telemetry::counter_add(
+                "forest.partition.payload_bytes",
+                payload_bytes as u64,
+            );
+        }
         quadforest_telemetry::gauge_set("forest.local_leaves", self.local_count() as u64);
         debug_assert_eq!(self.validate(), Ok(()));
         self.guard_phase("partition");
-        moved
+        (moved, arrived)
     }
 }
 

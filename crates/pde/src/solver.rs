@@ -1,0 +1,626 @@
+//! Patch-based donor-cell advection on the data-bearing AMR forest.
+//!
+//! Each leaf carries an `N × N` [`Patch`] of cell averages; a constant
+//! velocity field transports the solution with first-order upwind
+//! (donor-cell) fluxes. Fluxes inside a patch are plain neighbor
+//! differences; fluxes across leaf interfaces are computed at the finer
+//! side's granularity from [`PatchHalo`] edge strips shipped through
+//! ghost exchange, so hanging (2:1) faces are handled conservatively:
+//! every fine face segment transfers mass equal-and-opposite between
+//! the two leaves that share it.
+//!
+//! Cross-rank determinism: a rank updates only its *local* side of an
+//! interface, but both ranks compute the shared per-segment mass
+//! transfer from bitwise-identical inputs (halo strips are exact copies
+//! of remote cell values), so the two half-updates are exactly
+//! equal-and-opposite and global mass is conserved to machine
+//! precision.
+//!
+//! Geometry assumption: interface flux alignment uses raw quadrant
+//! coordinates along the tangential axis, which is valid for
+//! connectivities whose face transforms are axis-aligned identities —
+//! the unit square, fully periodic domains, and brick arrangements.
+//! Rotated inter-tree transforms would need a coordinate mapping here.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use quadforest_comm::Comm;
+use quadforest_connectivity::{Connectivity, TreeId};
+use quadforest_core::quadrant::Quadrant;
+use quadforest_forest::{
+    crc32, iterate_faces, BalanceKind, FaceSide, Forest, Interface, IoError, LeafData,
+};
+use quadforest_telemetry as telemetry;
+
+use crate::patch::{Patch, PatchHalo, PatchMapper, HALO_WIRE_BYTES, PATCH_N, PATCH_WIRE_BYTES};
+
+/// Adaptation thresholds: refine a leaf whose patch exceeds
+/// `refine_above`, coarsen a family whose patches all stay below
+/// `coarsen_below`.
+#[derive(Copy, Clone, Debug)]
+pub struct AdaptThresholds {
+    /// Refine when `max |u|` over the patch exceeds this.
+    pub refine_above: f64,
+    /// Coarsen when every sibling's `max |u|` stays below this.
+    pub coarsen_below: f64,
+}
+
+impl Default for AdaptThresholds {
+    fn default() -> Self {
+        AdaptThresholds {
+            refine_above: 0.2,
+            coarsen_below: 0.05,
+        }
+    }
+}
+
+/// What one adaptation pass did on this rank.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct AdaptReport {
+    /// Leaves refined (including balance-induced refinement).
+    pub refined: usize,
+    /// Families merged by coarsening.
+    pub coarsened: usize,
+    /// Payload bytes rewritten by the data mapper.
+    pub mapped_bytes: u64,
+}
+
+/// A 2D advection simulation: the forest, one [`Patch`] per local leaf,
+/// and a constant velocity field.
+pub struct AdvectionSim<Q: Quadrant> {
+    /// The adaptive mesh.
+    pub forest: Forest<Q>,
+    /// Per-leaf solution patches, aligned with `forest.leaves()`.
+    pub u: LeafData<Patch>,
+    /// Constant advection velocity `(vx, vy)` in domain units per time.
+    pub velocity: [f64; 2],
+    /// Coarsest level adaptation may reach.
+    pub base_level: u8,
+    /// Finest level adaptation may reach.
+    pub max_level: u8,
+    /// Steps taken so far (restored from the checkpoint generation on
+    /// recovery).
+    pub steps_taken: u64,
+}
+
+impl<Q: Quadrant> AdvectionSim<Q> {
+    /// Build a simulation: uniform mesh at `base_level`, recursively
+    /// refined (up to `max_level`) wherever the sampled initial
+    /// condition is significant, 2:1 balanced, with patches filled by
+    /// sampling `init(x, y)` at cell centers (`x`, `y` in `[0, 1)` of
+    /// the tree domain).
+    pub fn new(
+        conn: Arc<Connectivity>,
+        comm: &Comm,
+        base_level: u8,
+        max_level: u8,
+        velocity: [f64; 2],
+        init: impl Fn(f64, f64) -> f64,
+    ) -> Self {
+        assert_eq!(Q::DIM, 2, "the advection driver is 2D");
+        assert!(base_level <= max_level);
+        let mut forest = Forest::<Q>::new_uniform(conn, comm, base_level);
+        forest.refine(comm, true, |_, q| {
+            q.level() < max_level && sample_patch::<Q>(q, &init).max_abs() > 0.1
+        });
+        forest.balance(comm, BalanceKind::Face);
+        forest.partition(comm);
+        let u = LeafData::init(&forest, |_, q| sample_patch::<Q>(q, &init));
+        AdvectionSim {
+            forest,
+            u,
+            velocity,
+            base_level,
+            max_level,
+            steps_taken: 0,
+        }
+    }
+
+    /// Largest stable time step for the donor-cell scheme at the
+    /// current (global) finest level, scaled by `cfl` (use ≤ 1; the
+    /// stability bound is `dt · (|vx| + |vy|) / h_cell ≤ 1`).
+    pub fn cfl_dt(&self, comm: &Comm, cfl: f64) -> f64 {
+        let finest = comm.allreduce(
+            self.forest
+                .leaves()
+                .map(|(_, q)| q.level())
+                .max()
+                .unwrap_or(self.base_level),
+            |a, b| (*a).max(*b),
+        );
+        let h_cell = 1.0 / ((1u64 << finest) as f64 * PATCH_N as f64);
+        let speed = self.velocity[0].abs() + self.velocity[1].abs();
+        assert!(speed > 0.0, "advection needs a nonzero velocity");
+        cfl * h_cell / speed
+    }
+
+    /// Physical side length of a leaf (domain units, tree = unit
+    /// square).
+    fn leaf_h(q: &Q) -> f64 {
+        q.side() as f64 / Q::len_at(0) as f64
+    }
+
+    /// Total mass `∫ u dA` over the global domain. Collective.
+    pub fn total_mass(&self, comm: &Comm) -> f64 {
+        let local: f64 = self
+            .forest
+            .leaves()
+            .zip(self.u.iter())
+            .map(|((_, q), p)| p.mass(Self::leaf_h(q)))
+            .sum();
+        comm.allreduce(local, |a, b| a + b)
+    }
+
+    /// Largest `|u|` over the global domain. Collective.
+    pub fn max_value(&self, comm: &Comm) -> f64 {
+        let local = self.u.iter().fold(0.0f64, |m, p| m.max(p.max_abs()));
+        comm.allreduce(local, |a, b| a.max(*b))
+    }
+
+    /// Order- and partition-independent digest of the global state
+    /// (every leaf's identity and exact patch bits). Two runs agree iff
+    /// their global mesh+solution states are bit-identical. Collective.
+    pub fn state_digest(&self, comm: &Comm) -> u64 {
+        let mut local = 0u64;
+        for ((t, q), p) in self.forest.leaves().zip(self.u.iter()) {
+            let mut buf = Vec::with_capacity(PATCH_WIRE_BYTES + 16);
+            use quadforest_core::Wire;
+            (t, q.morton_abs(), q.level() as u32).encode(&mut buf);
+            p.encode(&mut buf);
+            let c = crc32(&buf) as u64;
+            // spread the 32-bit CRC over 64 bits before the XOR fold
+            local ^= c.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (c << 32);
+        }
+        comm.allreduce(local, |a, b| a ^ b)
+    }
+
+    /// One donor-cell step. Collective; `dt` must satisfy the CFL bound
+    /// (see [`Self::cfl_dt`]). Mass is conserved to machine precision
+    /// across ranks and hanging faces.
+    pub fn step(&mut self, comm: &Comm, dt: f64) {
+        let _span = telemetry::span("pde.step");
+        let t0 = std::time::Instant::now();
+        self.u.check_aligned(&self.forest, "advection step");
+        let root = Q::len_at(0) as f64;
+        let [vx, vy] = self.velocity;
+
+        // ship every leaf's edge strips to the ranks that see it as a
+        // ghost (full adjacency so hanging groups spanning ranks are
+        // complete)
+        let ghost = self.forest.ghost(comm, BalanceKind::Full);
+        let halos: Vec<PatchHalo> = self.u.iter().map(|p| p.halo()).collect();
+        let ghost_halos = ghost.exchange_data(&self.forest, comm, &halos);
+        telemetry::counter_add(
+            "pde.halo.bytes",
+            (ghost_halos.len() * HALO_WIRE_BYTES) as u64,
+        );
+
+        let index: HashMap<(u32, u64, u8), usize> = self
+            .forest
+            .leaves()
+            .enumerate()
+            .map(|(i, (t, q))| ((t, q.morton_abs(), q.level()), i))
+            .collect();
+        let ghost_index: HashMap<(u32, u64, u8), usize> = ghost
+            .ghosts
+            .iter()
+            .enumerate()
+            .map(|(i, g)| ((g.tree, g.quad.morton_abs(), g.quad.level()), i))
+            .collect();
+
+        let mut du = vec![Patch::zero(); self.u.len()];
+
+        // intra-patch fluxes: neighbor differences on the uniform patch
+        for ((_, q), (p, d)) in self.forest.leaves().zip(self.u.iter().zip(du.iter_mut())) {
+            let hc = Self::leaf_h(q) / PATCH_N as f64; // cell size
+            for j in 0..PATCH_N {
+                for i in 0..PATCH_N - 1 {
+                    let donor = if vx >= 0.0 {
+                        p.get(i, j)
+                    } else {
+                        p.get(i + 1, j)
+                    };
+                    let f = vx * donor * dt / hc;
+                    d.cells[Patch::idx(i, j)] -= f;
+                    d.cells[Patch::idx(i + 1, j)] += f;
+                }
+            }
+            for j in 0..PATCH_N - 1 {
+                for i in 0..PATCH_N {
+                    let donor = if vy >= 0.0 {
+                        p.get(i, j)
+                    } else {
+                        p.get(i, j + 1)
+                    };
+                    let f = vy * donor * dt / hc;
+                    d.cells[Patch::idx(i, j)] -= f;
+                    d.cells[Patch::idx(i, j + 1)] += f;
+                }
+            }
+        }
+
+        // strip value of one side at tangential index m: local leaves
+        // read their patch, ghosts read the exchanged halo
+        let strip = |side: &FaceSide<Q>, m: usize| -> f64 {
+            let k = (side.tree, side.quad.morton_abs(), side.quad.level());
+            if side.is_ghost {
+                ghost_halos[ghost_index[&k]].edges[side.face as usize][m]
+            } else {
+                edge_cell(&self.u[index[&k]], side.face, m)
+            }
+        };
+
+        // inter-leaf fluxes at the finer side's granularity
+        iterate_faces(&self.forest, &ghost, |iface| {
+            let Interface::Interior(primary, others) = iface else {
+                return; // closed wall: zero flux (conservative)
+            };
+            for other in &others {
+                let axis = (primary.face / 2) as usize;
+                debug_assert_eq!(axis, (other.face / 2) as usize, "axis-aligned transform");
+                let vn = self.velocity[axis];
+                // the leaf whose face is the +axis side sits at lower
+                // coordinates: positive vn carries mass low -> high
+                let (low, high) = if primary.face & 1 == 1 {
+                    (&primary, other)
+                } else {
+                    (other, &primary)
+                };
+                // fine = smaller leaf; segments are its face cells
+                let fine_is_low = low.quad.level() >= high.quad.level();
+                let (fine, coarse) = if fine_is_low {
+                    (low, high)
+                } else {
+                    (high, low)
+                };
+                let tan = 1 - axis;
+                let hf = fine.quad.side() as i64;
+                let hc = coarse.quad.side() as i64;
+                let off = (fine.quad.coords()[tan] - coarse.quad.coords()[tan]) as i64;
+                debug_assert!((0..hc).contains(&off), "tangential overlap");
+                let w = hf as f64 / root / PATCH_N as f64; // segment length
+                let n = PATCH_N as i64;
+                for s in 0..PATCH_N {
+                    // coarse face cell covering fine face cell s
+                    let k = ((off * n + s as i64 * hf) / hc) as usize;
+                    let (m_low, m_high) = if fine_is_low { (s, k) } else { (k, s) };
+                    let donor = if vn >= 0.0 {
+                        strip(low, m_low)
+                    } else {
+                        strip(high, m_high)
+                    };
+                    let dm = vn * donor * dt * w; // mass low -> high
+                    if !low.is_ghost {
+                        let i = index[&(low.tree, low.quad.morton_abs(), low.quad.level())];
+                        let cell = Self::leaf_h(&low.quad) / PATCH_N as f64;
+                        let (ci, cj) = face_cell(low.face, m_low);
+                        du[i].cells[Patch::idx(ci, cj)] -= dm / (cell * cell);
+                    }
+                    if !high.is_ghost {
+                        let i = index[&(high.tree, high.quad.morton_abs(), high.quad.level())];
+                        let cell = Self::leaf_h(&high.quad) / PATCH_N as f64;
+                        let (ci, cj) = face_cell(high.face, m_high);
+                        du[i].cells[Patch::idx(ci, cj)] += dm / (cell * cell);
+                    }
+                }
+            }
+        });
+
+        for (p, d) in self.u.iter_mut().zip(du.iter()) {
+            for (c, dc) in p.cells.iter_mut().zip(d.cells.iter()) {
+                *c += dc;
+            }
+        }
+        self.steps_taken += 1;
+        telemetry::counter_add("pde.steps", 1);
+        telemetry::histogram_record("pde.step.ns", t0.elapsed().as_nanos() as u64);
+    }
+
+    /// Adapt the mesh to the solution (refine steep patches, coarsen
+    /// flat families, re-balance) and conservatively remap the patches.
+    /// Collective.
+    pub fn adapt(&mut self, comm: &Comm, thresholds: AdaptThresholds) -> AdaptReport {
+        let _span = telemetry::span("pde.adapt");
+        let max_level = self.max_level;
+        let base_level = self.base_level;
+
+        // snapshot patch magnitudes keyed by leaf identity: the flag
+        // closures run against the *pre-adapt* mesh
+        let magnitude: HashMap<(u32, u64, u8), f64> = self
+            .forest
+            .leaves()
+            .zip(self.u.iter())
+            .map(|((t, q), p)| ((t, q.morton_abs(), q.level()), p.max_abs()))
+            .collect();
+        let mag = |t: TreeId, q: &Q| -> f64 {
+            magnitude
+                .get(&(t, q.morton_abs(), q.level()))
+                .copied()
+                .unwrap_or(0.0)
+        };
+
+        let mut refined = self.forest.refine_mapped(
+            comm,
+            false,
+            |t, q| q.level() < max_level && mag(t, q) > thresholds.refine_above,
+            &mut self.u,
+            &PatchMapper,
+        );
+        let coarsened = self.forest.coarsen_mapped(
+            comm,
+            false,
+            |t, fam| {
+                fam[0].level() > base_level
+                    && fam.iter().all(|q| mag(t, q) < thresholds.coarsen_below)
+            },
+            &mut self.u,
+            &PatchMapper,
+        );
+        refined += self
+            .forest
+            .balance_mapped(comm, BalanceKind::Face, &mut self.u, &PatchMapper);
+        let mapped_bytes = (self.u.len() * PATCH_WIRE_BYTES) as u64;
+        telemetry::counter_add("pde.map.bytes", mapped_bytes);
+        AdaptReport {
+            refined,
+            coarsened,
+            mapped_bytes,
+        }
+    }
+
+    /// Rebalance the leaf partition, migrating each moving leaf's patch
+    /// in the same exchange. Returns the bytes of payload shipped off
+    /// this rank. Collective.
+    pub fn migrate(&mut self, comm: &Comm) -> u64 {
+        let _span = telemetry::span("pde.migrate");
+        let moved = self.forest.partition_mapped(comm, &mut self.u);
+        let bytes = (moved * PATCH_WIRE_BYTES) as u64;
+        telemetry::counter_add("pde.migrate.bytes", bytes);
+        bytes
+    }
+
+    /// Write a checkpoint generation carrying mesh *and* patches.
+    /// Collective; returns the generation number.
+    pub fn checkpoint(
+        &self,
+        comm: &Comm,
+        dir: impl AsRef<std::path::Path>,
+    ) -> Result<u64, IoError> {
+        self.forest.save_checkpoint_with_data(comm, dir, &self.u)
+    }
+
+    /// Restore a simulation from the newest complete checkpoint
+    /// generation. `steps_per_checkpoint` reconstructs `steps_taken`
+    /// from the generation number (generation `g` is written after
+    /// `g · steps_per_checkpoint` steps). Collective.
+    pub fn restore(
+        conn: Arc<Connectivity>,
+        comm: &Comm,
+        dir: impl AsRef<std::path::Path>,
+        velocity: [f64; 2],
+        base_level: u8,
+        max_level: u8,
+        steps_per_checkpoint: u64,
+    ) -> Result<Self, IoError> {
+        let (forest, u, generation) = Forest::<Q>::load_checkpoint_with_data(conn, comm, dir)?;
+        Ok(AdvectionSim {
+            forest,
+            u,
+            velocity,
+            base_level,
+            max_level,
+            steps_taken: generation * steps_per_checkpoint,
+        })
+    }
+
+    /// Render the global field as a `width × height` ASCII frame
+    /// (row 0 at the top = y max). Collective; every rank returns the
+    /// same string.
+    pub fn ascii_frame(&self, comm: &Comm, width: usize, height: usize) -> String {
+        let root = Q::len_at(0) as f64;
+        let mut grid = vec![0.0f64; width * height];
+        for ((_, q), p) in self.forest.leaves().zip(self.u.iter()) {
+            let c = q.coords();
+            let h = q.side() as f64;
+            for cj in 0..PATCH_N {
+                for ci in 0..PATCH_N {
+                    let x = (c[0] as f64 + (ci as f64 + 0.5) * h / PATCH_N as f64) / root;
+                    let y = (c[1] as f64 + (cj as f64 + 0.5) * h / PATCH_N as f64) / root;
+                    let gx = ((x * width as f64) as usize).min(width - 1);
+                    let gy = ((y * height as f64) as usize).min(height - 1);
+                    let g = &mut grid[gy * width + gx];
+                    *g = g.max(p.get(ci, cj));
+                }
+            }
+        }
+        let grid = comm.allreduce(grid, |a, b| {
+            a.iter().zip(b.iter()).map(|(x, y)| x.max(*y)).collect()
+        });
+        let peak = grid.iter().cloned().fold(f64::MIN_POSITIVE, f64::max);
+        const SHADES: &[u8] = b" .:-=+*#%@";
+        let mut out = String::with_capacity((width + 1) * height);
+        for row in (0..height).rev() {
+            for col in 0..width {
+                let v = (grid[row * width + col] / peak).clamp(0.0, 1.0);
+                let s = ((v * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
+                out.push(SHADES[s] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Sample `init` at the cell centers of a leaf's patch.
+pub fn sample_patch<Q: Quadrant>(q: &Q, init: &impl Fn(f64, f64) -> f64) -> Patch {
+    let root = Q::len_at(0) as f64;
+    let c = q.coords();
+    let h = q.side() as f64;
+    let mut p = Patch::zero();
+    for j in 0..PATCH_N {
+        for i in 0..PATCH_N {
+            let x = (c[0] as f64 + (i as f64 + 0.5) * h / PATCH_N as f64) / root;
+            let y = (c[1] as f64 + (j as f64 + 0.5) * h / PATCH_N as f64) / root;
+            p.set(i, j, init(x, y));
+        }
+    }
+    p
+}
+
+/// The patch cell `(i, j)` on face `f` at tangential strip index `m`.
+#[inline]
+fn face_cell(f: u32, m: usize) -> (usize, usize) {
+    let edge = if f & 1 == 1 { PATCH_N - 1 } else { 0 };
+    if f / 2 == 0 {
+        (edge, m)
+    } else {
+        (m, edge)
+    }
+}
+
+/// Value of the patch cell on face `f` at tangential strip index `m`.
+#[inline]
+fn edge_cell(p: &Patch, f: u32, m: usize) -> f64 {
+    let (i, j) = face_cell(f, m);
+    p.get(i, j)
+}
+
+/// The standard demo initial condition: a Gaussian blob at
+/// `(0.3, 0.4)`.
+pub fn gaussian_blob(x: f64, y: f64) -> f64 {
+    let d2 = (x - 0.3).powi(2) + (y - 0.4).powi(2);
+    (-d2 / 0.01).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quadforest_core::quadrant::MortonQuad;
+
+    type Q = MortonQuad<2>;
+
+    fn mk(comm: &Comm, base: u8, max: u8) -> AdvectionSim<Q> {
+        AdvectionSim::new(
+            Arc::new(Connectivity::periodic(2)),
+            comm,
+            base,
+            max,
+            [1.0, 0.5],
+            gaussian_blob,
+        )
+    }
+
+    #[test]
+    fn uniform_step_conserves_mass_serial() {
+        quadforest_comm::run(1, |comm| {
+            let mut sim = mk(&comm, 2, 2);
+            let m0 = sim.total_mass(&comm);
+            let dt = sim.cfl_dt(&comm, 0.45);
+            for _ in 0..10 {
+                sim.step(&comm, dt);
+            }
+            let drift = (sim.total_mass(&comm) - m0).abs() / m0;
+            assert!(drift < 1e-13, "drift {drift:e}");
+        });
+    }
+
+    #[test]
+    fn adaptive_step_conserves_mass_parallel() {
+        quadforest_comm::run(2, |comm| {
+            let mut sim = mk(&comm, 2, 4);
+            assert!(
+                comm.allreduce(
+                    sim.forest
+                        .leaves()
+                        .map(|(_, q)| q.level())
+                        .max()
+                        .unwrap_or(0),
+                    |a, b| (*a).max(*b),
+                ) > 2,
+                "initial refinement must trigger"
+            );
+            let m0 = sim.total_mass(&comm);
+            let dt = sim.cfl_dt(&comm, 0.45);
+            for s in 0..12 {
+                sim.step(&comm, dt);
+                if s % 4 == 3 {
+                    sim.adapt(&comm, AdaptThresholds::default());
+                    sim.migrate(&comm);
+                }
+                let drift = (sim.total_mass(&comm) - m0).abs() / m0;
+                assert!(drift < 1e-12, "step {s}: drift {drift:e}");
+            }
+            assert_eq!(sim.steps_taken, 12);
+        });
+    }
+
+    #[test]
+    fn adapt_alone_is_bit_exact_on_mass() {
+        quadforest_comm::run(2, |comm| {
+            let mut sim = mk(&comm, 2, 4);
+            let m0 = sim.total_mass(&comm);
+            sim.adapt(&comm, AdaptThresholds::default());
+            sim.migrate(&comm);
+            // conservative mapper: refine/coarsen change no patch sums
+            let drift = (sim.total_mass(&comm) - m0).abs() / m0;
+            assert!(drift < 1e-13, "drift {drift:e}");
+        });
+    }
+
+    #[test]
+    fn digest_is_partition_invariant() {
+        let d2: Vec<u64> = quadforest_comm::run(2, |comm| {
+            let sim = mk(&comm, 2, 3);
+            sim.state_digest(&comm)
+        });
+        let d4: Vec<u64> = quadforest_comm::run(4, |comm| {
+            let sim = mk(&comm, 2, 3);
+            sim.state_digest(&comm)
+        });
+        assert!(d2.iter().all(|d| *d == d2[0]));
+        assert_eq!(d2[0], d4[0], "digest must not depend on the partition");
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_is_bit_identical() {
+        let dir = std::env::temp_dir().join(format!("qf-pde-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let reports = quadforest_comm::run(2, |comm| {
+            let mut sim = mk(&comm, 2, 4);
+            let dt = sim.cfl_dt(&comm, 0.45);
+            for _ in 0..5 {
+                sim.step(&comm, dt);
+            }
+            sim.checkpoint(&comm, &dir).unwrap();
+            let before = sim.state_digest(&comm);
+            let restored = AdvectionSim::<Q>::restore(
+                Arc::new(Connectivity::periodic(2)),
+                &comm,
+                &dir,
+                sim.velocity,
+                2,
+                4,
+                5,
+            )
+            .unwrap();
+            assert_eq!(restored.steps_taken, 5);
+            (before, restored.state_digest(&comm))
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+        for (before, after) in reports {
+            assert_eq!(before, after, "restore must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn ascii_frame_shows_the_blob() {
+        quadforest_comm::run(1, |comm| {
+            let sim = mk(&comm, 3, 3);
+            let frame = sim.ascii_frame(&comm, 24, 12);
+            assert_eq!(frame.lines().count(), 12);
+            assert!(frame.contains('@'), "peak shade must appear:\n{frame}");
+            assert!(frame.contains(' '), "background must stay empty");
+        });
+    }
+}

@@ -1,0 +1,195 @@
+//! Chaos recovery for the data-bearing solver: a rank dies mid-loop
+//! (during stepping, adaptation, migration, halo exchange, or the
+//! checkpoint itself), the recovery supervisor rebuilds the world, the
+//! survivors restore the newest mesh+payload checkpoint, replay the
+//! remaining steps, and converge to a state that is leaf- AND
+//! payload-identical (bit-for-bit) to the fault-free run.
+
+use quadforest_comm::{
+    run, run_with_recovery, Attempt, Comm, FaultPlan, RecoveryOptions, RecoveryPolicy,
+};
+use quadforest_connectivity::Connectivity;
+use quadforest_core::quadrant::{MortonQuad, Quadrant};
+use quadforest_pde::{gaussian_blob, AdaptThresholds, AdvectionSim};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+type Q = MortonQuad<2>;
+
+const BASE_LEVEL: u8 = 2;
+const MAX_LEVEL: u8 = 3;
+const STEPS: u64 = 6;
+const ADAPT_EVERY: u64 = 2;
+const SAVE_EVERY: u64 = 2;
+
+fn scratch_dir(label: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "qf-pde-chaos-{label}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+type RankView = (
+    u64,                      // global leaf count
+    Vec<(u32, [i32; 3], u8)>, // this rank's leaves (post final partition)
+    u64,                      // global mesh+payload digest
+);
+
+/// The checkpointed advection program. First attempt: build the initial
+/// condition and run the loop, checkpointing mesh+patches every
+/// `SAVE_EVERY` steps. Retry: restore the newest generation (mesh AND
+/// payload, bit-identical) and replay only the remaining steps.
+fn program(comm: &Comm, attempt: Attempt, dir: &Path) -> RankView {
+    let conn = Arc::new(Connectivity::periodic(2));
+    let restored = if attempt.is_retry() {
+        AdvectionSim::<Q>::restore(
+            conn.clone(),
+            comm,
+            dir,
+            [1.0, 0.5],
+            BASE_LEVEL,
+            MAX_LEVEL,
+            SAVE_EVERY,
+        )
+        .ok()
+    } else {
+        None
+    };
+    let mut sim = restored.unwrap_or_else(|| {
+        AdvectionSim::<Q>::new(conn, comm, BASE_LEVEL, MAX_LEVEL, [1.0, 0.5], gaussian_blob)
+    });
+    while sim.steps_taken < STEPS {
+        let dt = sim.cfl_dt(comm, 0.45);
+        sim.step(comm, dt);
+        let s = sim.steps_taken;
+        if s % ADAPT_EVERY == 0 {
+            sim.adapt(comm, AdaptThresholds::default());
+            sim.migrate(comm);
+        }
+        if s % SAVE_EVERY == 0 {
+            sim.checkpoint(comm, dir).expect("checkpoint save");
+        }
+    }
+    // canonical final partition so per-rank leaf lists are comparable
+    sim.migrate(comm);
+    (
+        sim.forest.global_count(),
+        sim.forest
+            .leaves()
+            .map(|(t, q)| (t, q.coords(), q.level()))
+            .collect(),
+        sim.state_digest(comm),
+    )
+}
+
+/// Kill the victim at comm-op indices stepping through the whole
+/// program; every death must recover to the bit-identical fault-free
+/// state. Stops once a probe's scheduled panic falls past the end of
+/// the program.
+fn scan_kill_points(p: usize, victim: usize, stride: u64) {
+    let baseline_dir = scratch_dir("baseline");
+    let baseline = run(p, {
+        let d = baseline_dir.clone();
+        move |c| program(&c, Attempt { index: 0 }, &d)
+    });
+    let _ = std::fs::remove_dir_all(&baseline_dir);
+
+    let mut op = 1u64;
+    let mut deaths = 0u64;
+    loop {
+        let dir = scratch_dir("scan");
+        let opts = RecoveryOptions {
+            policy: RecoveryPolicy {
+                max_attempts: 2,
+                base_delay: Duration::from_micros(200),
+                ..RecoveryPolicy::default()
+            },
+            plans: vec![Some(FaultPlan::new(0x5EED).with_panic_at(victim, op))],
+            ..RecoveryOptions::default()
+        };
+        let outcome = run_with_recovery(p, opts, {
+            let dir = dir.clone();
+            move |comm, attempt| Ok(program(&comm, attempt, &dir))
+        })
+        .unwrap_or_else(|e| panic!("P={p} kill at op {op} did not recover: {e}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        if outcome.attempts == 1 {
+            // the panic index is past the victim's op count
+            break;
+        }
+        deaths += 1;
+        assert_eq!(outcome.failures.len(), 1, "P={p} op={op}");
+        assert_eq!(outcome.failures[0].origin, victim, "P={p} op={op}");
+        assert_eq!(
+            outcome.values, baseline,
+            "P={p}: death at op {op} did not converge to the fault-free state"
+        );
+        op += stride;
+        assert!(op < 4096, "kill-point scan did not terminate");
+    }
+    assert!(
+        deaths >= 5,
+        "suspiciously few kill points exercised ({deaths})"
+    );
+}
+
+#[test]
+fn every_kill_point_recovers_bit_identically_p2() {
+    scan_kill_points(2, 1, 5);
+}
+
+#[test]
+fn every_kill_point_recovers_bit_identically_p4() {
+    scan_kill_points(4, 3, 9);
+}
+
+/// Direct check of the resume path without faults: run halfway, restore
+/// on fresh ranks, replay, and compare against the straight-through run.
+#[test]
+fn restore_and_replay_matches_straight_run() {
+    let dir = scratch_dir("resume");
+    let straight = run(2, {
+        let d = scratch_dir("straight");
+        move |c| program(&c, Attempt { index: 0 }, &d)
+    });
+    // run the first half, checkpointing as we go
+    run(2, {
+        let dir = dir.clone();
+        move |comm| {
+            let conn = Arc::new(Connectivity::periodic(2));
+            let mut sim = AdvectionSim::<Q>::new(
+                conn,
+                &comm,
+                BASE_LEVEL,
+                MAX_LEVEL,
+                [1.0, 0.5],
+                gaussian_blob,
+            );
+            while sim.steps_taken < SAVE_EVERY {
+                let dt = sim.cfl_dt(&comm, 0.45);
+                sim.step(&comm, dt);
+                let s = sim.steps_taken;
+                if s % ADAPT_EVERY == 0 {
+                    sim.adapt(&comm, AdaptThresholds::default());
+                    sim.migrate(&comm);
+                }
+                if s % SAVE_EVERY == 0 {
+                    sim.checkpoint(&comm, &dir).unwrap();
+                }
+            }
+        }
+    });
+    // resume from the checkpoint as a retry attempt would
+    let resumed = run(2, {
+        let dir = dir.clone();
+        move |c| program(&c, Attempt { index: 1 }, &dir)
+    });
+    assert_eq!(resumed, straight, "resume must be bit-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}

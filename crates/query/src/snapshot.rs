@@ -27,8 +27,10 @@ pub struct LeafHit {
     pub index: u32,
     /// Offset of the leaf in the rank-global leaf order — the payload
     /// handle: position `payload` of the snapshot generation's
-    /// application data array.
-    pub payload: u32,
+    /// application data array (e.g. a `LeafData` store). `u64` so
+    /// level-10-scale forests (2^30+ leaves per rank) cannot silently
+    /// wrap the handle.
+    pub payload: u64,
     /// The leaf's `morton_abs` key.
     pub key: u64,
     /// The leaf's refinement level.
@@ -184,7 +186,7 @@ impl ForestSnapshot {
         LeafHit {
             tree,
             index: index as u32,
-            payload: (off + index) as u32,
+            payload: (off + index) as u64,
             key: self.keys[off + index],
             level: self.levels[off + index],
         }
@@ -639,7 +641,7 @@ impl quadforest_core::Wire for LeafHit {
         Ok(LeafHit {
             tree: TreeId::decode(r)?,
             index: u32::decode(r)?,
-            payload: u32::decode(r)?,
+            payload: u64::decode(r)?,
             key: u64::decode(r)?,
             level: u8::decode(r)?,
         })

@@ -23,6 +23,11 @@
 //!   lock-free [`SnapshotHandle`](query::SnapshotHandle), point/box
 //!   queries via Morton interval decomposition, and a multithreaded
 //!   [`QueryExecutor`](query::QueryExecutor);
+//! * [`pde`] — the data-bearing application layer: fixed `N × N` cell
+//!   patches per leaf ([`Patch`](pde::Patch)), conservative
+//!   refine/coarsen mapping, and a patch-based donor-cell advection
+//!   solver ([`AdvectionSim`](pde::AdvectionSim)) with halo exchange,
+//!   payload migration, and checkpointed recovery;
 //! * [`vtk`] — mesh output for ParaView/VisIt;
 //! * [`bench`] — the harness regenerating the paper's figures and tables.
 //!
@@ -49,6 +54,7 @@ pub use quadforest_comm as comm;
 pub use quadforest_connectivity as connectivity;
 pub use quadforest_core as core;
 pub use quadforest_forest as forest;
+pub use quadforest_pde as pde;
 pub use quadforest_query as query;
 pub use quadforest_telemetry as telemetry;
 pub use quadforest_vtk as vtk;
@@ -57,7 +63,7 @@ pub use quadforest_vtk as vtk;
 pub mod prelude {
     pub use quadforest_comm::{
         run_with_recovery, Attempt, Comm, FaultPlan, RecoveryError, RecoveryOptions,
-        RecoveryOutcome,
+        RecoveryOutcome, RecoveryPolicy,
     };
     pub use quadforest_connectivity::{Connectivity, FaceConnection, FaceTransform, TreeId};
     pub use quadforest_core::quadrant::{
@@ -67,9 +73,13 @@ pub mod prelude {
         Avx2d, Avx3d, Morton128x2, Morton128x3, Morton2, Morton3, Standard2, Standard3,
     };
     pub use quadforest_forest::{
-        iterate_faces, BalanceKind, CheckpointManifest, FaceSide, Forest, ForestStats, GhostLayer,
-        Interface, InvariantError, IoError, LeafRef, LocalNodes, Mesh, MeshNeighbor, NodeRef,
-        PortableForest, SearchAction,
+        iterate_faces, BalanceKind, CheckpointManifest, DataMapper, FaceSide, Forest, ForestStats,
+        GhostLayer, Interface, InvariantError, IoError, LeafData, LeafRef, LocalNodes, Mesh,
+        MeshNeighbor, NodeRef, PortableForest, SearchAction,
+    };
+    pub use quadforest_pde::{
+        gaussian_blob, AdaptReport, AdaptThresholds, AdvectionSim, Patch, PatchHalo, PatchMapper,
+        PATCH_N,
     };
     pub use quadforest_query::{BoxQuery, ForestSnapshot, LeafHit, QueryExecutor, SnapshotHandle};
 }
