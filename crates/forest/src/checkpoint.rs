@@ -47,7 +47,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 const MANIFEST_MAGIC: &[u8; 4] = b"QFMF";
-const MANIFEST_VERSION: u32 = 1;
+/// Manifest version written. Version 2 added the application `step`
+/// field; version-1 manifests (no step) still load with `step = 0`.
+const MANIFEST_VERSION: u32 = 2;
+/// Oldest manifest version still accepted on load.
+const MANIFEST_MIN_VERSION: u32 = 1;
 const MANIFEST_NAME: &str = "manifest.qfm";
 /// Bytes per serialized shard record in the manifest.
 const SHARD_RECORD_BYTES: usize = 20;
@@ -77,6 +81,12 @@ pub struct CheckpointManifest {
     pub global_count: u64,
     /// Communicator size at save time (`P_save` = shard count).
     pub size: u64,
+    /// Application-defined progress counter recorded with the
+    /// generation (e.g. a solver's time-step count). Authoritative on
+    /// restore — generation numbers may skip after aborted saves, so
+    /// progress must never be inferred from them. `0` when the saver
+    /// did not provide one (including all version-1 manifests).
+    pub step: u64,
     /// Per-shard integrity records, indexed by saving rank.
     pub shards: Vec<ShardMeta>,
 }
@@ -91,6 +101,7 @@ impl CheckpointManifest {
         b.put_u64_le(self.num_trees);
         b.put_u64_le(self.global_count);
         b.put_u64_le(self.size);
+        b.put_u64_le(self.step);
         b.put_u64_le(self.shards.len() as u64);
         for s in &self.shards {
             b.put_u64_le(s.leaf_count);
@@ -113,7 +124,7 @@ impl CheckpointManifest {
             return Err(IoError::BadMagic { found: magic });
         }
         let version = cur.u32()?;
-        if version != MANIFEST_VERSION {
+        if !(MANIFEST_MIN_VERSION..=MANIFEST_VERSION).contains(&version) {
             return Err(IoError::UnsupportedVersion {
                 found: version,
                 supported: MANIFEST_VERSION,
@@ -137,6 +148,7 @@ impl CheckpointManifest {
         let num_trees = cur.u64()?;
         let global_count = cur.u64()?;
         let size = cur.u64()?;
+        let step = if version >= 2 { cur.u64()? } else { 0 };
         let n_shards = cur.count("shard", SHARD_RECORD_BYTES)?;
         if n_shards as u64 != size {
             return Err(IoError::CountMismatch {
@@ -185,9 +197,21 @@ impl CheckpointManifest {
             num_trees,
             global_count,
             size,
+            step,
             shards,
         })
     }
+}
+
+/// Provenance of a restored checkpoint: which generation was elected
+/// and the application `step` counter its manifest recorded.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointInfo {
+    /// Generation the restore came from.
+    pub generation: u64,
+    /// Application progress counter saved with that generation (`0`
+    /// for version-1 manifests and savers that passed none).
+    pub step: u64,
 }
 
 fn generation_dir(dir: &Path, generation: u64) -> PathBuf {
@@ -301,23 +325,29 @@ impl<Q: Quadrant> Forest<Q> {
     /// committed generation or one that restore skips. Returns the new
     /// generation number on every rank, or the first error any rank hit.
     pub fn save_checkpoint(&self, comm: &Comm, dir: impl AsRef<Path>) -> Result<u64, IoError> {
-        self.save_checkpoint_bytes(comm, dir.as_ref(), self.to_portable().to_bytes())
+        self.save_checkpoint_bytes(comm, dir.as_ref(), self.to_portable().to_bytes(), 0)
     }
 
     /// [`Forest::save_checkpoint`] with per-leaf payloads: every shard
     /// carries a version-3 payload section (the `Wire` encoding of each
     /// leaf's `T`), so [`Forest::load_checkpoint_with_data`] can restore
-    /// solver state alongside the mesh. Collective.
+    /// solver state alongside the mesh. `step` is an application-defined
+    /// progress counter (e.g. the solver's time-step count) committed in
+    /// the manifest and handed back on restore — generation numbers may
+    /// skip after aborted saves, so restart logic must read progress
+    /// from here, never infer it from the generation. Collective.
     pub fn save_checkpoint_with_data<T: quadforest_core::Wire>(
         &self,
         comm: &Comm,
         dir: impl AsRef<Path>,
         data: &crate::LeafData<T>,
+        step: u64,
     ) -> Result<u64, IoError> {
         self.save_checkpoint_bytes(
             comm,
             dir.as_ref(),
             self.to_portable_with_data(data).to_bytes(),
+            step,
         )
     }
 
@@ -328,6 +358,7 @@ impl<Q: Quadrant> Forest<Q> {
         comm: &Comm,
         dir: &Path,
         bytes: bytes::Bytes,
+        step: u64,
     ) -> Result<u64, IoError> {
         let _span = telemetry::span("checkpoint");
         let start = Instant::now();
@@ -359,6 +390,7 @@ impl<Q: Quadrant> Forest<Q> {
                         num_trees: self.connectivity().num_trees() as u64,
                         global_count: self.global_count(),
                         size: comm.size() as u64,
+                        step,
                         shards,
                     };
                     write_atomic(&gen_dir.join(MANIFEST_NAME), &manifest.to_bytes())
@@ -389,23 +421,24 @@ impl<Q: Quadrant> Forest<Q> {
         comm: &Comm,
         dir: impl AsRef<Path>,
     ) -> Result<(Self, u64), IoError> {
-        let (forest, _payload, generation) = Self::load_checkpoint_raw(conn, comm, dir.as_ref())?;
-        Ok((forest, generation))
+        let (forest, _payload, info) = Self::load_checkpoint_raw(conn, comm, dir.as_ref())?;
+        Ok((forest, info.generation))
     }
 
     /// [`Forest::load_checkpoint`] that also restores per-leaf payloads
     /// saved by [`Forest::save_checkpoint_with_data`]. The payload
     /// section is re-sliced across rank counts exactly like the leaves,
-    /// so `P_load` may differ from `P_save`. Loading a payload-less
-    /// (version-2) generation fails with [`IoError::MissingPayload`];
-    /// a payload that does not decode as `T` fails with
-    /// [`IoError::PayloadCorrupt`]. Collective.
+    /// so `P_load` may differ from `P_save`. The returned
+    /// [`CheckpointInfo`] carries the elected generation and the saver's
+    /// `step` counter. Loading a payload-less (version-2) generation
+    /// fails with [`IoError::MissingPayload`]; a payload that does not
+    /// decode as `T` fails with [`IoError::PayloadCorrupt`]. Collective.
     pub fn load_checkpoint_with_data<T: quadforest_core::Wire>(
         conn: Arc<Connectivity>,
         comm: &Comm,
         dir: impl AsRef<Path>,
-    ) -> Result<(Self, crate::LeafData<T>, u64), IoError> {
-        let (forest, payload, generation) = Self::load_checkpoint_raw(conn, comm, dir.as_ref())?;
+    ) -> Result<(Self, crate::LeafData<T>, CheckpointInfo), IoError> {
+        let (forest, payload, info) = Self::load_checkpoint_raw(conn, comm, dir.as_ref())?;
         // decode locally, then agree on the outcome so one rank's
         // corrupt payload fails the load everywhere
         let decoded = payload.ok_or(IoError::MissingPayload).and_then(|items| {
@@ -426,7 +459,7 @@ impl<Q: Quadrant> Forest<Q> {
         }
         let items = decoded.expect("no rank reported an error");
         let data = crate::LeafData::from_vec(&forest, items);
-        Ok((forest, data, generation))
+        Ok((forest, data, info))
     }
 
     /// Shared restore machinery: elect a generation, load mesh plus the
@@ -436,7 +469,7 @@ impl<Q: Quadrant> Forest<Q> {
         conn: Arc<Connectivity>,
         comm: &Comm,
         dir: &Path,
-    ) -> Result<(Self, Option<Vec<Vec<u8>>>, u64), IoError> {
+    ) -> Result<(Self, Option<Vec<Vec<u8>>>, CheckpointInfo), IoError> {
         let _span = telemetry::span("restore");
         let start = Instant::now();
 
@@ -474,7 +507,14 @@ impl<Q: Quadrant> Forest<Q> {
         telemetry::histogram_record("forest.restore.ns", start.elapsed().as_nanos() as u64);
         telemetry::counter_add("forest.checkpoint.restores", 1);
         telemetry::gauge_set("forest.local_leaves", forest.local_count() as u64);
-        Ok((forest, payload, generation))
+        Ok((
+            forest,
+            payload,
+            CheckpointInfo {
+                generation,
+                step: manifest.step,
+            },
+        ))
     }
 
     /// Fast path: `P_load == P_save` — read back exactly the shard this
@@ -613,6 +653,7 @@ mod tests {
             num_trees: 3,
             global_count: 30,
             size: 2,
+            step: 40,
             shards: vec![
                 ShardMeta {
                     leaf_count: 12,
@@ -643,6 +684,29 @@ mod tests {
     }
 
     #[test]
+    fn version1_manifest_loads_with_step_zero() {
+        // hand-rolled version-1 layout: no step field after `size`
+        let mut b = BytesMut::new();
+        b.put_slice(MANIFEST_MAGIC);
+        b.put_u32_le(1); // version 1
+        b.put_u64_le(3); // generation
+        b.put_u32_le(2); // dim
+        b.put_u64_le(1); // num_trees
+        b.put_u64_le(12); // global_count
+        b.put_u64_le(1); // size
+        b.put_u64_le(1); // n_shards
+        b.put_u64_le(12); // leaf_count
+        b.put_u64_le(300); // byte_len
+        b.put_u32_le(0xFEED_F00D); // shard crc
+        let crc = crc32(&b);
+        b.put_u32_le(crc);
+        let m = CheckpointManifest::from_bytes(&b).unwrap();
+        assert_eq!(m.generation, 3);
+        assert_eq!(m.step, 0, "v1 manifests carry no step");
+        assert_eq!(m.shards.len(), 1);
+    }
+
+    #[test]
     fn manifest_rejects_leaf_count_drift() {
         let m = CheckpointManifest {
             generation: 1,
@@ -650,6 +714,7 @@ mod tests {
             num_trees: 1,
             global_count: 99, // != 12 + 18
             size: 2,
+            step: 0,
             shards: vec![
                 ShardMeta {
                     leaf_count: 12,
@@ -714,6 +779,7 @@ impl quadforest_core::Wire for CheckpointManifest {
         self.num_trees.encode(out);
         self.global_count.encode(out);
         self.size.encode(out);
+        self.step.encode(out);
         self.shards.encode(out);
     }
 
@@ -726,6 +792,7 @@ impl quadforest_core::Wire for CheckpointManifest {
             num_trees: u64::decode(r)?,
             global_count: u64::decode(r)?,
             size: u64::decode(r)?,
+            step: u64::decode(r)?,
             shards: Vec::<ShardMeta>::decode(r)?,
         })
     }

@@ -14,8 +14,10 @@
 //!   interpolate parent→children, and coarsened families project
 //!   children→parent.
 //! * [`Forest::partition_mapped`] piggybacks payloads on the SFC
-//!   partition: each migrating leaf ships its `T` in the same
-//!   all-to-all, so data arrives already in global leaf order.
+//!   partition: each migrating leaf ships its `T` in a payload
+//!   all-to-all cut by the same destination ranges as the leaf
+//!   exchange, so data arrives already in global leaf order (and
+//!   payload-less partitions keep their original message shape).
 //!
 //! Mappers may be called through several levels at once (recursive
 //! refinement, multi-level coarsening): the walk descends the implied
@@ -301,17 +303,17 @@ impl<Q: Quadrant> Forest<Q> {
     }
 
     /// [`Forest::partition`] that carries payloads: every migrating leaf
-    /// ships its `T` through the same all-to-all exchange, so `data`
-    /// arrives on the new owner already in rank-global leaf order.
-    /// Returns the number of leaves that moved away from this rank.
-    /// Collective.
+    /// ships its `T` in a payload all-to-all cut by the same destination
+    /// ranges as the leaf exchange, so `data` arrives on the new owner
+    /// already in rank-global leaf order. Returns the number of leaves
+    /// that moved away from this rank. Collective.
     pub fn partition_mapped<T>(&mut self, comm: &Comm, data: &mut LeafData<T>) -> usize
     where
         T: Clone + Wire + Send + 'static,
     {
         data.check_aligned(self, "partition_mapped");
         let payload = std::mem::take(&mut data.items);
-        let (moved, arrived) = self.partition_core(comm, |_, _| 1, payload);
+        let (moved, arrived) = self.partition_core(comm, |_, _| 1, Some(payload));
         data.items = arrived;
         moved
     }

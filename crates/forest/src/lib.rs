@@ -69,7 +69,7 @@ mod refine;
 mod search;
 mod validate;
 
-pub use checkpoint::{list_generations, CheckpointManifest, ShardMeta};
+pub use checkpoint::{list_generations, CheckpointInfo, CheckpointManifest, ShardMeta};
 pub use crc::crc32;
 pub use data::{map_adapted, DataMapper, LeafData};
 pub use error::{InvariantError, IoError};

@@ -24,29 +24,32 @@ impl<Q: Quadrant> Forest<Q> {
     /// Leaves are never split, so heavy single leaves may cause residual
     /// imbalance, exactly as in p4est's weighted partition. Collective.
     pub fn partition_by(&mut self, comm: &Comm, weight: impl FnMut(TreeId, &Q) -> u64) -> usize {
-        // a unit payload rides for free: `()` encodes to one byte but
-        // never leaves the in-process fast path as a separate message
-        let payload = vec![(); self.local_count()];
-        self.partition_core(comm, weight, payload).0
+        // no payload: the all-to-all ships bare (tree, leaf) runs, the
+        // same message shape partition has always used
+        self.partition_core(comm, weight, None::<Vec<()>>).0
     }
 
     /// Shared partition machinery: redistribute leaves (weighted SFC
-    /// cuts) with one payload value riding along per leaf. Payloads
-    /// travel in the same all-to-all as their leaves and are returned in
-    /// the new rank-global leaf order. `payload.len()` must equal the
-    /// local leaf count.
+    /// cuts), optionally with one payload value riding along per leaf.
+    /// The leaf exchange always ships bare `(tree, leaf)` runs — the
+    /// pre-payload message shape — and `Some` payloads travel in a
+    /// second all-to-all bucketed by the same destination cuts, so they
+    /// are returned in the new rank-global leaf order.
+    /// `payload.len()` must equal the local leaf count.
     pub(crate) fn partition_core<P>(
         &mut self,
         comm: &Comm,
         mut weight: impl FnMut(TreeId, &Q) -> u64,
-        payload: Vec<P>,
+        payload: Option<Vec<P>>,
     ) -> (usize, Vec<P>)
     where
         P: Clone + Wire + Send + 'static,
     {
         let _span = quadforest_telemetry::span("partition");
         let p = self.size as u64;
-        assert_eq!(payload.len(), self.local_count());
+        if let Some(payload) = &payload {
+            assert_eq!(payload.len(), self.local_count());
+        }
 
         // global weight prefix of this rank
         let local: Vec<(TreeId, Q, u64)> = self
@@ -79,35 +82,51 @@ impl<Q: Quadrant> Forest<Q> {
         };
 
         // bucket local leaves per destination rank (contiguous runs)
-        let mut outgoing: Vec<Vec<(TreeId, Q, P)>> = (0..self.size).map(|_| Vec::new()).collect();
+        let mut outgoing: Vec<Vec<(TreeId, Q)>> = (0..self.size).map(|_| Vec::new()).collect();
+        let mut dests = Vec::with_capacity(local.len());
         let mut moved = 0usize;
-        let mut payload_bytes = 0usize;
         let mut a = my_offset;
-        for ((t, q, w), v) in local.iter().zip(payload) {
+        for (t, q, w) in &local {
             let dest = if total == 0 { 0 } else { dest_of(a) };
             if dest != self.rank {
                 moved += 1;
-                if std::mem::size_of::<P>() > 0 {
-                    payload_bytes += v.to_wire().len();
-                }
             }
-            outgoing[dest].push((*t, *q, v));
+            outgoing[dest].push((*t, *q));
+            dests.push(dest);
             a += w;
         }
 
+        // payloads travel in their own all-to-all, bucketed by the same
+        // destination cuts, so the leaf exchange keeps its bare
+        // (tree, leaf) message shape when no payload is present
+        let mut payload_bytes = 0usize;
+        let outgoing_payload = payload.map(|payload| {
+            let mut buckets: Vec<Vec<P>> = (0..self.size).map(|_| Vec::new()).collect();
+            for (dest, v) in dests.iter().zip(payload) {
+                if *dest != self.rank {
+                    payload_bytes += v.to_wire().len();
+                }
+                buckets[*dest].push(v);
+            }
+            buckets
+        });
+
         // exchange
         let incoming = comm.alltoallv(outgoing);
+        let arrived: Vec<P> = match outgoing_payload {
+            Some(buckets) => comm.alltoallv(buckets).into_iter().flatten().collect(),
+            None => Vec::new(),
+        };
 
         // rebuild trees; incoming runs arrive in source-rank order, which
-        // is exactly global SFC order — and payloads ride in lock-step
-        let mut arrived: Vec<P> = Vec::new();
+        // is exactly global SFC order — and payload runs, cut by the same
+        // destinations, arrive in lock-step
         for tree in &mut self.trees {
             tree.clear();
         }
         for run in incoming {
-            for (t, q, v) in run {
+            for (t, q) in run {
                 self.trees[t as usize].push(q);
-                arrived.push(v);
             }
         }
 

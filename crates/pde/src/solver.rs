@@ -29,7 +29,7 @@ use quadforest_comm::Comm;
 use quadforest_connectivity::{Connectivity, TreeId};
 use quadforest_core::quadrant::Quadrant;
 use quadforest_forest::{
-    crc32, iterate_faces, BalanceKind, FaceSide, Forest, Interface, IoError, LeafData,
+    crc32, iterate_faces, BalanceKind, FaceSide, Forest, GhostLayer, Interface, IoError, LeafData,
 };
 use quadforest_telemetry as telemetry;
 
@@ -66,8 +66,24 @@ pub struct AdaptReport {
     pub mapped_bytes: u64,
 }
 
+/// Mesh-topology caches for [`AdvectionSim::step`]: the ghost layer and
+/// the leaf/ghost identity→index maps depend only on the mesh and its
+/// partition, so they are rebuilt lazily on the first step after a
+/// topology change instead of on every step.
+struct TopologyCache<Q: Quadrant> {
+    ghost: GhostLayer<Q>,
+    index: HashMap<(u32, u64, u8), usize>,
+    ghost_index: HashMap<(u32, u64, u8), usize>,
+}
+
 /// A 2D advection simulation: the forest, one [`Patch`] per local leaf,
 /// and a constant velocity field.
+///
+/// `forest` and `u` are public for inspection; code that mutates the
+/// mesh or partition *directly* (rather than through
+/// [`AdvectionSim::adapt`] / [`AdvectionSim::migrate`]) must call
+/// [`AdvectionSim::invalidate_topology`] afterwards so the next step
+/// rebuilds its ghost layer against the new mesh.
 pub struct AdvectionSim<Q: Quadrant> {
     /// The adaptive mesh.
     pub forest: Forest<Q>,
@@ -79,9 +95,12 @@ pub struct AdvectionSim<Q: Quadrant> {
     pub base_level: u8,
     /// Finest level adaptation may reach.
     pub max_level: u8,
-    /// Steps taken so far (restored from the checkpoint generation on
+    /// Steps taken so far (restored from the checkpoint manifest on
     /// recovery).
     pub steps_taken: u64,
+    /// Lazily rebuilt ghost layer + index maps; `None` whenever the
+    /// mesh or partition may have changed since the last step.
+    topo: Option<TopologyCache<Q>>,
 }
 
 impl<Q: Quadrant> AdvectionSim<Q> {
@@ -114,7 +133,17 @@ impl<Q: Quadrant> AdvectionSim<Q> {
             base_level,
             max_level,
             steps_taken: 0,
+            topo: None,
         }
+    }
+
+    /// Drop the cached ghost layer and index maps so the next
+    /// [`AdvectionSim::step`] rebuilds them. Required after mutating
+    /// `forest` directly; [`AdvectionSim::adapt`] and
+    /// [`AdvectionSim::migrate`] call it themselves. Must be invoked on
+    /// every rank or none (the rebuild is collective).
+    pub fn invalidate_topology(&mut self) {
+        self.topo = None;
     }
 
     /// Largest stable time step for the donor-cell scheme at the
@@ -185,29 +214,46 @@ impl<Q: Quadrant> AdvectionSim<Q> {
         let root = Q::len_at(0) as f64;
         let [vx, vy] = self.velocity;
 
+        // the ghost layer (full adjacency so hanging groups spanning
+        // ranks are complete) and the identity→index maps depend only on
+        // mesh topology: rebuild them only on the first step after an
+        // adapt/migrate, not on every step of a static phase. Collective
+        // when it rebuilds — adapt/migrate invalidate on every rank, so
+        // all ranks take the same branch.
+        if self.topo.is_none() {
+            let ghost = self.forest.ghost(comm, BalanceKind::Full);
+            let index = self
+                .forest
+                .leaves()
+                .enumerate()
+                .map(|(i, (t, q))| ((t, q.morton_abs(), q.level()), i))
+                .collect();
+            let ghost_index = ghost
+                .ghosts
+                .iter()
+                .enumerate()
+                .map(|(i, g)| ((g.tree, g.quad.morton_abs(), g.quad.level()), i))
+                .collect();
+            self.topo = Some(TopologyCache {
+                ghost,
+                index,
+                ghost_index,
+            });
+        }
+        let TopologyCache {
+            ghost,
+            index,
+            ghost_index,
+        } = self.topo.as_ref().expect("cache built above");
+
         // ship every leaf's edge strips to the ranks that see it as a
-        // ghost (full adjacency so hanging groups spanning ranks are
-        // complete)
-        let ghost = self.forest.ghost(comm, BalanceKind::Full);
+        // ghost — values change every step, so this exchange always runs
         let halos: Vec<PatchHalo> = self.u.iter().map(|p| p.halo()).collect();
         let ghost_halos = ghost.exchange_data(&self.forest, comm, &halos);
         telemetry::counter_add(
             "pde.halo.bytes",
             (ghost_halos.len() * HALO_WIRE_BYTES) as u64,
         );
-
-        let index: HashMap<(u32, u64, u8), usize> = self
-            .forest
-            .leaves()
-            .enumerate()
-            .map(|(i, (t, q))| ((t, q.morton_abs(), q.level()), i))
-            .collect();
-        let ghost_index: HashMap<(u32, u64, u8), usize> = ghost
-            .ghosts
-            .iter()
-            .enumerate()
-            .map(|(i, g)| ((g.tree, g.quad.morton_abs(), g.quad.level()), i))
-            .collect();
 
         let mut du = vec![Patch::zero(); self.u.len()];
 
@@ -252,7 +298,7 @@ impl<Q: Quadrant> AdvectionSim<Q> {
         };
 
         // inter-leaf fluxes at the finer side's granularity
-        iterate_faces(&self.forest, &ghost, |iface| {
+        iterate_faces(&self.forest, ghost, |iface| {
             let Interface::Interior(primary, others) = iface else {
                 return; // closed wall: zero flux (conservative)
             };
@@ -325,34 +371,42 @@ impl<Q: Quadrant> AdvectionSim<Q> {
         let max_level = self.max_level;
         let base_level = self.base_level;
 
-        // snapshot patch magnitudes keyed by leaf identity: the flag
-        // closures run against the *pre-adapt* mesh
+        // snapshot patch magnitudes keyed by *pre-adapt* leaf identity.
+        // The refine flags only ever see pre-adapt leaves, but the
+        // coarsen pass runs against the post-refine mesh, where children
+        // created moments ago are absent from the snapshot — `unknown`
+        // decides their fate per pass.
         let magnitude: HashMap<(u32, u64, u8), f64> = self
             .forest
             .leaves()
             .zip(self.u.iter())
             .map(|((t, q), p)| ((t, q.morton_abs(), q.level()), p.max_abs()))
             .collect();
-        let mag = |t: TreeId, q: &Q| -> f64 {
+        let mag = |t: TreeId, q: &Q, unknown: f64| -> f64 {
             magnitude
                 .get(&(t, q.morton_abs(), q.level()))
                 .copied()
-                .unwrap_or(0.0)
+                .unwrap_or(unknown)
         };
 
         let mut refined = self.forest.refine_mapped(
             comm,
             false,
-            |t, q| q.level() < max_level && mag(t, q) > thresholds.refine_above,
+            |t, q| q.level() < max_level && mag(t, q, 0.0) > thresholds.refine_above,
             &mut self.u,
             &PatchMapper,
         );
+        // unknown leaves read +inf here: a family holding children this
+        // very adapt() just created must never be a coarsen candidate,
+        // or the coarsen pass would silently undo the refine pass
         let coarsened = self.forest.coarsen_mapped(
             comm,
             false,
             |t, fam| {
                 fam[0].level() > base_level
-                    && fam.iter().all(|q| mag(t, q) < thresholds.coarsen_below)
+                    && fam
+                        .iter()
+                        .all(|q| mag(t, q, f64::INFINITY) < thresholds.coarsen_below)
             },
             &mut self.u,
             &PatchMapper,
@@ -360,6 +414,9 @@ impl<Q: Quadrant> AdvectionSim<Q> {
         refined += self
             .forest
             .balance_mapped(comm, BalanceKind::Face, &mut self.u, &PatchMapper);
+        // unconditionally, on every rank: the mesh may have changed on
+        // *any* rank, which reshapes this rank's ghost layer too
+        self.invalidate_topology();
         let mapped_bytes = (self.u.len() * PATCH_WIRE_BYTES) as u64;
         telemetry::counter_add("pde.map.bytes", mapped_bytes);
         AdaptReport {
@@ -375,25 +432,28 @@ impl<Q: Quadrant> AdvectionSim<Q> {
     pub fn migrate(&mut self, comm: &Comm) -> u64 {
         let _span = telemetry::span("pde.migrate");
         let moved = self.forest.partition_mapped(comm, &mut self.u);
+        self.invalidate_topology();
         let bytes = (moved * PATCH_WIRE_BYTES) as u64;
         telemetry::counter_add("pde.migrate.bytes", bytes);
         bytes
     }
 
-    /// Write a checkpoint generation carrying mesh *and* patches.
-    /// Collective; returns the generation number.
+    /// Write a checkpoint generation carrying mesh, patches, *and* the
+    /// step count (committed in the manifest). Collective; returns the
+    /// generation number.
     pub fn checkpoint(
         &self,
         comm: &Comm,
         dir: impl AsRef<std::path::Path>,
     ) -> Result<u64, IoError> {
-        self.forest.save_checkpoint_with_data(comm, dir, &self.u)
+        self.forest
+            .save_checkpoint_with_data(comm, dir, &self.u, self.steps_taken)
     }
 
     /// Restore a simulation from the newest complete checkpoint
-    /// generation. `steps_per_checkpoint` reconstructs `steps_taken`
-    /// from the generation number (generation `g` is written after
-    /// `g · steps_per_checkpoint` steps). Collective.
+    /// generation. `steps_taken` comes from the step count persisted in
+    /// the checkpoint manifest — never from the generation number, which
+    /// can skip values when a save is aborted mid-write. Collective.
     pub fn restore(
         conn: Arc<Connectivity>,
         comm: &Comm,
@@ -401,16 +461,16 @@ impl<Q: Quadrant> AdvectionSim<Q> {
         velocity: [f64; 2],
         base_level: u8,
         max_level: u8,
-        steps_per_checkpoint: u64,
     ) -> Result<Self, IoError> {
-        let (forest, u, generation) = Forest::<Q>::load_checkpoint_with_data(conn, comm, dir)?;
+        let (forest, u, info) = Forest::<Q>::load_checkpoint_with_data(conn, comm, dir)?;
         Ok(AdvectionSim {
             forest,
             u,
             velocity,
             base_level,
             max_level,
-            steps_taken: generation * steps_per_checkpoint,
+            steps_taken: info.step,
+            topo: None,
         })
     }
 
@@ -601,7 +661,6 @@ mod tests {
                 sim.velocity,
                 2,
                 4,
-                5,
             )
             .unwrap();
             assert_eq!(restored.steps_taken, 5);
@@ -611,6 +670,70 @@ mod tests {
         for (before, after) in reports {
             assert_eq!(before, after, "restore must be bit-identical");
         }
+    }
+
+    #[test]
+    fn adapt_refinement_survives_the_coarsen_pass() {
+        quadforest_comm::run(1, |comm| {
+            // uniform level-2 mesh, then allow adaptation up to level 4:
+            // the blob peak (≈1.0) is far above refine_above, so adapt()
+            // must refine — and the freshly created children, absent
+            // from the magnitude snapshot, must NOT be coarsened right
+            // back in the same call
+            let mut sim = mk(&comm, 2, 2);
+            sim.max_level = 4;
+            let leaves_before = sim.forest.global_count();
+            let report = sim.adapt(&comm, AdaptThresholds::default());
+            assert!(report.refined > 0, "the blob must trigger refinement");
+            assert!(
+                sim.forest.global_count() > leaves_before,
+                "refined leaves must survive adapt(): {} -> {} leaves",
+                leaves_before,
+                sim.forest.global_count()
+            );
+            let finest = sim
+                .forest
+                .leaves()
+                .map(|(_, q)| q.level())
+                .max()
+                .unwrap_or(0);
+            assert!(finest > 2, "refinement must persist past the coarsen pass");
+        });
+    }
+
+    #[test]
+    fn restore_steps_survive_skipped_generations() {
+        let dir = std::env::temp_dir().join(format!("qf-pde-skipgen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        quadforest_comm::run(2, |comm| {
+            let mut sim = mk(&comm, 2, 3);
+            let dt = sim.cfl_dt(&comm, 0.45);
+            for _ in 0..3 {
+                sim.step(&comm, dt);
+            }
+            // simulate an aborted save: an uncommitted generation dir
+            // bumps the next generation number past the dense sequence
+            if comm.rank() == 0 {
+                std::fs::create_dir_all(dir.join("gen-00000007")).unwrap();
+            }
+            comm.barrier();
+            let generation = sim.checkpoint(&comm, &dir).unwrap();
+            assert_eq!(generation, 8, "the aborted generation must be skipped");
+            let restored = AdvectionSim::<Q>::restore(
+                Arc::new(Connectivity::periodic(2)),
+                &comm,
+                &dir,
+                sim.velocity,
+                2,
+                3,
+            )
+            .unwrap();
+            assert_eq!(
+                restored.steps_taken, 3,
+                "steps must come from the manifest, not the generation number"
+            );
+        });
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

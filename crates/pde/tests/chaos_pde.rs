@@ -48,16 +48,7 @@ type RankView = (
 fn program(comm: &Comm, attempt: Attempt, dir: &Path) -> RankView {
     let conn = Arc::new(Connectivity::periodic(2));
     let restored = if attempt.is_retry() {
-        AdvectionSim::<Q>::restore(
-            conn.clone(),
-            comm,
-            dir,
-            [1.0, 0.5],
-            BASE_LEVEL,
-            MAX_LEVEL,
-            SAVE_EVERY,
-        )
-        .ok()
+        AdvectionSim::<Q>::restore(conn.clone(), comm, dir, [1.0, 0.5], BASE_LEVEL, MAX_LEVEL).ok()
     } else {
         None
     };
@@ -68,11 +59,11 @@ fn program(comm: &Comm, attempt: Attempt, dir: &Path) -> RankView {
         let dt = sim.cfl_dt(comm, 0.45);
         sim.step(comm, dt);
         let s = sim.steps_taken;
-        if s % ADAPT_EVERY == 0 {
+        if s.is_multiple_of(ADAPT_EVERY) {
             sim.adapt(comm, AdaptThresholds::default());
             sim.migrate(comm);
         }
-        if s % SAVE_EVERY == 0 {
+        if s.is_multiple_of(SAVE_EVERY) {
             sim.checkpoint(comm, dir).expect("checkpoint save");
         }
     }
@@ -175,11 +166,11 @@ fn restore_and_replay_matches_straight_run() {
                 let dt = sim.cfl_dt(&comm, 0.45);
                 sim.step(&comm, dt);
                 let s = sim.steps_taken;
-                if s % ADAPT_EVERY == 0 {
+                if s.is_multiple_of(ADAPT_EVERY) {
                     sim.adapt(&comm, AdaptThresholds::default());
                     sim.migrate(&comm);
                 }
-                if s % SAVE_EVERY == 0 {
+                if s.is_multiple_of(SAVE_EVERY) {
                     sim.checkpoint(&comm, &dir).unwrap();
                 }
             }

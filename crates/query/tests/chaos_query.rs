@@ -113,7 +113,7 @@ fn queries_survive_rank_death_and_recovery() {
         for step in 0..3u64 {
             let g = attempt.index as u64 * 10 + step + 1;
             f.refine(&comm, false, |_, q| {
-                q.level() < 6 && mix(g, q.morton_abs(), 0) % 3 == 0
+                q.level() < 6 && mix(g, q.morton_abs(), 0).is_multiple_of(3)
             });
             f.balance(&comm, BalanceKind::Face);
             f.partition(&comm);

@@ -138,7 +138,7 @@ fn readers_always_see_some_published_generation() {
                         assert_eq!(got, oracle.in_box(lo, hi), "box at generation {g}");
                         // and through the executor: served against the
                         // latest snapshot, so validate geometrically
-                        if iter % 8 == 0 {
+                        if iter.is_multiple_of(8) {
                             if let Some(h) = exec.locate_points(vec![(TREE, p)])[0] {
                                 let shift = 2 * (Q::MAX_LEVEL - h.level) as u32;
                                 let q = Q::from_morton(h.key >> shift, h.level);
@@ -154,10 +154,10 @@ fn readers_always_see_some_published_generation() {
         // the AMR mutation loop: adapt, retain the oracle, publish
         for g in 1..=GENERATIONS {
             f.refine(&comm, false, |_, q| {
-                q.level() < 6 && mix(g, q.morton_abs(), q.level() as u64) % 4 == 0
+                q.level() < 6 && mix(g, q.morton_abs(), q.level() as u64).is_multiple_of(4)
             });
             f.coarsen(&comm, false, |_, fam| {
-                fam[0].level() > 2 && mix(g ^ 7, fam[0].morton_abs(), 0) % 5 == 0
+                fam[0].level() > 2 && mix(g ^ 7, fam[0].morton_abs(), 0).is_multiple_of(5)
             });
             f.balance(&comm, BalanceKind::Face);
             f.partition(&comm);

@@ -38,7 +38,7 @@ fn snapshot_for<Q: Quadrant>(seed: u64) -> ForestSnapshot {
         });
         let mut f = Forest::<Q>::new_uniform(conn, &comm, 1);
         f.refine(&comm, true, |t, q| {
-            q.level() < 4 && mix(seed, t, q.morton_abs(), q.level()) % 3 != 0
+            q.level() < 4 && !mix(seed, t, q.morton_abs(), q.level()).is_multiple_of(3)
         });
         ForestSnapshot::build(&f, 0)
     })

@@ -29,7 +29,7 @@ fn check_boxes<Q: Quadrant>(seed: u64, boxes: Vec<([i32; 3], [i32; 3])>) {
         let conn = Arc::new(Connectivity::unit(Q::DIM));
         let mut f = Forest::<Q>::new_uniform(conn, &comm, 1);
         f.refine(&comm, true, |t, q| {
-            q.level() < 5 && mix(seed, t, q.morton_abs(), q.level()) % 3 != 0
+            q.level() < 5 && !mix(seed, t, q.morton_abs(), q.level()).is_multiple_of(3)
         });
         let snap = ForestSnapshot::build(&f, 0);
         for &(lo, hi) in &boxes {
@@ -115,7 +115,7 @@ proptest! {
             let conn = Arc::new(Connectivity::unit(2));
             let mut f = Forest::<StandardQuad<2>>::new_uniform(conn, &comm, 1);
             f.refine(&comm, true, |t, q| {
-                q.level() < 5 && mix(seed, t, q.morton_abs(), q.level()) % 3 != 0
+                q.level() < 5 && !mix(seed, t, q.morton_abs(), q.level()).is_multiple_of(3)
             });
             let snap = ForestSnapshot::build(&f, 0);
             let batch: Vec<(u32, [i32; 3])> =

@@ -50,16 +50,7 @@ fn simulate(
 ) -> (f64, f64, Vec<Frame>, u64, u64) {
     let conn = Arc::new(Connectivity::periodic(2));
     let restored = if attempt.is_retry() {
-        AdvectionSim::<Q>::restore(
-            conn.clone(),
-            comm,
-            dir,
-            VELOCITY,
-            BASE_LEVEL,
-            MAX_LEVEL,
-            SAVE_EVERY,
-        )
-        .ok()
+        AdvectionSim::<Q>::restore(conn.clone(), comm, dir, VELOCITY, BASE_LEVEL, MAX_LEVEL).ok()
     } else {
         None
     };

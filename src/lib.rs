@@ -73,9 +73,9 @@ pub mod prelude {
         Avx2d, Avx3d, Morton128x2, Morton128x3, Morton2, Morton3, Standard2, Standard3,
     };
     pub use quadforest_forest::{
-        iterate_faces, BalanceKind, CheckpointManifest, DataMapper, FaceSide, Forest, ForestStats,
-        GhostLayer, Interface, InvariantError, IoError, LeafData, LeafRef, LocalNodes, Mesh,
-        MeshNeighbor, NodeRef, PortableForest, SearchAction,
+        iterate_faces, BalanceKind, CheckpointInfo, CheckpointManifest, DataMapper, FaceSide,
+        Forest, ForestStats, GhostLayer, Interface, InvariantError, IoError, LeafData, LeafRef,
+        LocalNodes, Mesh, MeshNeighbor, NodeRef, PortableForest, SearchAction,
     };
     pub use quadforest_pde::{
         gaussian_blob, AdaptReport, AdaptThresholds, AdvectionSim, Patch, PatchHalo, PatchMapper,
